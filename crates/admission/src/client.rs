@@ -1,0 +1,253 @@
+//! Per-node clients: the local supervisors of §V.
+//!
+//! "The role of clients is to prevent non-authorized accesses, adjust the
+//! access rates to the NoC for each application, release the NoC
+//! resources […], and prevent unbounded NoC accesses." A client traps an
+//! application's first transmission, blocks it until the RM acknowledges
+//! with a `confMsg`, enforces the assigned rate while active, blocks on
+//! `stopMsg`, and reports termination with a `terMsg`.
+
+use autoplat_netcalc::conformance::BucketState;
+use autoplat_netcalc::TokenBucket;
+
+use crate::app::AppId;
+
+/// Client state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// No application active; the first transmission will be trapped.
+    Idle,
+    /// Activation sent, awaiting the RM's `confMsg`.
+    AwaitingAdmission,
+    /// Admitted and transmitting under the assigned rate.
+    Active,
+    /// Blocked by a `stopMsg` pending reconfiguration.
+    Stopped,
+}
+
+/// The verdict on a transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransmitDecision {
+    /// Conformant: release at the given cycle.
+    ReleaseAt(u64),
+    /// Trapped: the client has issued an activation request and blocks
+    /// the transmission until admission completes.
+    TrappedForAdmission,
+    /// Blocked by a pending `stopMsg`.
+    Blocked,
+}
+
+/// A per-node client supervising one application.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::client::{Client, ClientState, TransmitDecision};
+/// use autoplat_admission::app::AppId;
+/// use autoplat_netcalc::TokenBucket;
+///
+/// let mut client = Client::new(AppId(0), 4);
+/// // First transmission is trapped until the RM admits.
+/// assert_eq!(client.request_transmit(0, 1.0), TransmitDecision::TrappedForAdmission);
+/// client.on_config(0, TokenBucket::new(4.0, 0.5));
+/// assert_eq!(client.state(), ClientState::Active);
+/// assert!(matches!(client.request_transmit(1, 1.0), TransmitDecision::ReleaseAt(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Client {
+    app: AppId,
+    node: u32,
+    state: ClientState,
+    bucket: Option<BucketState>,
+    trapped: u64,
+    blocked: u64,
+}
+
+impl Client {
+    /// Creates an idle client for `app` at `node`.
+    pub fn new(app: AppId, node: u32) -> Self {
+        Client {
+            app,
+            node,
+            state: ClientState::Idle,
+            bucket: None,
+            trapped: 0,
+            blocked: 0,
+        }
+    }
+
+    /// The supervised application.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The node this client guards.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The application attempts a transmission of `items` at `now_cycle`.
+    pub fn request_transmit(&mut self, now_cycle: u64, items: f64) -> TransmitDecision {
+        match self.state {
+            ClientState::Idle => {
+                // Trap: "whenever an application is activated and trying
+                // to conduct the first transmission its request is
+                // trapped by the client".
+                self.state = ClientState::AwaitingAdmission;
+                self.trapped += 1;
+                TransmitDecision::TrappedForAdmission
+            }
+            ClientState::AwaitingAdmission => {
+                self.trapped += 1;
+                TransmitDecision::TrappedForAdmission
+            }
+            ClientState::Stopped => {
+                self.blocked += 1;
+                TransmitDecision::Blocked
+            }
+            ClientState::Active => {
+                let bucket = self.bucket.as_mut().expect("active implies configured");
+                match bucket.earliest_send(now_cycle as f64, items) {
+                    Some(at) => {
+                        let cycle = at.ceil() as u64;
+                        assert!(
+                            bucket.try_consume(cycle as f64, items),
+                            "tokens available at release"
+                        );
+                        TransmitDecision::ReleaseAt(cycle)
+                    }
+                    None => {
+                        // Larger than the burst: unbounded NoC access,
+                        // prevented outright.
+                        self.blocked += 1;
+                        TransmitDecision::Blocked
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a `stopMsg`: block all accesses pending reconfiguration.
+    pub fn on_stop(&mut self) {
+        if self.state == ClientState::Active {
+            self.state = ClientState::Stopped;
+        }
+    }
+
+    /// Handles a `confMsg`: install the new contract and unblock.
+    pub fn on_config(&mut self, now_cycle: u64, contract: TokenBucket) {
+        let mut bucket = BucketState::new(contract);
+        bucket.reset(now_cycle as f64);
+        self.bucket = Some(bucket);
+        self.state = ClientState::Active;
+    }
+
+    /// Detects application termination: resets to idle (the caller sends
+    /// the `terMsg` to the RM).
+    pub fn on_terminate(&mut self) {
+        self.state = ClientState::Idle;
+        self.bucket = None;
+    }
+
+    /// Transmissions trapped while awaiting admission.
+    pub fn trapped(&self) -> u64 {
+        self.trapped
+    }
+
+    /// Transmissions refused while stopped or oversized.
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admitted_client(rate: f64) -> Client {
+        let mut c = Client::new(AppId(1), 2);
+        let _ = c.request_transmit(0, 1.0);
+        c.on_config(0, TokenBucket::new(4.0, rate));
+        c
+    }
+
+    #[test]
+    fn first_transmission_trapped() {
+        let mut c = Client::new(AppId(0), 0);
+        assert_eq!(c.state(), ClientState::Idle);
+        assert_eq!(
+            c.request_transmit(0, 1.0),
+            TransmitDecision::TrappedForAdmission
+        );
+        assert_eq!(c.state(), ClientState::AwaitingAdmission);
+        // Still trapped until confMsg.
+        assert_eq!(
+            c.request_transmit(5, 1.0),
+            TransmitDecision::TrappedForAdmission
+        );
+        assert_eq!(c.trapped(), 2);
+    }
+
+    #[test]
+    fn config_activates_and_rates_enforced() {
+        let mut c = admitted_client(0.5);
+        assert_eq!(c.state(), ClientState::Active);
+        // Burst of 4 passes immediately.
+        assert_eq!(c.request_transmit(10, 4.0), TransmitDecision::ReleaseAt(10));
+        // Next item waits for refill: 1 token at 0.5/cycle → 2 cycles.
+        assert_eq!(c.request_transmit(10, 1.0), TransmitDecision::ReleaseAt(12));
+    }
+
+    #[test]
+    fn stop_blocks_until_reconfig() {
+        let mut c = admitted_client(1.0);
+        c.on_stop();
+        assert_eq!(c.state(), ClientState::Stopped);
+        assert_eq!(c.request_transmit(20, 1.0), TransmitDecision::Blocked);
+        assert_eq!(c.blocked(), 1);
+        c.on_config(20, TokenBucket::new(2.0, 0.25));
+        assert_eq!(c.state(), ClientState::Active);
+        assert!(matches!(
+            c.request_transmit(21, 1.0),
+            TransmitDecision::ReleaseAt(21)
+        ));
+    }
+
+    #[test]
+    fn stop_on_idle_is_noop() {
+        let mut c = Client::new(AppId(0), 0);
+        c.on_stop();
+        assert_eq!(c.state(), ClientState::Idle);
+    }
+
+    #[test]
+    fn oversized_transmission_prevented() {
+        let mut c = admitted_client(1.0);
+        assert_eq!(c.request_transmit(0, 100.0), TransmitDecision::Blocked);
+    }
+
+    #[test]
+    fn termination_resets() {
+        let mut c = admitted_client(1.0);
+        c.on_terminate();
+        assert_eq!(c.state(), ClientState::Idle);
+        // The next transmission is trapped again (new activation).
+        assert_eq!(
+            c.request_transmit(0, 1.0),
+            TransmitDecision::TrappedForAdmission
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Client::new(AppId(7), 3);
+        assert_eq!(c.app(), AppId(7));
+        assert_eq!(c.node(), 3);
+        assert_eq!(c.blocked(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end guarantees across a chain of heterogeneous resources
+//! (Fig. 6).
+//!
+//! Once the RM has admitted an application and configured its injection
+//! rate, the flow's worst-case end-to-end latency across "a sequence of
+//! shared network and memory resources" follows from network calculus:
+//! each resource offers the flow a rate-latency service curve (the NoC
+//! path under regulation, the DRAM controller via its `(t_N, N)` curve),
+//! the chain's curve is their min-plus convolution, and the delay bound
+//! is the horizontal deviation against the flow's token-bucket contract.
+//!
+//! Two bounds are provided: [`ResourceChain::delay_bound`] uses the
+//! convolved end-to-end curve ("pay burst only once") and
+//! [`ResourceChain::delay_bound_hop_by_hop`] sums per-stage bounds while
+//! propagating output burstiness — the looser bound compositional
+//! analyses without convolution end up with, used here to *demonstrate*
+//! the advantage of the end-to-end view.
+
+use autoplat_netcalc::bounds::{delay_bound, token_bucket_delay};
+use autoplat_netcalc::ops::{convolve_convex, deconvolve_token_bucket};
+use autoplat_netcalc::{PiecewiseLinear, RateLatency, TokenBucket};
+
+/// A named sequence of rate-latency resources a flow traverses.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::e2e::ResourceChain;
+/// use autoplat_netcalc::{RateLatency, TokenBucket};
+///
+/// let chain = ResourceChain::new()
+///     .stage("noc", RateLatency::new(1.0, 20.0))
+///     .stage("dram", RateLatency::new(0.02, 500.0));
+/// let flow = TokenBucket::new(4.0, 0.01);
+/// let e2e = chain.delay_bound(&flow).expect("stable");
+/// let hbh = chain.delay_bound_hop_by_hop(&flow).expect("stable");
+/// assert!(e2e <= hbh, "pay-burst-only-once must not be worse");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResourceChain {
+    stages: Vec<(String, RateLatency)>,
+}
+
+impl ResourceChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        ResourceChain::default()
+    }
+
+    /// Appends a named resource stage.
+    pub fn stage(mut self, name: impl Into<String>, curve: RateLatency) -> Self {
+        self.stages.push((name.into(), curve));
+        self
+    }
+
+    /// The stages in traversal order.
+    pub fn stages(&self) -> &[(String, RateLatency)] {
+        &self.stages
+    }
+
+    /// The end-to-end service curve: the convolution of all stages
+    /// (`min` of rates, sum of latencies). Returns `None` for an empty
+    /// chain.
+    pub fn end_to_end_curve(&self) -> Option<RateLatency> {
+        self.stages
+            .iter()
+            .map(|(_, c)| *c)
+            .reduce(|a, b| a.convolve(&b))
+    }
+
+    /// The end-to-end delay bound for a token-bucket flow using the
+    /// convolved curve. Returns `None` for an empty chain or an unstable
+    /// system (flow rate above some stage's rate).
+    pub fn delay_bound(&self, flow: &TokenBucket) -> Option<f64> {
+        token_bucket_delay(flow, &self.end_to_end_curve()?)
+    }
+
+    /// The hop-by-hop delay bound: per-stage delays summed, with the
+    /// flow's burstiness inflated by each stage's deconvolution. Always
+    /// `>=` [`delay_bound`]. Returns `None` for an empty chain or
+    /// instability.
+    ///
+    /// [`delay_bound`]: ResourceChain::delay_bound
+    pub fn delay_bound_hop_by_hop(&self, flow: &TokenBucket) -> Option<f64> {
+        if self.stages.is_empty() {
+            return None;
+        }
+        let mut arrival = *flow;
+        let mut total = 0.0;
+        for (_, curve) in &self.stages {
+            total += token_bucket_delay(&arrival, curve)?;
+            arrival = deconvolve_token_bucket(&arrival, curve)?;
+        }
+        Some(total)
+    }
+
+    /// Per-stage delay contributions under hop-by-hop analysis, for
+    /// reporting. Returns `None` on instability or an empty chain.
+    pub fn stage_delays(&self, flow: &TokenBucket) -> Option<Vec<(String, f64)>> {
+        if self.stages.is_empty() {
+            return None;
+        }
+        let mut arrival = *flow;
+        let mut out = Vec::with_capacity(self.stages.len());
+        for (name, curve) in &self.stages {
+            out.push((name.clone(), token_bucket_delay(&arrival, curve)?));
+            arrival = deconvolve_token_bucket(&arrival, curve)?;
+        }
+        Some(out)
+    }
+}
+
+/// End-to-end delay bound through **piecewise-linear** service curves
+/// (e.g. the DRAM `(t_N, N)` curve without the rate-latency
+/// abstraction): each stage is relaxed to its convex lower hull (a sound
+/// service-curve relaxation), the hulls are convolved, and the exact
+/// horizontal deviation is computed. Tighter than (or equal to) the
+/// rate-latency route.
+///
+/// Returns `None` for an empty chain or an unstable flow.
+///
+/// # Panics
+///
+/// Panics if any stage curve does not start at `(0, 0)` (see
+/// [`convolve_convex`]).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::e2e::delay_bound_exact;
+/// use autoplat_netcalc::{RateLatency, TokenBucket};
+///
+/// let stages = vec![
+///     RateLatency::new(1.0, 20.0).to_curve(),
+///     RateLatency::new(0.05, 400.0).to_curve(),
+/// ];
+/// let d = delay_bound_exact(&TokenBucket::new(4.0, 0.01), &stages).expect("stable");
+/// assert!((d - (420.0 + 4.0 / 0.05)).abs() < 1e-9);
+/// ```
+pub fn delay_bound_exact(flow: &TokenBucket, stages: &[PiecewiseLinear]) -> Option<f64> {
+    let e2e = stages
+        .iter()
+        .map(PiecewiseLinear::convex_lower_hull)
+        .reduce(|a, b| convolve_convex(&a, &b))?;
+    delay_bound(&flow.to_curve(), &e2e)
+}
+
+/// A conservative rate-latency model of a regulated NoC path: the flow is
+/// guaranteed `rate_flits_per_cycle` across a path of `hops` hops with
+/// one cycle per hop of base latency plus one worst-case round of
+/// round-robin arbitration (`competitors` flows) per hop.
+///
+/// # Panics
+///
+/// Panics if `rate_flits_per_cycle` is not in `(0, 1]` or `cycle_ns` is
+/// not positive.
+pub fn noc_path_curve(
+    hops: u32,
+    competitors: u32,
+    rate_flits_per_cycle: f64,
+    cycle_ns: f64,
+) -> RateLatency {
+    assert!(
+        rate_flits_per_cycle > 0.0 && rate_flits_per_cycle <= 1.0,
+        "NoC rate must be in (0, 1] flits/cycle"
+    );
+    assert!(cycle_ns > 0.0, "cycle time must be positive");
+    // Per hop: 1 cycle of traversal + up to `competitors` cycles waiting
+    // out other flows' flits in round-robin.
+    let latency_cycles = hops as f64 * (1.0 + competitors as f64);
+    RateLatency::new(rate_flits_per_cycle / cycle_ns, latency_cycles * cycle_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> ResourceChain {
+        ResourceChain::new()
+            .stage("noc", RateLatency::new(1.0, 20.0))
+            .stage("dram", RateLatency::new(0.05, 400.0))
+    }
+
+    #[test]
+    fn empty_chain_has_no_bounds() {
+        let c = ResourceChain::new();
+        let flow = TokenBucket::new(1.0, 0.01);
+        assert!(c.end_to_end_curve().is_none());
+        assert!(c.delay_bound(&flow).is_none());
+        assert!(c.delay_bound_hop_by_hop(&flow).is_none());
+        assert!(c.stage_delays(&flow).is_none());
+    }
+
+    #[test]
+    fn convolution_accumulates_latency_min_rate() {
+        let c = chain().end_to_end_curve().expect("non-empty");
+        assert_eq!(c.rate(), 0.05);
+        assert_eq!(c.latency(), 420.0);
+    }
+
+    #[test]
+    fn pay_burst_only_once() {
+        let flow = TokenBucket::new(8.0, 0.01);
+        let e2e = chain().delay_bound(&flow).expect("stable");
+        let hbh = chain().delay_bound_hop_by_hop(&flow).expect("stable");
+        assert!(e2e <= hbh + 1e-9, "{e2e} vs {hbh}");
+        // With a real burst, hop-by-hop is strictly worse: the burst pays
+        // the NoC stage's delay once and the DRAM stage again, inflated.
+        assert!(hbh > e2e, "hop-by-hop should be strictly looser here");
+    }
+
+    #[test]
+    fn stage_delays_sum_to_hop_by_hop() {
+        let flow = TokenBucket::new(4.0, 0.02);
+        let per = chain().stage_delays(&flow).expect("stable");
+        let total: f64 = per.iter().map(|(_, d)| d).sum();
+        let hbh = chain().delay_bound_hop_by_hop(&flow).expect("stable");
+        assert!((total - hbh).abs() < 1e-9);
+        assert_eq!(per[0].0, "noc");
+        assert_eq!(per[1].0, "dram");
+    }
+
+    #[test]
+    fn instability_detected() {
+        let flow = TokenBucket::new(1.0, 0.2); // above the DRAM's 0.05
+        assert!(chain().delay_bound(&flow).is_none());
+        assert!(chain().delay_bound_hop_by_hop(&flow).is_none());
+    }
+
+    #[test]
+    fn bound_monotone_in_admitted_rate() {
+        // The RM lowering an app's rate (higher mode) can only increase
+        // the guaranteed bound's slack — i.e. lower rate, lower delay for
+        // the same burst.
+        let mut last = f64::INFINITY;
+        for rate in [0.04, 0.02, 0.01, 0.005] {
+            let d = chain()
+                .delay_bound(&TokenBucket::new(4.0, rate))
+                .expect("stable");
+            assert!(d <= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn noc_path_curve_scales_with_hops_and_competitors() {
+        let quiet = noc_path_curve(4, 0, 0.5, 1.0);
+        let busy = noc_path_curve(4, 3, 0.5, 1.0);
+        assert_eq!(quiet.latency(), 4.0);
+        assert_eq!(busy.latency(), 16.0);
+        assert_eq!(quiet.rate(), 0.5);
+        let long = noc_path_curve(8, 3, 0.5, 1.0);
+        assert!(long.latency() > busy.latency());
+    }
+
+    #[test]
+    fn exact_pl_bound_no_looser_than_rate_latency() {
+        use autoplat_dram::service_curve::{rate_latency_abstraction, read_service_curve};
+        use autoplat_dram::wcd::WcdParams;
+        use autoplat_dram::{timing::presets::ddr3_1600, ControllerConfig};
+        use autoplat_netcalc::arrival::gbps_bucket;
+
+        let params = WcdParams {
+            timing: ddr3_1600(),
+            config: ControllerConfig::paper(),
+            writes: gbps_bucket(4.0, 8, 8),
+            queue_position: 1,
+        };
+        let dram_curve = read_service_curve(&params, 32).expect("stable");
+        let dram_rl = rate_latency_abstraction(&params, 32).expect("stable");
+        let noc = noc_path_curve(6, 2, 1.0, 1.0);
+        let flow = TokenBucket::new(4.0, 0.005);
+
+        let exact = delay_bound_exact(&flow, &[noc.to_curve(), dram_curve]).expect("stable");
+        let abstracted = ResourceChain::new()
+            .stage("noc", noc)
+            .stage("dram", dram_rl)
+            .delay_bound(&flow)
+            .expect("stable");
+        assert!(
+            exact <= abstracted + 1e-9,
+            "exact {exact} must not exceed abstraction {abstracted}"
+        );
+        assert!(exact > 0.0);
+    }
+
+    #[test]
+    fn exact_bound_empty_and_unstable() {
+        let flow = TokenBucket::new(1.0, 0.5);
+        assert!(delay_bound_exact(&flow, &[]).is_none());
+        let slow = RateLatency::new(0.1, 10.0).to_curve();
+        assert!(
+            delay_bound_exact(&flow, &[slow]).is_none(),
+            "0.5 > 0.1: unstable"
+        );
+    }
+
+    #[test]
+    fn integration_with_dram_service_curve() {
+        use autoplat_dram::service_curve::rate_latency_abstraction;
+        use autoplat_dram::wcd::WcdParams;
+        use autoplat_dram::{timing::presets::ddr3_1600, ControllerConfig};
+        use autoplat_netcalc::arrival::gbps_bucket;
+
+        let dram = rate_latency_abstraction(
+            &WcdParams {
+                timing: ddr3_1600(),
+                config: ControllerConfig::paper(),
+                writes: gbps_bucket(4.0, 8, 8),
+                queue_position: 1,
+            },
+            32,
+        )
+        .expect("stable at 4 Gbps");
+        let chain = ResourceChain::new()
+            .stage("noc", noc_path_curve(6, 2, 1.0, 1.0))
+            .stage("dram", dram);
+        // A modest read flow: 4-request burst, 1 request per 200 ns.
+        let flow = TokenBucket::new(4.0, 0.005);
+        let bound = chain.delay_bound(&flow).expect("stable");
+        assert!(bound > 0.0 && bound < 1e6, "sane e2e bound, got {bound}");
+    }
+}

@@ -1,0 +1,283 @@
+//! System modes and adaptive rate policies (Fig. 7).
+//!
+//! "Each mode is defined by the number of currently active applications,
+//! and determines the minimum time separating every two transmissions
+//! issued from the same application." The RM recomputes every source's
+//! injection rate on each mode transition:
+//!
+//! * [`SymmetricPolicy`] — "transmission rates decrease uniformly for all
+//!   applications along with the increasing number of senders";
+//! * [`WeightedPolicy`] — the non-symmetric variant "used in a
+//!   mixed-criticality system to maintain the critical application
+//!   guarantees while reducing best effort traffic".
+
+use autoplat_netcalc::TokenBucket;
+
+use crate::app::Application;
+
+/// A system mode: the number of currently active applications.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SystemMode(pub usize);
+
+impl std::fmt::Display for SystemMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mode{}", self.0)
+    }
+}
+
+/// A rate-allocation policy: maps the set of active applications to a
+/// token-bucket contract per application (rates in items/cycle).
+pub trait RatePolicy {
+    /// The contract of `app` when `active` are the currently active
+    /// applications (including `app` itself).
+    ///
+    /// Returns `None` when `app` cannot be served in this mode (admission
+    /// must be refused).
+    fn contract(&self, app: &Application, active: &[Application]) -> Option<TokenBucket>;
+
+    /// The aggregate capacity (items/cycle) the policy distributes.
+    fn capacity(&self) -> f64;
+}
+
+/// Symmetric guarantees: each of the `n` active applications receives
+/// `capacity / n`, with a fixed burst.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::app::{AppId, Application};
+/// use autoplat_admission::modes::{RatePolicy, SymmetricPolicy};
+///
+/// let policy = SymmetricPolicy::new(0.8, 4.0);
+/// let apps: Vec<_> = (0..4).map(|i| Application::best_effort(AppId(i), i)).collect();
+/// let tb = policy.contract(&apps[0], &apps).expect("symmetric always serves");
+/// assert!((tb.rate() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricPolicy {
+    capacity: f64,
+    burst: f64,
+}
+
+impl SymmetricPolicy {
+    /// Creates a policy distributing `capacity` items/cycle with `burst`
+    /// items of slack per application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `burst` is negative.
+    pub fn new(capacity: f64, burst: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(burst >= 0.0, "burst must be non-negative");
+        SymmetricPolicy { capacity, burst }
+    }
+}
+
+impl RatePolicy for SymmetricPolicy {
+    fn contract(&self, _app: &Application, active: &[Application]) -> Option<TokenBucket> {
+        let n = active.len().max(1);
+        Some(TokenBucket::new(self.burst, self.capacity / n as f64))
+    }
+
+    fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+/// Non-symmetric (importance-weighted) guarantees: critical applications
+/// always receive their guaranteed rate; best-effort applications share
+/// whatever capacity remains equally. Admission of a critical application
+/// fails when the guarantees alone would exceed capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPolicy {
+    capacity: f64,
+    burst: f64,
+    /// Floor below which best-effort rates are not squeezed further; 0
+    /// allows squeezing best effort to nothing.
+    best_effort_floor: f64,
+}
+
+impl WeightedPolicy {
+    /// Creates a weighted policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `burst`/`floor` negative.
+    pub fn new(capacity: f64, burst: f64, best_effort_floor: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(
+            burst >= 0.0 && best_effort_floor >= 0.0,
+            "negative parameter"
+        );
+        WeightedPolicy {
+            capacity,
+            burst,
+            best_effort_floor,
+        }
+    }
+}
+
+impl RatePolicy for WeightedPolicy {
+    fn contract(&self, app: &Application, active: &[Application]) -> Option<TokenBucket> {
+        let guaranteed: f64 = active.iter().map(|a| a.importance.guaranteed_rate()).sum();
+        if guaranteed > self.capacity + 1e-12 {
+            // The critical guarantees alone are infeasible.
+            return None;
+        }
+        let rate = if app.importance.is_critical() {
+            app.importance.guaranteed_rate()
+        } else {
+            let best_effort = active
+                .iter()
+                .filter(|a| !a.importance.is_critical())
+                .count();
+            if best_effort == 0 {
+                0.0
+            } else {
+                ((self.capacity - guaranteed) / best_effort as f64).max(self.best_effort_floor)
+            }
+        };
+        Some(TokenBucket::new(self.burst, rate))
+    }
+
+    fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+/// Tabulates a policy over modes `1..=max_mode` for a homogeneous set of
+/// applications: the **Fig. 7 series** (injection rate as a function of
+/// the system mode).
+pub fn rate_series<P: RatePolicy>(
+    policy: &P,
+    template: &[Application],
+    max_mode: usize,
+) -> Vec<(SystemMode, Vec<(Application, f64)>)> {
+    assert!(
+        max_mode <= template.len(),
+        "template must cover max_mode apps"
+    );
+    let mut out = Vec::with_capacity(max_mode);
+    for n in 1..=max_mode {
+        let active = &template[..n];
+        let rates = active
+            .iter()
+            .map(|a| {
+                let tb = policy.contract(a, active).map(|t| t.rate()).unwrap_or(0.0);
+                (*a, tb)
+            })
+            .collect();
+        out.push((SystemMode(n), rates));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppId, Application};
+
+    fn be(n: u32) -> Application {
+        Application::best_effort(AppId(n), n)
+    }
+
+    #[test]
+    fn symmetric_rates_shrink_uniformly() {
+        let p = SymmetricPolicy::new(1.0, 8.0);
+        for n in 1..=8usize {
+            let active: Vec<_> = (0..n as u32).map(be).collect();
+            for a in &active {
+                let tb = p.contract(a, &active).expect("always serves");
+                assert!((tb.rate() - 1.0 / n as f64).abs() < 1e-12);
+                assert_eq!(tb.burst(), 8.0);
+            }
+        }
+        assert_eq!(p.capacity(), 1.0);
+    }
+
+    #[test]
+    fn weighted_policy_protects_critical() {
+        let p = WeightedPolicy::new(1.0, 4.0, 0.0);
+        let critical = Application::critical(AppId(0), 0, 400); // 0.4
+        let mut active = vec![critical];
+        let solo = p.contract(&critical, &active).expect("fits");
+        assert_eq!(solo.rate(), 0.4);
+        // Add best-effort apps: critical keeps 0.4, they split 0.6.
+        for n in 1..=6u32 {
+            active.push(be(n));
+            let c = p.contract(&critical, &active).expect("fits");
+            assert_eq!(c.rate(), 0.4, "critical rate must not degrade");
+            let b = p.contract(&active[1], &active).expect("fits");
+            assert!((b.rate() - 0.6 / n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_policy_rejects_infeasible_guarantees() {
+        let p = WeightedPolicy::new(1.0, 4.0, 0.0);
+        let a = Application::critical(AppId(0), 0, 600);
+        let b = Application::critical(AppId(1), 1, 600);
+        let active = vec![a, b];
+        assert!(p.contract(&a, &active).is_none(), "1.2 > 1.0 capacity");
+    }
+
+    #[test]
+    fn weighted_floor_keeps_best_effort_alive() {
+        let p = WeightedPolicy::new(1.0, 4.0, 0.05);
+        let c = Application::critical(AppId(0), 0, 1000); // eats everything
+        let b0 = be(1);
+        let active = vec![c, b0];
+        let tb = p.contract(&b0, &active).expect("fits");
+        assert_eq!(tb.rate(), 0.05, "floor applies");
+    }
+
+    #[test]
+    fn fig7_series_shapes() {
+        // Symmetric: monotone decreasing 1/n. Weighted: critical flat,
+        // best effort decreasing.
+        let apps: Vec<_> = std::iter::once(Application::critical(AppId(0), 0, 300))
+            .chain((1..8).map(be))
+            .collect();
+        let sym = SymmetricPolicy::new(1.0, 8.0);
+        let series = rate_series(&sym, &apps, 8);
+        let mut last = f64::INFINITY;
+        for (mode, rates) in &series {
+            let r = rates[0].1;
+            assert!(r <= last, "symmetric rate must fall with mode {mode}");
+            last = r;
+        }
+        let weighted = WeightedPolicy::new(1.0, 8.0, 0.0);
+        let series = rate_series(&weighted, &apps, 8);
+        for (_, rates) in &series {
+            assert_eq!(rates[0].1, 0.3, "critical rate constant across modes");
+        }
+        // Best-effort rates decrease with mode.
+        let be_rates: Vec<f64> = series[1..].iter().map(|(_, rates)| rates[1].1).collect();
+        for w in be_rates.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(SystemMode(3).to_string(), "mode3");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SymmetricPolicy::new(0.0, 1.0);
+    }
+}

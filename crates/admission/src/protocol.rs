@@ -1,0 +1,162 @@
+//! The four-message control protocol of §V.
+//!
+//! "The protocol consists of four control messages: activation (actMsg),
+//! termination (terMsg), stop (stopMsg) and configuration (confMsg)."
+//! Clients inform the RM of application activation/termination; before
+//! changing rates the RM stops all active clients, then distributes the
+//! new configuration, after which clients adjust their rate and unblock.
+
+use autoplat_sim::SimTime;
+
+use crate::app::AppId;
+use crate::modes::SystemMode;
+
+/// A control-layer message.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ControlMessage {
+    /// `actMsg`: a client reports the activation of an application.
+    Activation {
+        /// The activating application.
+        app: AppId,
+    },
+    /// `terMsg`: a client reports the termination of an application.
+    Termination {
+        /// The terminating application.
+        app: AppId,
+    },
+    /// `stopMsg`: the RM blocks a client's NoC accesses before a rate
+    /// change.
+    Stop {
+        /// The client (by its application) being blocked.
+        app: AppId,
+    },
+    /// `confMsg`: the RM communicates the current system mode and the
+    /// client's new injection rate; the client adjusts and unblocks.
+    Config {
+        /// The client (by its application) being configured.
+        app: AppId,
+        /// The system mode after the transition.
+        mode: SystemMode,
+        /// The new injection rate in items/cycle.
+        rate: f64,
+    },
+}
+
+impl ControlMessage {
+    /// The application this message concerns.
+    pub fn app(&self) -> AppId {
+        match self {
+            ControlMessage::Activation { app }
+            | ControlMessage::Termination { app }
+            | ControlMessage::Stop { app }
+            | ControlMessage::Config { app, .. } => *app,
+        }
+    }
+
+    /// Short protocol name (`actMsg`, `terMsg`, `stopMsg`, `confMsg`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlMessage::Activation { .. } => "actMsg",
+            ControlMessage::Termination { .. } => "terMsg",
+            ControlMessage::Stop { .. } => "stopMsg",
+            ControlMessage::Config { .. } => "confMsg",
+        }
+    }
+}
+
+impl std::fmt::Display for ControlMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.name(), self.app())
+    }
+}
+
+/// A timestamped record of one protocol message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageRecord {
+    /// When the message was sent.
+    pub at: SimTime,
+    /// The message.
+    pub message: ControlMessage,
+}
+
+/// The RM-side protocol trace: every message sent or received, in order.
+#[derive(Debug, Clone, Default)]
+pub struct MessageLog {
+    records: Vec<MessageRecord>,
+}
+
+impl MessageLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        MessageLog::default()
+    }
+
+    /// Appends a message.
+    pub fn record(&mut self, at: SimTime, message: ControlMessage) {
+        self.records.push(MessageRecord { at, message });
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[MessageRecord] {
+        &self.records
+    }
+
+    /// Number of messages with the given protocol name.
+    pub fn count(&self, name: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.message.name() == name)
+            .count()
+    }
+
+    /// Total messages.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_apps() {
+        let msgs = [
+            ControlMessage::Activation { app: AppId(1) },
+            ControlMessage::Termination { app: AppId(2) },
+            ControlMessage::Stop { app: AppId(3) },
+            ControlMessage::Config {
+                app: AppId(4),
+                mode: SystemMode(2),
+                rate: 0.5,
+            },
+        ];
+        assert_eq!(msgs[0].name(), "actMsg");
+        assert_eq!(msgs[1].name(), "terMsg");
+        assert_eq!(msgs[2].name(), "stopMsg");
+        assert_eq!(msgs[3].name(), "confMsg");
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.app(), AppId(i as u32 + 1));
+        }
+        assert_eq!(msgs[0].to_string(), "actMsg(app1)");
+    }
+
+    #[test]
+    fn log_counts() {
+        let mut log = MessageLog::new();
+        assert!(log.is_empty());
+        log.record(SimTime::ZERO, ControlMessage::Activation { app: AppId(0) });
+        log.record(SimTime::ZERO, ControlMessage::Stop { app: AppId(0) });
+        log.record(SimTime::ZERO, ControlMessage::Stop { app: AppId(1) });
+        assert_eq!(log.count("stopMsg"), 2);
+        assert_eq!(log.count("actMsg"), 1);
+        assert_eq!(log.count("terMsg"), 0);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.records().len(), 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! The Resource Manager (RM): the centralized control unit of §V.
+//!
+//! "The RM has a knowledge about the global state of the NoC (i.e., which
+//! sender is active) and which resources are occupied." Activation and
+//! termination messages are processed in arrival order; each initiates a
+//! transition to a different system mode. Before changing rates, the RM
+//! sends every active client a `stopMsg`, then a `confMsg` carrying the
+//! new mode and rate, after which clients unblock.
+
+use autoplat_sim::{SimDuration, SimTime};
+
+use crate::app::{AppId, Application};
+use crate::modes::{RatePolicy, SystemMode};
+use crate::protocol::{ControlMessage, MessageLog};
+
+/// Result of an admission request.
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// Whether the application was admitted.
+    pub admitted: bool,
+    /// The system mode after processing.
+    pub mode: SystemMode,
+    /// The rates (items/cycle) assigned to every active application after
+    /// the transition, including the new one when admitted.
+    pub rates: Vec<(AppId, autoplat_netcalc::TokenBucket)>,
+}
+
+/// The Resource Manager.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::{ResourceManager, Application, AppId};
+/// use autoplat_admission::modes::SymmetricPolicy;
+/// use autoplat_sim::SimTime;
+///
+/// let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 50.0);
+/// let out = rm.request_admission(Application::best_effort(AppId(0), 0), SimTime::ZERO);
+/// assert!(out.admitted);
+/// assert_eq!(rm.mode().0, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResourceManager<P> {
+    policy: P,
+    active: Vec<Application>,
+    log: MessageLog,
+    mode_changes: u64,
+    rejections: u64,
+    /// One-way latency of a control message, in nanoseconds.
+    message_latency_ns: f64,
+    /// Accumulated reconfiguration overhead.
+    overhead: SimDuration,
+}
+
+impl<P: RatePolicy> ResourceManager<P> {
+    /// Creates an RM with the given policy and per-message latency (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message_latency_ns` is negative or not finite.
+    pub fn new(policy: P, message_latency_ns: f64) -> Self {
+        assert!(
+            message_latency_ns.is_finite() && message_latency_ns >= 0.0,
+            "invalid message latency"
+        );
+        ResourceManager {
+            policy,
+            active: Vec::new(),
+            log: MessageLog::new(),
+            mode_changes: 0,
+            rejections: 0,
+            message_latency_ns,
+            overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// The current system mode.
+    pub fn mode(&self) -> SystemMode {
+        SystemMode(self.active.len())
+    }
+
+    /// The rate policy in force.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The currently active applications.
+    pub fn active(&self) -> &[Application] {
+        &self.active
+    }
+
+    /// The protocol message log.
+    pub fn log(&self) -> &MessageLog {
+        &self.log
+    }
+
+    /// Number of mode transitions performed.
+    pub fn mode_changes(&self) -> u64 {
+        self.mode_changes
+    }
+
+    /// Number of refused admissions.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Total synchronization overhead accumulated by reconfiguration
+    /// rounds — the quantity the paper says must be traded off against
+    /// the frequency of mode changes at design time.
+    pub fn total_overhead(&self) -> SimDuration {
+        self.overhead
+    }
+
+    /// Processes an `actMsg`: attempts to admit `app` at `now`.
+    ///
+    /// On success the system transitions to the next mode and every
+    /// active client is re-configured (stop + config round). On failure
+    /// (the policy cannot serve the resulting set) the system state is
+    /// unchanged.
+    pub fn request_admission(&mut self, app: Application, now: SimTime) -> AdmissionOutcome {
+        self.log
+            .record(now, ControlMessage::Activation { app: app.id });
+        let mut candidate = self.active.clone();
+        candidate.push(app);
+        match self.compute_rates(&candidate) {
+            Some(rates) => {
+                self.active = candidate;
+                self.mode_changes += 1;
+                let mode = self.mode();
+                self.reconfigure(now, &rates, mode);
+                AdmissionOutcome {
+                    admitted: true,
+                    mode,
+                    rates,
+                }
+            }
+            None => {
+                self.rejections += 1;
+                let mode = self.mode();
+                let rates = self.compute_rates(&self.active.clone()).unwrap_or_default();
+                AdmissionOutcome {
+                    admitted: false,
+                    mode,
+                    rates,
+                }
+            }
+        }
+    }
+
+    /// Processes a `terMsg`: removes `app` and reconfigures the rest.
+    ///
+    /// Unknown applications are ignored (idempotent termination).
+    pub fn terminate(&mut self, app: AppId, now: SimTime) {
+        self.log.record(now, ControlMessage::Termination { app });
+        let before = self.active.len();
+        self.active.retain(|a| a.id != app);
+        if self.active.len() != before {
+            self.mode_changes += 1;
+            let mode = self.mode();
+            if let Some(rates) = self.compute_rates(&self.active.clone()) {
+                self.reconfigure(now, &rates, mode);
+            }
+        }
+    }
+
+    fn compute_rates(
+        &self,
+        active: &[Application],
+    ) -> Option<Vec<(AppId, autoplat_netcalc::TokenBucket)>> {
+        active
+            .iter()
+            .map(|a| self.policy.contract(a, active).map(|tb| (a.id, tb)))
+            .collect()
+    }
+
+    /// Runs a stop + configure round and accounts its overhead: each
+    /// active client receives a `stopMsg` and a `confMsg`; the round's
+    /// duration is two message latencies (stop fan-out, config fan-out),
+    /// during which senders are blocked.
+    fn reconfigure(
+        &mut self,
+        now: SimTime,
+        rates: &[(AppId, autoplat_netcalc::TokenBucket)],
+        mode: SystemMode,
+    ) {
+        for (app, _) in rates {
+            self.log.record(now, ControlMessage::Stop { app: *app });
+        }
+        let config_at = now + SimDuration::from_ns(self.message_latency_ns);
+        for (app, tb) in rates {
+            self.log.record(
+                config_at,
+                ControlMessage::Config {
+                    app: *app,
+                    mode,
+                    rate: tb.rate(),
+                },
+            );
+        }
+        self.overhead += SimDuration::from_ns(2.0 * self.message_latency_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::{SymmetricPolicy, WeightedPolicy};
+
+    fn be(n: u32) -> Application {
+        Application::best_effort(AppId(n), n)
+    }
+
+    #[test]
+    fn admission_transitions_modes_and_rates() {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 100.0);
+        for n in 1..=4u32 {
+            let out = rm.request_admission(be(n), SimTime::from_ns(n as f64 * 1000.0));
+            assert!(out.admitted);
+            assert_eq!(out.mode, SystemMode(n as usize));
+            for (_, tb) in &out.rates {
+                assert!((tb.rate() - 1.0 / n as f64).abs() < 1e-12);
+            }
+        }
+        assert_eq!(rm.mode_changes(), 4);
+        assert_eq!(rm.active().len(), 4);
+    }
+
+    #[test]
+    fn termination_restores_rates() {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 100.0);
+        let _ = rm.request_admission(be(0), SimTime::ZERO);
+        let _ = rm.request_admission(be(1), SimTime::ZERO);
+        rm.terminate(AppId(1), SimTime::from_ns(5000.0));
+        assert_eq!(rm.mode(), SystemMode(1));
+        // Unknown termination is idempotent.
+        rm.terminate(AppId(9), SimTime::from_ns(6000.0));
+        assert_eq!(rm.mode(), SystemMode(1));
+        assert_eq!(rm.mode_changes(), 3);
+    }
+
+    #[test]
+    fn weighted_policy_rejects_over_guarantee() {
+        let mut rm = ResourceManager::new(WeightedPolicy::new(1.0, 4.0, 0.0), 100.0);
+        let a = rm.request_admission(Application::critical(AppId(0), 0, 700), SimTime::ZERO);
+        assert!(a.admitted);
+        let b = rm.request_admission(Application::critical(AppId(1), 1, 700), SimTime::ZERO);
+        assert!(!b.admitted, "1.4 > capacity 1.0");
+        assert_eq!(rm.mode(), SystemMode(1), "state unchanged on rejection");
+        assert_eq!(rm.rejections(), 1);
+    }
+
+    #[test]
+    fn protocol_trace_per_round() {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 100.0);
+        let _ = rm.request_admission(be(0), SimTime::ZERO);
+        // Round 1: 1 actMsg, 1 stopMsg, 1 confMsg.
+        assert_eq!(rm.log().count("actMsg"), 1);
+        assert_eq!(rm.log().count("stopMsg"), 1);
+        assert_eq!(rm.log().count("confMsg"), 1);
+        let _ = rm.request_admission(be(1), SimTime::ZERO);
+        // Round 2 adds 1 actMsg and 2 stop/conf pairs.
+        assert_eq!(rm.log().count("stopMsg"), 3);
+        assert_eq!(rm.log().count("confMsg"), 3);
+        // Config messages are delayed by one message latency.
+        let conf = rm
+            .log()
+            .records()
+            .iter()
+            .find(|r| r.message.name() == "confMsg")
+            .expect("exists");
+        assert_eq!(conf.at, SimTime::from_ns(100.0));
+    }
+
+    #[test]
+    fn overhead_accumulates_per_mode_change() {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 250.0);
+        let _ = rm.request_admission(be(0), SimTime::ZERO);
+        let _ = rm.request_admission(be(1), SimTime::ZERO);
+        rm.terminate(AppId(0), SimTime::from_us(1.0));
+        // 3 mode changes × 2 × 250 ns.
+        assert_eq!(rm.total_overhead(), SimDuration::from_ns(1500.0));
+    }
+
+    #[test]
+    fn rejection_does_not_reconfigure() {
+        let mut rm = ResourceManager::new(WeightedPolicy::new(0.5, 4.0, 0.0), 100.0);
+        let _ = rm.request_admission(Application::critical(AppId(0), 0, 500), SimTime::ZERO);
+        let stops_before = rm.log().count("stopMsg");
+        let out = rm.request_admission(Application::critical(AppId(1), 1, 500), SimTime::ZERO);
+        assert!(!out.admitted);
+        assert_eq!(
+            rm.log().count("stopMsg"),
+            stops_before,
+            "no stop round on reject"
+        );
+    }
+}

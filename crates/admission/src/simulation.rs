@@ -1,0 +1,396 @@
+//! Dynamic admission-control co-simulation (§V end to end).
+//!
+//! Runs a scenario of application activations and terminations against a
+//! [`ResourceManager`], per-node [`Client`]s and the wormhole NoC: on
+//! every mode transition the RM stops the active clients and distributes
+//! new rates; between events every active application transmits greedily
+//! *through its client*, whose token bucket enforces the assigned rate.
+//! The outcome records, per application and per mode interval, the
+//! *observed* injection rate — the dynamic realization of Fig. 7 —
+//! together with NoC delivery statistics and the protocol cost.
+
+use std::collections::BTreeMap;
+
+use autoplat_noc::{NocConfig, NocSim, NodeId, Packet};
+use autoplat_sim::SimTime;
+
+use crate::app::{AppId, Application};
+use crate::client::{Client, TransmitDecision};
+use crate::modes::RatePolicy;
+use crate::rm::ResourceManager;
+
+/// One scripted scenario event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// An application activates (its first transmission gets trapped and
+    /// triggers admission).
+    Activate(Application),
+    /// An application terminates (its client reports `terMsg`).
+    Terminate(AppId),
+}
+
+/// Observed behaviour of one application within one mode interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalObservation {
+    /// The application.
+    pub app: AppId,
+    /// Interval start (cycle).
+    pub from_cycle: u64,
+    /// Interval end (cycle).
+    pub to_cycle: u64,
+    /// System mode during the interval.
+    pub mode: usize,
+    /// Packets the application injected in the interval.
+    pub packets: u64,
+    /// Observed flit-injection rate (flits/cycle).
+    pub observed_rate: f64,
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Per-app, per-interval observations, in time order.
+    pub observations: Vec<IntervalObservation>,
+    /// Packets delivered by the NoC.
+    pub delivered: usize,
+    /// Packets injected in total.
+    pub injected: usize,
+    /// Mean NoC latency in cycles.
+    pub mean_latency_cycles: f64,
+    /// Applications whose admission was refused.
+    pub rejected: Vec<AppId>,
+    /// Total protocol messages exchanged.
+    pub protocol_messages: usize,
+}
+
+/// The §V co-simulation driver.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::app::{AppId, Application};
+/// use autoplat_admission::modes::SymmetricPolicy;
+/// use autoplat_admission::simulation::{Scenario, ScenarioEvent};
+///
+/// let outcome = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+///     .event(0, ScenarioEvent::Activate(Application::best_effort(AppId(0), 0)))
+///     .event(4_000, ScenarioEvent::Activate(Application::best_effort(AppId(1), 3)))
+///     .horizon(8_000)
+///     .run();
+/// assert_eq!(outcome.injected, outcome.delivered);
+/// ```
+#[derive(Debug)]
+pub struct Scenario<P> {
+    policy: P,
+    cols: u32,
+    rows: u32,
+    events: Vec<(u64, ScenarioEvent)>,
+    horizon: u64,
+    flits_per_packet: u32,
+    sink: Option<NodeId>,
+}
+
+impl<P: RatePolicy> Scenario<P> {
+    /// Creates a scenario on a `cols × rows` mesh with the given policy.
+    pub fn new(policy: P, cols: u32, rows: u32) -> Self {
+        Scenario {
+            policy,
+            cols,
+            rows,
+            events: Vec::new(),
+            horizon: 10_000,
+            flits_per_packet: 4,
+            sink: None,
+        }
+    }
+
+    /// Adds a scripted event at `cycle`.
+    pub fn event(mut self, cycle: u64, event: ScenarioEvent) -> Self {
+        self.events.push((cycle, event));
+        self
+    }
+
+    /// Sets the end of the measured window (cycles).
+    pub fn horizon(mut self, cycles: u64) -> Self {
+        self.horizon = cycles;
+        self
+    }
+
+    /// Sets the packet length (flits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero.
+    pub fn flits_per_packet(mut self, flits: u32) -> Self {
+        assert!(flits > 0, "packets need flits");
+        self.flits_per_packet = flits;
+        self
+    }
+
+    /// Routes all traffic to a fixed sink node (default: the last node).
+    pub fn sink(mut self, node: NodeId) -> Self {
+        self.sink = Some(node);
+        self
+    }
+
+    /// Runs the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are not in non-decreasing cycle order, reference
+    /// nodes outside the mesh, or the horizon precedes the last event.
+    pub fn run(mut self) -> ScenarioOutcome {
+        for w in self.events.windows(2) {
+            assert!(w[1].0 >= w[0].0, "events must be time-ordered");
+        }
+        if let Some(&(last, _)) = self.events.last() {
+            assert!(self.horizon >= last, "horizon before the last event");
+        }
+        let mut noc = NocSim::new(NocConfig::new(self.cols, self.rows));
+        let sink = self.sink.unwrap_or(NodeId(self.cols * self.rows - 1));
+        assert!(noc.mesh().contains(sink), "sink outside mesh");
+
+        let mut rm = ResourceManager::new(self.policy, 100.0);
+        let mut clients: BTreeMap<AppId, Client> = BTreeMap::new();
+        let mut apps: BTreeMap<AppId, Application> = BTreeMap::new();
+        let mut rejected = Vec::new();
+        let mut observations = Vec::new();
+        let mut next_packet_id = 0u64;
+        let mut injected = 0usize;
+
+        // Interval boundaries: every event plus the horizon.
+        let mut boundaries: Vec<u64> = self.events.iter().map(|&(c, _)| c).collect();
+        boundaries.push(self.horizon);
+        self.events.reverse(); // pop() from the front
+
+        let mut now = 0u64;
+        for &boundary in &boundaries {
+            // Transmit greedily in [now, boundary) for all active apps.
+            if boundary > now {
+                let flits = self.flits_per_packet;
+                for (app_id, client) in clients.iter_mut() {
+                    let app = apps[app_id];
+                    let mut cursor = now;
+                    let mut packets = 0u64;
+                    loop {
+                        match client.request_transmit(cursor, flits as f64) {
+                            TransmitDecision::ReleaseAt(c) if c < boundary => {
+                                noc.inject(
+                                    Packet::new(next_packet_id, NodeId(app.node), sink, flits),
+                                    c,
+                                );
+                                next_packet_id += 1;
+                                injected += 1;
+                                packets += 1;
+                                cursor = c;
+                            }
+                            _ => break,
+                        }
+                    }
+                    observations.push(IntervalObservation {
+                        app: *app_id,
+                        from_cycle: now,
+                        to_cycle: boundary,
+                        mode: rm.mode().0,
+                        packets,
+                        observed_rate: packets as f64 * flits as f64 / (boundary - now) as f64,
+                    });
+                }
+                now = boundary;
+            }
+
+            // Apply the event at this boundary, if any.
+            let due = matches!(self.events.last(), Some(&(c, _)) if c <= now);
+            if due {
+                let (cycle, event) = self.events.pop().expect("checked above");
+                let at = SimTime::from_ns(cycle as f64);
+                match event {
+                    ScenarioEvent::Activate(app) => {
+                        let mut client = Client::new(app.id, app.node);
+                        // The first transmission is trapped -> actMsg.
+                        let _ = client.request_transmit(cycle, 1.0);
+                        let outcome = rm.request_admission(app, at);
+                        if outcome.admitted {
+                            apps.insert(app.id, app);
+                            clients.insert(app.id, client);
+                            // stopMsg + confMsg round for everyone.
+                            for (id, contract) in &outcome.rates {
+                                if let Some(c) = clients.get_mut(id) {
+                                    c.on_stop();
+                                    c.on_config(
+                                        cycle,
+                                        contract.scale(self.flits_per_packet as f64),
+                                    );
+                                }
+                            }
+                        } else {
+                            rejected.push(app.id);
+                        }
+                    }
+                    ScenarioEvent::Terminate(id) => {
+                        if let Some(mut client) = clients.remove(&id) {
+                            client.on_terminate();
+                            apps.remove(&id);
+                            rm.terminate(id, at);
+                            // Reconfigure the survivors.
+                            let active = rm.active().to_vec();
+                            for app in &active {
+                                if let Some(tb) = rm_contract(&rm, app, &active) {
+                                    if let Some(c) = clients.get_mut(&app.id) {
+                                        c.on_stop();
+                                        c.on_config(cycle, tb.scale(self.flits_per_packet as f64));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        assert!(
+            noc.run_until_idle(100_000_000),
+            "scenario traffic must drain"
+        );
+        ScenarioOutcome {
+            observations,
+            delivered: noc.completed().len(),
+            injected,
+            mean_latency_cycles: noc.latency_cycles().mean(),
+            rejected,
+            protocol_messages: rm.log().len(),
+        }
+    }
+}
+
+/// The contract of `app` under the RM's policy for the given active set
+/// (policies are pure functions of the active set).
+fn rm_contract<P: RatePolicy>(
+    rm: &ResourceManager<P>,
+    app: &Application,
+    active: &[Application],
+) -> Option<autoplat_netcalc::TokenBucket> {
+    rm.policy().contract(app, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::{SymmetricPolicy, WeightedPolicy};
+
+    fn be(id: u32, node: u32) -> Application {
+        Application::best_effort(AppId(id), node)
+    }
+
+    #[test]
+    fn single_app_uses_its_full_rate() {
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .horizon(4_000)
+            .run();
+        assert_eq!(out.injected, out.delivered);
+        assert!(out.rejected.is_empty());
+        let obs = &out.observations[0];
+        // Observed flit rate approaches capacity x flits scaling: the
+        // contract is 0.5 req/cycle scaled by 4 flits = 2 flits/cycle,
+        // but injection is serialized at 1 flit/cycle by the local port;
+        // the client still spaces packets at the token-bucket rate.
+        assert!(obs.observed_rate > 0.2, "rate {}", obs.observed_rate);
+    }
+
+    #[test]
+    fn rates_halve_when_second_app_joins() {
+        let out = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .event(10_000, ScenarioEvent::Activate(be(1, 3)))
+            .horizon(20_000)
+            .run();
+        let app0: Vec<&IntervalObservation> = out
+            .observations
+            .iter()
+            .filter(|o| o.app == AppId(0))
+            .collect();
+        assert_eq!(app0.len(), 2);
+        assert_eq!(app0[0].mode, 1);
+        assert_eq!(app0[1].mode, 2);
+        let ratio = app0[1].observed_rate / app0[0].observed_rate;
+        assert!(
+            (ratio - 0.5).abs() < 0.15,
+            "rate should roughly halve, got {ratio:.2} ({} vs {})",
+            app0[0].observed_rate,
+            app0[1].observed_rate
+        );
+    }
+
+    #[test]
+    fn termination_restores_rates() {
+        let out = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .event(8_000, ScenarioEvent::Activate(be(1, 3)))
+            .event(16_000, ScenarioEvent::Terminate(AppId(1)))
+            .horizon(24_000)
+            .run();
+        let app0: Vec<&IntervalObservation> = out
+            .observations
+            .iter()
+            .filter(|o| o.app == AppId(0))
+            .collect();
+        assert_eq!(app0.len(), 3);
+        assert!(app0[2].observed_rate > app0[1].observed_rate * 1.5);
+        assert_eq!(app0[2].mode, 1);
+    }
+
+    #[test]
+    fn critical_rate_survives_weighted_scenario() {
+        let critical = Application::critical(AppId(0), 0, 40); // 0.04 req/cyc
+        let out = Scenario::new(WeightedPolicy::new(0.1, 8.0, 0.001), 4, 4)
+            .event(0, ScenarioEvent::Activate(critical))
+            .event(8_000, ScenarioEvent::Activate(be(1, 3)))
+            .event(16_000, ScenarioEvent::Activate(be(2, 12)))
+            .horizon(24_000)
+            .run();
+        let crit: Vec<&IntervalObservation> = out
+            .observations
+            .iter()
+            .filter(|o| o.app == AppId(0))
+            .collect();
+        assert_eq!(crit.len(), 3);
+        for w in crit.windows(2) {
+            let drift = (w[1].observed_rate - w[0].observed_rate).abs();
+            assert!(
+                drift < 0.05 * w[0].observed_rate.max(0.01),
+                "critical rate drifted: {} -> {}",
+                w[0].observed_rate,
+                w[1].observed_rate
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_admission_is_rejected_and_harmless() {
+        let a = Application::critical(AppId(0), 0, 80);
+        let b = Application::critical(AppId(1), 3, 80);
+        let out = Scenario::new(WeightedPolicy::new(0.1, 8.0, 0.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(a))
+            .event(5_000, ScenarioEvent::Activate(b))
+            .horizon(10_000)
+            .run();
+        assert_eq!(out.rejected, vec![AppId(1)]);
+        assert_eq!(out.injected, out.delivered);
+        // The admitted app keeps transmitting in mode 1 throughout.
+        assert!(out
+            .observations
+            .iter()
+            .filter(|o| o.app == AppId(0))
+            .all(|o| o.mode == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_events_rejected() {
+        let _ = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 2, 2)
+            .event(100, ScenarioEvent::Activate(be(0, 0)))
+            .event(50, ScenarioEvent::Activate(be(1, 1)))
+            .run();
+    }
+}

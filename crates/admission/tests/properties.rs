@@ -1,0 +1,165 @@
+//! Property-based tests for the admission-control layer.
+
+use autoplat_admission::app::{AppId, Application};
+use autoplat_admission::e2e::ResourceChain;
+use autoplat_admission::modes::{RatePolicy, SymmetricPolicy, WeightedPolicy};
+use autoplat_admission::rm::ResourceManager;
+use autoplat_netcalc::{RateLatency, TokenBucket};
+use autoplat_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn symmetric_rates_sum_to_capacity(capacity_milli in 100u32..5000, n in 1usize..16) {
+        let capacity = capacity_milli as f64 / 1000.0;
+        let policy = SymmetricPolicy::new(capacity, 4.0);
+        let active: Vec<Application> =
+            (0..n as u32).map(|i| Application::best_effort(AppId(i), i)).collect();
+        let total: f64 = active
+            .iter()
+            .map(|a| policy.contract(a, &active).expect("symmetric").rate())
+            .sum();
+        prop_assert!((total - capacity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_policy_never_overcommits(
+        capacity_milli in 500u32..3000,
+        criticals in proptest::collection::vec(1u32..800, 0..4),
+        best_effort in 0usize..5,
+    ) {
+        let capacity = capacity_milli as f64 / 1000.0;
+        let policy = WeightedPolicy::new(capacity, 4.0, 0.0);
+        let mut active: Vec<Application> = criticals
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Application::critical(AppId(i as u32), i as u32, g))
+            .collect();
+        for k in 0..best_effort {
+            let id = (criticals.len() + k) as u32;
+            active.push(Application::best_effort(AppId(id), id));
+        }
+        if active.is_empty() {
+            return Ok(());
+        }
+        let contracts: Option<Vec<TokenBucket>> =
+            active.iter().map(|a| policy.contract(a, &active)).collect();
+        match contracts {
+            Some(cs) => {
+                let total: f64 = cs.iter().map(TokenBucket::rate).sum();
+                prop_assert!(total <= capacity + 1e-9, "{total} > {capacity}");
+                // Critical apps get exactly their guarantee.
+                for (a, c) in active.iter().zip(&cs) {
+                    if a.importance.is_critical() {
+                        prop_assert!((c.rate() - a.importance.guaranteed_rate()).abs() < 1e-12);
+                    }
+                }
+            }
+            None => {
+                // Refusal only when guarantees alone are infeasible.
+                let guaranteed: f64 =
+                    active.iter().map(|a| a.importance.guaranteed_rate()).sum();
+                prop_assert!(guaranteed > capacity - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rm_mode_always_equals_active_count(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..8), 1..40),
+    ) {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 4.0), 50.0);
+        let mut expected: std::collections::BTreeSet<u32> = Default::default();
+        let mut t = 0.0;
+        for &(admit, id) in &ops {
+            t += 100.0;
+            if admit {
+                if !expected.contains(&id) {
+                    let out = rm.request_admission(
+                        Application::best_effort(AppId(id), id),
+                        SimTime::from_ns(t),
+                    );
+                    prop_assert!(out.admitted, "symmetric policy admits everyone");
+                    expected.insert(id);
+                }
+            } else {
+                rm.terminate(AppId(id), SimTime::from_ns(t));
+                expected.remove(&id);
+            }
+            prop_assert_eq!(rm.mode().0, expected.len());
+            prop_assert_eq!(rm.active().len(), expected.len());
+        }
+    }
+
+    #[test]
+    fn rm_protocol_pairs_stop_with_config(
+        admissions in 1usize..10,
+    ) {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 4.0), 100.0);
+        for i in 0..admissions as u32 {
+            let _ = rm.request_admission(
+                Application::best_effort(AppId(i), i),
+                SimTime::from_ns(i as f64 * 10.0),
+            );
+        }
+        prop_assert_eq!(rm.log().count("stopMsg"), rm.log().count("confMsg"));
+        prop_assert_eq!(rm.log().count("actMsg"), admissions);
+        // Round k stops k clients: total = 1 + 2 + ... + n.
+        prop_assert_eq!(
+            rm.log().count("stopMsg"),
+            admissions * (admissions + 1) / 2
+        );
+    }
+
+    #[test]
+    fn e2e_bound_tighter_than_hop_by_hop(
+        burst in 0.0f64..32.0,
+        rate_milli in 1u32..40,
+        stages in proptest::collection::vec((50u32..2000, 0u32..2000), 1..5),
+    ) {
+        let flow = TokenBucket::new(burst, rate_milli as f64 / 1000.0);
+        let mut chain = ResourceChain::new();
+        for (i, &(rate_milli, lat)) in stages.iter().enumerate() {
+            chain = chain.stage(
+                format!("s{i}"),
+                RateLatency::new(rate_milli as f64 / 1000.0, lat as f64),
+            );
+        }
+        match (chain.delay_bound(&flow), chain.delay_bound_hop_by_hop(&flow)) {
+            (Some(e2e), Some(hbh)) => prop_assert!(e2e <= hbh + 1e-6, "{e2e} > {hbh}"),
+            (None, None) => {}
+            // Hop-by-hop can be unstable where the convolved view is not?
+            // No: both require flow.rate <= min stage rate. Disagreement
+            // is a bug.
+            other => prop_assert!(false, "stability disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_traffic_conformant_after_any_reconfig_sequence(
+        rates in proptest::collection::vec(1u32..1000, 1..6),
+        sends_per_phase in 1usize..12,
+    ) {
+        use autoplat_admission::client::{Client, TransmitDecision};
+        use autoplat_netcalc::conformance::first_violation;
+        let mut client = Client::new(AppId(0), 0);
+        let _ = client.request_transmit(0, 1.0); // trap
+        let mut now = 0u64;
+        for &r in &rates {
+            let contract = TokenBucket::new(4.0, r as f64 / 1000.0);
+            client.on_config(now, contract);
+            let mut trace = Vec::new();
+            for _ in 0..sends_per_phase {
+                match client.request_transmit(now, 1.0) {
+                    TransmitDecision::ReleaseAt(t) => {
+                        trace.push((t as f64, 1.0));
+                        now = t;
+                    }
+                    other => prop_assert!(false, "active client refused: {other:?}"),
+                }
+            }
+            prop_assert_eq!(first_violation(&contract, &trace), None);
+            client.on_stop();
+        }
+    }
+}

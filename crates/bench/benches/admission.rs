@@ -1,0 +1,69 @@
+//! Criterion bench for admission-control rounds (Fig. 7 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autoplat_admission::app::{AppId, Application};
+use autoplat_admission::modes::{SymmetricPolicy, WeightedPolicy};
+use autoplat_admission::rm::ResourceManager;
+use autoplat_sim::SimTime;
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_rounds");
+    for apps in [8u32, 64] {
+        group.bench_with_input(BenchmarkId::new("symmetric", apps), &apps, |b, &n| {
+            b.iter(|| {
+                let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 100.0);
+                for i in 0..n {
+                    let out = rm.request_admission(
+                        Application::best_effort(AppId(i), i),
+                        SimTime::from_ns(i as f64),
+                    );
+                    assert!(out.admitted);
+                }
+                rm.mode_changes()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("weighted", apps), &apps, |b, &n| {
+            b.iter(|| {
+                let mut rm = ResourceManager::new(WeightedPolicy::new(1.0, 8.0, 0.0), 100.0);
+                for i in 0..n {
+                    let _ = rm.request_admission(
+                        Application::critical(AppId(i), i, 1000 / (n + 1)),
+                        SimTime::from_ns(i as f64),
+                    );
+                }
+                rm.mode_changes()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    use autoplat_admission::simulation::{Scenario, ScenarioEvent};
+    c.bench_function("scenario_4_events_4x4", |b| {
+        b.iter(|| {
+            let out = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 4, 4)
+                .event(
+                    0,
+                    ScenarioEvent::Activate(Application::best_effort(AppId(0), 0)),
+                )
+                .event(
+                    2_000,
+                    ScenarioEvent::Activate(Application::best_effort(AppId(1), 3)),
+                )
+                .event(
+                    4_000,
+                    ScenarioEvent::Activate(Application::best_effort(AppId(2), 12)),
+                )
+                .event(6_000, ScenarioEvent::Terminate(AppId(1)))
+                .horizon(8_000)
+                .run();
+            assert_eq!(out.injected, out.delivered);
+            out.delivered
+        });
+    });
+}
+
+criterion_group!(benches, bench_admission, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the partitioned set-associative cache model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autoplat_cache::{CacheConfig, FlowId, SetAssocCache};
+use autoplat_sim::SimRng;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    for (name, partitioned) in [("shared", false), ("partitioned", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &partitioned, |b, &p| {
+            let mut rng = SimRng::seed_from(3);
+            let addrs: Vec<(FlowId, u64)> = (0..50_000)
+                .map(|_| {
+                    (
+                        FlowId(rng.gen_range(0..4u32)),
+                        rng.gen_range(0..1u64 << 22) & !63,
+                    )
+                })
+                .collect();
+            b.iter(|| {
+                let mut cache = SetAssocCache::new(CacheConfig::new(2048, 16, 64));
+                if p {
+                    for f in 0..4u32 {
+                        cache.set_allocation_mask(FlowId(f), 0xF << (4 * f));
+                    }
+                }
+                let mut hits = 0u64;
+                for &(f, a) in &addrs {
+                    if cache.access(f, a).is_hit() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the FR-FCFS controller simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autoplat_dram::request::MasterId;
+use autoplat_dram::timing::presets::ddr3_1600;
+use autoplat_dram::{ControllerConfig, FrFcfsController, Request, RequestKind};
+use autoplat_sim::{SimRng, SimTime};
+
+fn workload(requests: u64) -> Vec<Request> {
+    let mut rng = SimRng::seed_from(7);
+    (0..requests)
+        .map(|i| {
+            let kind = if rng.gen_bool(0.3) {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            Request::new(
+                i,
+                MasterId(rng.gen_range(0..4)),
+                kind,
+                rng.gen_range(0..8),
+                rng.gen_range(0..64),
+                SimTime::from_ns(i as f64 * 8.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frfcfs_simulate");
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let reqs = workload(n);
+            let ctrl = FrFcfsController::new(ddr3_1600(), ControllerConfig::paper(), 8);
+            b.iter(|| ctrl.simulate(std::hint::black_box(reqs.clone()), false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the network-calculus operators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use autoplat_netcalc::ops::convolve_convex;
+use autoplat_netcalc::{bounds, PiecewiseLinear, RateLatency, TokenBucket};
+
+fn staircase(steps: usize) -> PiecewiseLinear {
+    let mut points = vec![(0.0, 0.0)];
+    let mut y = 0.0;
+    for i in 1..=steps {
+        y += i as f64;
+        points.push((i as f64 * 10.0, y));
+    }
+    PiecewiseLinear::new(points, steps as f64 + 1.0)
+}
+
+fn bench_netcalc(c: &mut Criterion) {
+    c.bench_function("convolve_convex_64_segments", |b| {
+        let f = staircase(64);
+        let g = staircase(64);
+        b.iter(|| convolve_convex(std::hint::black_box(&f), std::hint::black_box(&g)));
+    });
+    c.bench_function("pointwise_min_64_segments", |b| {
+        let f = staircase(64);
+        let g = staircase(64).shift_right(5.0);
+        b.iter(|| std::hint::black_box(&f).min(std::hint::black_box(&g)));
+    });
+    c.bench_function("delay_bound_pl", |b| {
+        let alpha = TokenBucket::new(100.0, 2.0).to_curve();
+        let beta = staircase(64);
+        b.iter(|| bounds::delay_bound(std::hint::black_box(&alpha), &beta));
+    });
+    c.bench_function("rate_latency_chain_16", |b| {
+        let stages: Vec<RateLatency> = (1..=16)
+            .map(|i| RateLatency::new(10.0 + i as f64, i as f64))
+            .collect();
+        b.iter(|| {
+            autoplat_netcalc::ops::chain_service(std::hint::black_box(stages.clone()))
+                .expect("non-empty")
+        });
+    });
+}
+
+criterion_group!(benches, bench_netcalc);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the wormhole NoC simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autoplat_noc::traffic::UniformRandom;
+use autoplat_noc::{Mesh, NocConfig, NocSim};
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_uniform_random");
+    for size in [4u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            let injections = UniformRandom::new(Mesh::new(s, s), 0.02, 4, 11).generate(500);
+            b.iter(|| {
+                let mut noc = NocSim::new(NocConfig::new(s, s));
+                for inj in &injections {
+                    noc.inject(inj.packet, inj.release_cycle);
+                }
+                assert!(noc.run_until_idle(1_000_000));
+                noc.completed().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the composed platform simulator (X1 scenario).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autoplat_core::platform::{Platform, PlatformConfig};
+use autoplat_core::workload::Workload;
+
+fn bench_platform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_interference");
+    group.sample_size(10);
+    for hogs in [0usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(hogs), &hogs, |b, &h| {
+            b.iter(|| {
+                let mut platform = Platform::new(PlatformConfig::tiny());
+                let mut load = vec![Workload::latency_probe(0, 2000)];
+                for k in 0..h {
+                    load.push(Workload::bandwidth_hog(k + 1, 20_000));
+                }
+                platform.run(&load).cores[0].mean_read_latency()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

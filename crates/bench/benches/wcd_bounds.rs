@@ -1,0 +1,46 @@
+//! Criterion bench for the Table II WCD bound computations: the paper
+//! claims "deriving both bounds is computationally inexpensive
+//! (milliseconds at most), hence could also be done online if required
+//! (e.g., for admission control)" — this bench verifies that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autoplat_dram::timing::presets::ddr3_1600;
+use autoplat_dram::wcd::{lower_bound, upper_bound, WcdParams};
+use autoplat_dram::ControllerConfig;
+use autoplat_netcalc::arrival::gbps_bucket;
+
+fn params(gbps: f64) -> WcdParams {
+    WcdParams {
+        timing: ddr3_1600(),
+        config: ControllerConfig::paper(),
+        writes: gbps_bucket(gbps, 8, 8),
+        queue_position: 16,
+    }
+}
+
+fn bench_wcd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_wcd");
+    for gbps in [4.0, 5.0, 6.0, 7.0] {
+        group.bench_with_input(BenchmarkId::new("upper", gbps as u32), &gbps, |b, &g| {
+            let p = params(g);
+            b.iter(|| upper_bound(std::hint::black_box(&p)).expect("stable"));
+        });
+        group.bench_with_input(BenchmarkId::new("lower", gbps as u32), &gbps, |b, &g| {
+            let p = params(g);
+            b.iter(|| lower_bound(std::hint::black_box(&p)));
+        });
+    }
+    group.finish();
+
+    c.bench_function("dram_service_curve_32_points", |b| {
+        let p = params(4.0);
+        b.iter(|| {
+            autoplat_dram::service_curve::read_service_curve(std::hint::black_box(&p), 32)
+                .expect("stable")
+        });
+    });
+}
+
+criterion_group!(benches, bench_wcd);
+criterion_main!(benches);

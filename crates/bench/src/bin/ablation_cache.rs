@@ -1,0 +1,37 @@
+//! X2: cache-partitioning ablation (isolation vs the §II coupling effect).
+
+use autoplat_bench::ablation_cache;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("X2: way-partitioning sweep (critical probe vs streaming hog)");
+    let rows: Vec<Vec<String>> = ablation_cache()
+        .into_iter()
+        .map(|r| {
+            vec![
+                if r.critical_ways == 0 {
+                    "none".into()
+                } else {
+                    r.critical_ways.to_string()
+                },
+                format!("{:.3}", r.critical_hit_rate),
+                format!("{:.1}", r.critical_mean_ns),
+                format!("{:.3}", r.hog_hit_rate),
+                format!("{:.1}", r.dram_busy_us),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "critical ways",
+                "probe hit rate",
+                "probe mean (ns)",
+                "hog hit rate",
+                "DRAM busy (us)"
+            ],
+            &rows
+        )
+    );
+}

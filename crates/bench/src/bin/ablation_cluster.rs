@@ -1,0 +1,22 @@
+//! X8: cluster-shared L2 interference (§II's pinning caveat).
+
+use autoplat_bench::ablation_cluster_l2;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("X8: probe sharing a cluster L2 with a hog (64 KiB L2, 2 cores/cluster)");
+    let rows: Vec<Vec<String>> = ablation_cluster_l2()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.config,
+                format!("{:.3}", r.probe_l2_hit_share),
+                format!("{:.1}", r.probe_mean_ns),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["configuration", "probe L2 hit share", "probe mean (ns)"], &rows)
+    );
+}

@@ -1,0 +1,32 @@
+//! X5: controller design-space exploration (N_wd x N_cap).
+
+use autoplat_bench::ablation_controller;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("X5: FR-FCFS design space (DDR3-1600, N=16, burst 8)");
+    let rows: Vec<Vec<String>> = ablation_controller()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.n_wd.to_string(),
+                r.n_cap.to_string(),
+                r.wcd_4gbps_ns
+                    .map_or("saturated".into(), |w| format!("{w:.1}")),
+                format!("{:.2}", r.max_rate_for_3us),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "N_wd",
+                "N_cap",
+                "WCD @ 4 Gbps (ns)",
+                "max rate for 3 us WCD (Gbps)"
+            ],
+            &rows
+        )
+    );
+}

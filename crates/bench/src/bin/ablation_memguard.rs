@@ -1,0 +1,32 @@
+//! X3: MemGuard budget sweep (protection vs utilization trade-off).
+
+use autoplat_bench::ablation_memguard;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("X3: MemGuard hog-budget sweep (10 us regulation period)");
+    let rows: Vec<Vec<String>> = ablation_memguard()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.hog_budget
+                    .map_or("unlimited".into(), |b| format!("{b} B")),
+                format!("{:.1}", r.probe_mean_ns),
+                format!("{:.1}", r.hog_finish_us),
+                format!("{:.1}", r.hog_throttled_us),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "hog budget/period",
+                "probe mean (ns)",
+                "hog finish (us)",
+                "hog throttled (us)"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! X7: NoC priority partitioning (MPAM §III-B.4 at the interconnect).
+
+use autoplat_bench::ablation_priority;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("X7: critical-flow latency under congestion vs arbitration priority");
+    let rows: Vec<Vec<String>> = ablation_priority()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.critical_priority.to_string(),
+                format!("{:.1}", r.critical_mean_cycles),
+                format!("{:.1}", r.background_mean_cycles),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "critical priority",
+                "critical mean (cycles)",
+                "background mean (cycles)"
+            ],
+            &rows
+        )
+    );
+}

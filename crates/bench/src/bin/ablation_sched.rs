@@ -1,0 +1,16 @@
+//! X4: scheduling-policy comparison (partitioned vs global fixed priority).
+
+use autoplat_bench::ablation_sched;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("X4: schedulable task sets out of 50 random sets, 4 cores");
+    for util in [0.5, 0.6, 0.7] {
+        println!("\nper-core utilization {util}:");
+        let rows: Vec<Vec<String>> = ablation_sched(50, util)
+            .into_iter()
+            .map(|r| vec![r.policy, format!("{}/{}", r.schedulable_sets, r.trials)])
+            .collect();
+        print!("{}", render_table(&["policy", "schedulable"], &rows));
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates Fig. 1: the three classes of centralized E/E architectures.
+
+use autoplat_bench::format::render_table;
+use autoplat_core::architecture::{ConsolidationPlan, Domain, EeArchitecture, VehicleFunction};
+
+fn main() {
+    let functions = vec![
+        VehicleFunction::new("brake-control", Domain::Chassis, true),
+        VehicleFunction::new("steering-assist", Domain::Chassis, true),
+        VehicleFunction::new("engine-mgmt", Domain::Powertrain, true),
+        VehicleFunction::new("lane-keeping", Domain::Adas, true),
+        VehicleFunction::new("object-detection", Domain::Adas, true),
+        VehicleFunction::new("predictive-maintenance", Domain::Powertrain, false),
+        VehicleFunction::new("media-player", Domain::Infotainment, false),
+        VehicleFunction::new("navigation", Domain::Infotainment, false),
+        VehicleFunction::new("climate", Domain::Body, false),
+    ];
+    println!("Fig. 1: consolidation under the three centralized E/E classes");
+    println!("({} vehicle functions)", functions.len());
+    let rows: Vec<Vec<String>> = [
+        EeArchitecture::Decentralized,
+        EeArchitecture::DomainCentralized,
+        EeArchitecture::DomainFusion,
+        EeArchitecture::VehicleCentralized,
+    ]
+    .into_iter()
+    .map(|arch| {
+        let plan = ConsolidationPlan::consolidate(arch, &functions);
+        vec![
+            arch.to_string(),
+            plan.platform_count().to_string(),
+            plan.max_colocation().to_string(),
+            plan.has_mixed_criticality_platform().to_string(),
+            arch.groups_by_domain().to_string(),
+        ]
+    })
+    .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "architecture",
+                "platforms",
+                "max co-location",
+                "mixed criticality",
+                "by domain"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 2: CLUSTERPARTCR partition-group assignment.
+
+use autoplat_bench::fig2;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    let (bits, rows) = fig2();
+    println!("Fig. 2: DynamIQ Shared Unit L3 partition control register");
+    println!("CLUSTERPARTCR = {bits:#010x}");
+    let table: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("group {}", r.group),
+                r.owner
+                    .map_or("unassigned".to_string(), |s| format!("schemeID {s}")),
+                format!("{:#06x}", r.way_mask),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["partition group", "private to", "ways (16-way L3)"],
+            &table
+        )
+    );
+}

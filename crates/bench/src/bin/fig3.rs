@@ -1,0 +1,29 @@
+//! Regenerates Fig. 3: MPAM cache-portion partition bitmaps.
+
+use autoplat_bench::fig3;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("Fig. 3: cache portions assigned via MPAM cache-portion bitmaps");
+    let rows: Vec<Vec<String>> = fig3()
+        .into_iter()
+        .map(|r| {
+            let kind = match (r.partid0, r.partid1) {
+                (true, true) => "shared",
+                (true, false) => "private to PARTID 0",
+                (false, true) => "private to PARTID 1",
+                (false, false) => "closed to both",
+            };
+            vec![
+                format!("P{}", r.portion),
+                r.partid0.to_string(),
+                r.partid1.to_string(),
+                kind.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["portion", "PARTID 0", "PARTID 1", "role"], &rows)
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates Fig. 4: the FR-FCFS controller model, as a structural and
+//! behavioural summary of the simulator configuration.
+
+use autoplat_bench::format::render_table;
+use autoplat_dram::timing::presets::ddr3_1600;
+use autoplat_dram::{ControllerConfig, FrFcfsController};
+
+fn main() {
+    let cfg = ControllerConfig::paper();
+    let ctrl = FrFcfsController::new(ddr3_1600(), cfg, 8);
+    println!("Fig. 4: FR-FCFS DRAM controller model");
+    println!();
+    println!(
+        "  masters ──> [ read queue  (cap {:>2}) ] ──┐",
+        cfg.read_queue_capacity
+    );
+    println!(
+        "  masters ──> [ write queue (cap {:>2}) ] ──┤",
+        cfg.write_queue_capacity
+    );
+    println!(
+        "                                           ├──> scheduler ──> DRAM ({} banks)",
+        ctrl.banks()
+    );
+    println!("              refresh timer (tREFI) ───────┘");
+    println!();
+    let t = ctrl.timing();
+    let rows = vec![
+        vec!["hit promotion cap N_cap".into(), cfg.n_cap.to_string()],
+        vec!["write batch length N_wd".into(), cfg.n_wd.to_string()],
+        vec!["high watermark W_high".into(), cfg.w_high.to_string()],
+        vec!["low watermark W_low".into(), cfg.w_low.to_string()],
+        vec![
+            "row-miss read cost".into(),
+            format!("{} ns", t.read_miss_cost()),
+        ],
+        vec![
+            "row-hit read cost".into(),
+            format!("{} ns", t.read_hit_cost()),
+        ],
+        vec![
+            "write batch cost".into(),
+            format!("{} ns", t.write_batch_cost(cfg.n_wd)),
+        ],
+        vec!["refresh cost tRFC".into(), format!("{} ns", t.t_rfc)],
+        vec!["refresh interval tREFI".into(), format!("{} ns", t.t_refi)],
+    ];
+    print!("{}", render_table(&["parameter", "value"], &rows));
+}

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 5: the watermark read/write switching behaviour.
+
+use autoplat_bench::fig5;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("Fig. 5: watermark policy — observed read/write mode switches");
+    println!("(controller: W_low=8, W_high=24, N_wd=16 on DDR3-1600)");
+    let rows: Vec<Vec<String>> = fig5()
+        .into_iter()
+        .map(|e| {
+            vec![
+                format!("{:.1}", e.at_ns),
+                e.direction,
+                e.write_queue_depth.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["time (ns)", "transition", "write queue depth"], &rows)
+    );
+}

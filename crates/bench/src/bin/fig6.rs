@@ -1,0 +1,31 @@
+//! Regenerates Fig. 6: end-to-end admission control across NoC + DRAM.
+
+use autoplat_bench::fig6;
+use autoplat_bench::format::render_table;
+
+fn main() {
+    println!("Fig. 6: E2E admission control — RM-assigned rates and guarantees");
+    let rows: Vec<Vec<String>> = fig6()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("app{}", r.app),
+                format!("{:.5}", r.rate),
+                format!("{:.1}", r.e2e_bound_ns),
+                format!("{:.1}", r.hop_by_hop_ns),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "application",
+                "rate (req/ns)",
+                "E2E bound (ns)",
+                "hop-by-hop (ns)"
+            ],
+            &rows
+        )
+    );
+}

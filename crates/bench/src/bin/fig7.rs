@@ -1,0 +1,43 @@
+//! Regenerates Fig. 7: adaptive injection rates vs system mode.
+
+use autoplat_bench::fig7;
+use autoplat_bench::format::{render_bars, render_table};
+
+fn main() {
+    println!("Fig. 7: adaptive resource services (injection rate vs system mode)");
+    let rows = fig7(8);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.4}", r.symmetric_rate),
+                format!("{:.4}", r.critical_rate),
+                format!("{:.4}", r.best_effort_rate),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "mode",
+                "symmetric",
+                "critical (weighted)",
+                "best effort (weighted)"
+            ],
+            &table
+        )
+    );
+    println!("\nsymmetric rate per mode:");
+    print!(
+        "{}",
+        render_bars(
+            &rows
+                .iter()
+                .map(|r| (format!("mode {}", r.mode), r.symmetric_rate))
+                .collect::<Vec<_>>(),
+            40
+        )
+    );
+}

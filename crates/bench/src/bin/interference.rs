@@ -1,0 +1,26 @@
+//! X1: memory-interference characterization (the \[2\]-style latency blowup).
+
+use autoplat_bench::format::render_table;
+use autoplat_bench::interference;
+
+fn main() {
+    println!("X1: latency-probe read latency vs co-running bandwidth hogs");
+    let rows: Vec<Vec<String>> = interference()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.hogs.to_string(),
+                format!("{:.1}", r.mean_latency_ns),
+                format!("{:.1}", r.max_latency_ns),
+                format!("{:.2}x", r.slowdown),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["hogs", "mean latency (ns)", "max latency (ns)", "slowdown"],
+            &rows
+        )
+    );
+}

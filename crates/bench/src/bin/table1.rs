@@ -1,0 +1,13 @@
+//! Regenerates Table I: DRAM timing parameters (ns).
+
+use autoplat_bench::format::render_table;
+use autoplat_bench::table1;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| vec![r.name.to_string(), format!("{}", r.ns)])
+        .collect();
+    println!("Table I: DRAM timing parameters (ns), DDR3-1600");
+    print!("{}", render_table(&["parameter", "ns"], &rows));
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table II: upper and lower bounds on the WCD (ns).
+
+use autoplat_bench::format::render_table;
+use autoplat_bench::{table2, TABLE2_QUEUE_POSITION};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table2()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} Gbps", r.write_rate_gbps),
+                format!("{:.3}", r.lower_ns),
+                format!("{:.3}", r.upper_ns),
+                format!("{:.3}", r.upper_ns - r.lower_ns),
+            ]
+        })
+        .collect();
+    println!(
+        "Table II: upper and lower bounds on the WCD (ns); W_high=55, N_wd=16, N_cap=16, burst=8, N={TABLE2_QUEUE_POSITION}"
+    );
+    print!(
+        "{}",
+        render_table(&["write rate", "lower bound", "upper bound", "gap"], &rows)
+    );
+}

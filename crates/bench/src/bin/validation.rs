@@ -1,0 +1,33 @@
+//! Validation: simulated adversarial probe completion vs analytic bounds.
+
+use autoplat_bench::format::render_table;
+use autoplat_bench::validation_wcd;
+
+fn main() {
+    println!("WCD validation at 4 Gbps writes: simulator vs analytic bounds");
+    let rows: Vec<Vec<String>> = validation_wcd(24, 4.0)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.queue_position.to_string(),
+                format!("{:.1}", r.lower_ns),
+                format!("{:.1}", r.simulated_ns),
+                format!("{:.1}", r.upper_ns),
+                (r.simulated_ns <= r.upper_ns).to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "N",
+                "analytic lower",
+                "simulated",
+                "analytic upper",
+                "within bound"
+            ],
+            &rows
+        )
+    );
+}

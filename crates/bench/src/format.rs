@@ -1,0 +1,116 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders rows as a fixed-width text table with a header.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_bench::format::render_table;
+///
+/// let t = render_table(
+///     &["x", "y"],
+///     &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+/// );
+/// assert!(t.contains("x"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let cols: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        format!("| {} |\n", cols.join(" | "))
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Renders a simple ASCII bar chart: one `(label, value)` bar per row,
+/// scaled to `width` characters at the maximum value.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_bench::format::render_bars;
+///
+/// let chart = render_bars(&[("a".into(), 1.0), ("b".into(), 2.0)], 10);
+/// assert!(chart.contains("##########"));
+/// ```
+pub fn render_bars(data: &[(String, f64)], width: usize) -> String {
+    let max = data.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = data.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in data {
+        let bars = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} {value:>12.3} {}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "v"],
+            &[
+                vec!["aa".into(), "1".into()],
+                vec!["b".into(), "100".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines share the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let c = render_bars(&[("x".into(), 5.0), ("y".into(), 10.0)], 20);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 20);
+    }
+
+    #[test]
+    fn bars_handle_zero_max() {
+        let c = render_bars(&[("x".into(), 0.0)], 20);
+        assert!(!c.contains('#'));
+    }
+}

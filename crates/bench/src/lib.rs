@@ -1,0 +1,12 @@
+//! Experiment library for regenerating the paper's tables and figures.
+//!
+//! Every table/figure of the DATE'21 paper has a function here returning
+//! structured rows; the `src/bin/*` binaries print them and the Criterion
+//! benches in `benches/` time the underlying computations. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

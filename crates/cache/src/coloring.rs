@@ -1,0 +1,394 @@
+//! Software cache coloring (§II, COLORIS-style \[5\]).
+//!
+//! Cache coloring exploits the fact that, depending on the organization of
+//! the cache, certain address ranges map to the same cache sets: the
+//! **color** of a physical page is the slice of cache sets its lines fall
+//! into. By mapping the virtual pages of each partition only onto physical
+//! pages of that partition's colors, an OS or hypervisor partitions the
+//! cache *by sets* without hardware support — at the price of a factually
+//! smaller cache per partition and constrained physical allocation.
+//!
+//! [`PageColoring`] models that allocator: it hands out physical pages by
+//! color, translates partition-local virtual addresses, and reports the
+//! effective cache share of each partition.
+
+use std::collections::HashMap;
+
+use crate::cache::FlowId;
+use crate::geometry::CacheGeometry;
+
+/// Errors from the coloring allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// A color index at or beyond [`PageColoring::colors`].
+    ColorOutOfRange {
+        /// The offending color.
+        color: u32,
+        /// Number of available colors.
+        available: u32,
+    },
+    /// A color requested exclusively is already held by another partition.
+    ColorTaken {
+        /// The contested color.
+        color: u32,
+        /// Its current holder.
+        holder: FlowId,
+    },
+    /// The partition has no colors assigned.
+    NoColors {
+        /// The partition lacking colors.
+        flow: FlowId,
+    },
+}
+
+impl std::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringError::ColorOutOfRange { color, available } => {
+                write!(f, "color {color} out of range (have {available})")
+            }
+            ColoringError::ColorTaken { color, holder } => {
+                write!(f, "color {color} already held by {holder}")
+            }
+            ColoringError::NoColors { flow } => write!(f, "{flow} has no colors assigned"),
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// A page-coloring allocator over a physically-indexed cache.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_cache::coloring::PageColoring;
+/// use autoplat_cache::{CacheGeometry, FlowId};
+///
+/// // 256 sets × 64 B lines = 16 KiB of sets; 4 KiB pages ⇒ 4 colors.
+/// let mut pc = PageColoring::new(CacheGeometry::new(256, 8, 64), 4096);
+/// assert_eq!(pc.colors(), 4);
+/// pc.assign_colors_exclusive(FlowId(0), &[0, 1])?;
+/// pc.assign_colors_exclusive(FlowId(1), &[2, 3])?;
+/// // Each partition now effectively owns half the sets.
+/// assert_eq!(pc.effective_sets(FlowId(0)), 128);
+/// # Ok::<(), autoplat_cache::coloring::ColoringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageColoring {
+    geometry: CacheGeometry,
+    page_bytes: u32,
+    colors: u32,
+    lines_per_page: u32,
+    assignments: HashMap<FlowId, Vec<u32>>,
+    /// Next free physical page of each color (pages are handed out
+    /// color-striped: page `p` has color `p % colors`).
+    next_page: Vec<u64>,
+    /// Per-flow page table: virtual page number → physical page number.
+    page_tables: HashMap<FlowId, Vec<u64>>,
+}
+
+impl PageColoring {
+    /// Creates an allocator for `geometry` with `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two, is smaller than a
+    /// cache line, or is at least the cache's span of sets (in which case
+    /// there is exactly one color and coloring cannot discriminate).
+    pub fn new(geometry: CacheGeometry, page_bytes: u32) -> Self {
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            page_bytes >= geometry.line_bytes(),
+            "page must be at least one cache line"
+        );
+        let span = geometry.sets() as u64 * geometry.line_bytes() as u64;
+        assert!(
+            (page_bytes as u64) < span,
+            "page size {page_bytes} covers the whole index range ({span} B): no colors"
+        );
+        let lines_per_page = page_bytes / geometry.line_bytes();
+        let colors = geometry.sets() / lines_per_page;
+        PageColoring {
+            geometry,
+            page_bytes,
+            colors,
+            lines_per_page,
+            assignments: HashMap::new(),
+            next_page: vec![0; colors as usize],
+            page_tables: HashMap::new(),
+        }
+    }
+
+    /// Number of page colors available.
+    pub fn colors(&self) -> u32 {
+        self.colors
+    }
+
+    /// The color of a physical page number.
+    pub fn color_of_page(&self, phys_page: u64) -> u32 {
+        (phys_page % self.colors as u64) as u32
+    }
+
+    /// The cache sets covered by `color`.
+    pub fn sets_of_color(&self, color: u32) -> std::ops::Range<u32> {
+        let base = color * self.lines_per_page;
+        base..base + self.lines_per_page
+    }
+
+    /// Assigns colors to a partition, requiring exclusivity.
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringError::ColorOutOfRange`] for bad indices and
+    /// [`ColoringError::ColorTaken`] if another partition already holds
+    /// one of the colors.
+    pub fn assign_colors_exclusive(
+        &mut self,
+        flow: FlowId,
+        colors: &[u32],
+    ) -> Result<(), ColoringError> {
+        for &c in colors {
+            if c >= self.colors {
+                return Err(ColoringError::ColorOutOfRange {
+                    color: c,
+                    available: self.colors,
+                });
+            }
+            for (&other, held) in &self.assignments {
+                if other != flow && held.contains(&c) {
+                    return Err(ColoringError::ColorTaken {
+                        color: c,
+                        holder: other,
+                    });
+                }
+            }
+        }
+        self.assignments.insert(flow, colors.to_vec());
+        Ok(())
+    }
+
+    /// The colors held by a partition.
+    pub fn colors_of(&self, flow: FlowId) -> &[u32] {
+        self.assignments
+            .get(&flow)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of cache sets a partition can reach — its effective cache
+    /// share ("a factually smaller cache for each partition", §II).
+    pub fn effective_sets(&self, flow: FlowId) -> u32 {
+        self.colors_of(flow).len() as u32 * self.lines_per_page
+    }
+
+    /// Effective cache capacity of a partition in bytes.
+    pub fn effective_capacity_bytes(&self, flow: FlowId) -> u64 {
+        self.effective_sets(flow) as u64
+            * self.geometry.ways() as u64
+            * self.geometry.line_bytes() as u64
+    }
+
+    /// Allocates the next physical page for `flow`, cycling through its
+    /// colors.
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringError::NoColors`] if the partition has no colors.
+    pub fn alloc_page(&mut self, flow: FlowId) -> Result<u64, ColoringError> {
+        let held = self
+            .assignments
+            .get(&flow)
+            .filter(|v| !v.is_empty())
+            .ok_or(ColoringError::NoColors { flow })?
+            .clone();
+        let vpages = self.page_tables.entry(flow).or_default();
+        let color = held[vpages.len() % held.len()];
+        let seq = &mut self.next_page[color as usize];
+        // Physical pages are striped: pages with p % colors == color.
+        let phys = *seq * self.colors as u64 + color as u64;
+        *seq += 1;
+        vpages.push(phys);
+        Ok(phys)
+    }
+
+    /// Translates a partition-local virtual address into a physical
+    /// address, allocating pages on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringError::NoColors`] if the partition has no colors.
+    pub fn translate(&mut self, flow: FlowId, vaddr: u64) -> Result<u64, ColoringError> {
+        let vpage = vaddr / self.page_bytes as u64;
+        let offset = vaddr % self.page_bytes as u64;
+        while self.page_tables.get(&flow).map_or(0, Vec::len) <= vpage as usize {
+            self.alloc_page(flow)?;
+        }
+        let phys_page = self.page_tables[&flow][vpage as usize];
+        Ok(phys_page * self.page_bytes as u64 + offset)
+    }
+
+    /// The set a translated address maps into (convenience for tests and
+    /// benches).
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringError::NoColors`] if the partition has no colors.
+    pub fn set_of(&mut self, flow: FlowId, vaddr: u64) -> Result<u32, ColoringError> {
+        let phys = self.translate(flow, vaddr)?;
+        Ok(self.geometry.set_index(phys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, SetAssocCache};
+
+    fn alloc() -> PageColoring {
+        // 256 sets × 64 B = 16 KiB index span; 4 KiB pages ⇒ 4 colors.
+        PageColoring::new(CacheGeometry::new(256, 8, 64), 4096)
+    }
+
+    #[test]
+    fn color_count() {
+        assert_eq!(alloc().colors(), 4);
+        let pc = PageColoring::new(CacheGeometry::new(1024, 16, 64), 4096);
+        assert_eq!(pc.colors(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "no colors")]
+    fn page_spanning_whole_index_rejected() {
+        let _ = PageColoring::new(CacheGeometry::new(64, 8, 64), 4096);
+    }
+
+    #[test]
+    fn exclusive_assignment_conflicts_detected() {
+        let mut pc = alloc();
+        pc.assign_colors_exclusive(FlowId(0), &[0, 1])
+            .expect("free");
+        let err = pc.assign_colors_exclusive(FlowId(1), &[1, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            ColoringError::ColorTaken {
+                color: 1,
+                holder: FlowId(0)
+            }
+        );
+        assert!(pc.assign_colors_exclusive(FlowId(1), &[2, 3]).is_ok());
+        let oor = pc.assign_colors_exclusive(FlowId(2), &[4]).unwrap_err();
+        assert!(matches!(
+            oor,
+            ColoringError::ColorOutOfRange { color: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn allocated_pages_have_owned_colors() {
+        let mut pc = alloc();
+        pc.assign_colors_exclusive(FlowId(0), &[1, 3])
+            .expect("free");
+        for _ in 0..16 {
+            let p = pc.alloc_page(FlowId(0)).expect("colors assigned");
+            let c = pc.color_of_page(p);
+            assert!(c == 1 || c == 3, "page {p} has foreign color {c}");
+        }
+    }
+
+    #[test]
+    fn translation_preserves_offsets_and_is_stable() {
+        let mut pc = alloc();
+        pc.assign_colors_exclusive(FlowId(0), &[0]).expect("free");
+        let a = pc.translate(FlowId(0), 0x1234).expect("ok");
+        let b = pc.translate(FlowId(0), 0x1234).expect("ok");
+        assert_eq!(a, b, "translation must be stable");
+        assert_eq!(a % 4096, 0x234, "page offset preserved");
+    }
+
+    #[test]
+    fn partitions_map_to_disjoint_sets() {
+        let mut pc = alloc();
+        pc.assign_colors_exclusive(FlowId(0), &[0, 1])
+            .expect("free");
+        pc.assign_colors_exclusive(FlowId(1), &[2, 3])
+            .expect("free");
+        let mut sets0 = std::collections::HashSet::new();
+        let mut sets1 = std::collections::HashSet::new();
+        for v in (0..64 * 4096u64).step_by(64) {
+            sets0.insert(pc.set_of(FlowId(0), v).expect("ok"));
+            sets1.insert(pc.set_of(FlowId(1), v).expect("ok"));
+        }
+        assert!(
+            sets0.is_disjoint(&sets1),
+            "colored partitions must not share sets"
+        );
+        assert_eq!(sets0.len(), 128);
+        assert_eq!(sets1.len(), 128);
+    }
+
+    #[test]
+    fn colored_partitions_do_not_evict_each_other() {
+        let geometry = CacheGeometry::new(256, 8, 64);
+        let mut pc = PageColoring::new(geometry, 4096);
+        pc.assign_colors_exclusive(FlowId(0), &[0, 1])
+            .expect("free");
+        pc.assign_colors_exclusive(FlowId(1), &[2, 3])
+            .expect("free");
+        let mut cache = SetAssocCache::new(CacheConfig::new(256, 8, 64));
+        // Both partitions stream over far more than their share.
+        for round in 0..4u64 {
+            for v in (0..512 * 1024u64).step_by(64) {
+                let f = FlowId((round % 2) as u32);
+                let phys = pc.translate(f, v).expect("ok");
+                cache.access(f, phys);
+            }
+        }
+        assert_eq!(cache.stats(FlowId(0)).evictions_suffered, 0);
+        assert_eq!(cache.stats(FlowId(1)).evictions_suffered, 0);
+    }
+
+    #[test]
+    fn effective_capacity_shrinks_with_fewer_colors() {
+        let mut pc = alloc();
+        pc.assign_colors_exclusive(FlowId(0), &[0]).expect("free");
+        pc.assign_colors_exclusive(FlowId(1), &[1, 2, 3])
+            .expect("free");
+        assert_eq!(pc.effective_sets(FlowId(0)), 64);
+        assert_eq!(pc.effective_sets(FlowId(1)), 192);
+        assert_eq!(
+            pc.effective_capacity_bytes(FlowId(0)) * 3,
+            pc.effective_capacity_bytes(FlowId(1))
+        );
+        assert_eq!(pc.effective_sets(FlowId(9)), 0);
+    }
+
+    #[test]
+    fn no_colors_errors() {
+        let mut pc = alloc();
+        assert_eq!(
+            pc.alloc_page(FlowId(5)),
+            Err(ColoringError::NoColors { flow: FlowId(5) })
+        );
+        assert!(pc.translate(FlowId(5), 0).is_err());
+        assert!(ColoringError::NoColors { flow: FlowId(5) }
+            .to_string()
+            .contains("no colors"));
+    }
+
+    #[test]
+    fn sets_of_color_partition_the_index() {
+        let pc = alloc();
+        let mut covered = vec![false; 256];
+        for c in 0..pc.colors() {
+            for s in pc.sets_of_color(c) {
+                assert!(!covered[s as usize], "set {s} covered twice");
+                covered[s as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+}

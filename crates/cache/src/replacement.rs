@@ -1,0 +1,245 @@
+//! Replacement policies for the set-associative cache model.
+//!
+//! Policies operate *per set* on way indices; the cache asks for a victim
+//! among an allowed subset of ways (the partition's allocation mask
+//! restricted to that set).
+
+use autoplat_sim::SimRng;
+
+/// A per-set replacement policy over `ways` ways.
+///
+/// Implementations are deterministic given their construction inputs
+/// (random replacement takes a seeded RNG), so simulations replay exactly.
+pub trait ReplacementPolicy: std::fmt::Debug {
+    /// Notes a hit or fill touching `way` in `set`.
+    fn touch(&mut self, set: u32, way: u32);
+
+    /// Chooses a victim way in `set` among the ways enabled in
+    /// `candidate_mask` (bit `w` set ⇒ way `w` allowed).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `candidate_mask` selects no way.
+    fn victim(&mut self, set: u32, candidate_mask: u64) -> u32;
+}
+
+/// True least-recently-used: a recency order per set.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    /// Per-set list of ways, most recent last.
+    order: Vec<Vec<u32>>,
+}
+
+impl Lru {
+    /// Creates LRU state for `sets` sets of `ways` ways.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        Lru {
+            order: (0..sets).map(|_| (0..ways).collect()).collect(),
+        }
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn touch(&mut self, set: u32, way: u32) {
+        let order = &mut self.order[set as usize];
+        if let Some(pos) = order.iter().position(|&w| w == way) {
+            order.remove(pos);
+        }
+        order.push(way);
+    }
+
+    fn victim(&mut self, set: u32, candidate_mask: u64) -> u32 {
+        let order = &self.order[set as usize];
+        *order
+            .iter()
+            .find(|&&w| candidate_mask & (1 << w) != 0)
+            .expect("candidate mask selects no way")
+    }
+}
+
+/// Tree pseudo-LRU (the common hardware approximation).
+///
+/// Maintains a binary tree of direction bits per set; `victim` follows the
+/// bits, restricted to subtrees containing at least one candidate way.
+#[derive(Debug, Clone)]
+pub struct TreePlru {
+    ways: u32,
+    /// Per-set tree bits, 1-indexed heap layout (`ways - 1` internal nodes,
+    /// rounded up to the next power of two tree).
+    bits: Vec<Vec<bool>>,
+    leaves: u32,
+}
+
+impl TreePlru {
+    /// Creates tree-PLRU state for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        assert!(ways > 0, "ways must be non-zero");
+        let leaves = ways.next_power_of_two();
+        TreePlru {
+            ways,
+            bits: (0..sets).map(|_| vec![false; leaves as usize]).collect(),
+            leaves,
+        }
+    }
+
+    fn subtree_has_candidate(&self, node: u32, candidate_mask: u64) -> bool {
+        // Node indices: 1..leaves internal, leaves..2*leaves leaves.
+        if node >= self.leaves {
+            let way = node - self.leaves;
+            return way < self.ways && candidate_mask & (1 << way) != 0;
+        }
+        self.subtree_has_candidate(node * 2, candidate_mask)
+            || self.subtree_has_candidate(node * 2 + 1, candidate_mask)
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn touch(&mut self, set: u32, way: u32) {
+        let bits = &mut self.bits[set as usize];
+        let mut node = self.leaves + way;
+        while node > 1 {
+            let parent = node / 2;
+            // Point away from the touched child.
+            bits[parent as usize] = node.is_multiple_of(2); // touched left ⇒ point right(true)
+            node = parent;
+        }
+    }
+
+    fn victim(&mut self, set: u32, candidate_mask: u64) -> u32 {
+        assert!(
+            self.subtree_has_candidate(1, candidate_mask),
+            "candidate mask selects no way"
+        );
+        let bits = &self.bits[set as usize];
+        let mut node = 1u32;
+        while node < self.leaves {
+            let preferred = if bits[node as usize] {
+                node * 2 + 1
+            } else {
+                node * 2
+            };
+            let other = if bits[node as usize] {
+                node * 2
+            } else {
+                node * 2 + 1
+            };
+            node = if self.subtree_has_candidate(preferred, candidate_mask) {
+                preferred
+            } else {
+                other
+            };
+        }
+        node - self.leaves
+    }
+}
+
+/// Uniform random replacement with a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct RandomReplacement {
+    rng: SimRng,
+}
+
+impl RandomReplacement {
+    /// Creates a random policy from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomReplacement {
+            rng: SimRng::seed_from(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomReplacement {
+    fn touch(&mut self, _set: u32, _way: u32) {}
+
+    fn victim(&mut self, _set: u32, candidate_mask: u64) -> u32 {
+        let candidates: Vec<u32> = (0..64).filter(|w| candidate_mask & (1 << w) != 0).collect();
+        *self
+            .rng
+            .choose(&candidates)
+            .expect("candidate mask selects no way")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(1, 4);
+        for w in [0, 1, 2, 3, 0, 1] {
+            lru.touch(0, w);
+        }
+        // Recency order now 2, 3, 0, 1 → victim is 2.
+        assert_eq!(lru.victim(0, 0b1111), 2);
+    }
+
+    #[test]
+    fn lru_respects_candidate_mask() {
+        let mut lru = Lru::new(1, 4);
+        for w in [0, 1, 2, 3] {
+            lru.touch(0, w);
+        }
+        // LRU is way 0 but the mask excludes it.
+        assert_eq!(lru.victim(0, 0b1010), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no way")]
+    fn lru_empty_mask_panics() {
+        let mut lru = Lru::new(1, 2);
+        let _ = lru.victim(0, 0);
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent() {
+        let mut p = TreePlru::new(1, 8);
+        p.touch(0, 3);
+        let v = p.victim(0, 0xFF);
+        assert_ne!(v, 3, "the just-touched way must not be the victim");
+    }
+
+    #[test]
+    fn plru_respects_candidate_mask() {
+        let mut p = TreePlru::new(1, 8);
+        for w in 0..8 {
+            p.touch(0, w);
+        }
+        let v = p.victim(0, 0b0000_0100);
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn plru_non_power_of_two_ways() {
+        let mut p = TreePlru::new(2, 12); // DSU L3 can be 12-way
+        for w in 0..12 {
+            p.touch(1, w);
+        }
+        let v = p.victim(1, 0xFFF);
+        assert!(v < 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no way")]
+    fn plru_mask_beyond_ways_panics() {
+        let mut p = TreePlru::new(1, 12);
+        // Ways 12..16 exist as tree leaves but not as real ways.
+        let _ = p.victim(0, 0xF000);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_masked() {
+        let mut a = RandomReplacement::new(7);
+        let mut b = RandomReplacement::new(7);
+        for _ in 0..32 {
+            let mask = 0b1011_0001;
+            let va = a.victim(0, mask);
+            assert_eq!(va, b.victim(0, mask));
+            assert!(mask & (1 << va) != 0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the cache model invariants.
+
+use autoplat_cache::{CacheConfig, CacheGeometry, ClusterPartCr, FlowId, SetAssocCache};
+use proptest::prelude::*;
+
+fn small_cache() -> SetAssocCache {
+    SetAssocCache::new(CacheConfig::new(16, 4, 64))
+}
+
+proptest! {
+    #[test]
+    fn occupancy_bookkeeping_always_consistent(
+        accesses in proptest::collection::vec((0u32..3, 0u64..4096), 1..400),
+    ) {
+        let mut cache = small_cache();
+        for &(flow, line) in &accesses {
+            cache.access(FlowId(flow), line * 64);
+        }
+        for f in 0..3u32 {
+            prop_assert_eq!(
+                cache.stats(FlowId(f)).occupancy,
+                cache.occupancy_of(FlowId(f)),
+                "flow {} bookkeeping", f
+            );
+        }
+        // Total occupancy never exceeds capacity.
+        let total: u64 = (0..3u32).map(|f| cache.stats(FlowId(f)).occupancy).sum();
+        prop_assert!(total <= 16 * 4);
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(
+        accesses in proptest::collection::vec(0u64..1024, 1..300),
+    ) {
+        let mut cache = small_cache();
+        for &line in &accesses {
+            cache.access(FlowId(0), line * 64);
+        }
+        let s = cache.stats(FlowId(0));
+        prop_assert_eq!(s.hits + s.misses, accesses.len() as u64);
+    }
+
+    #[test]
+    fn repeat_access_is_always_a_hit(line in 0u64..100_000) {
+        let mut cache = small_cache();
+        cache.access(FlowId(0), line * 64);
+        prop_assert!(cache.access(FlowId(0), line * 64).is_hit());
+    }
+
+    #[test]
+    fn disjoint_way_masks_never_cross_evict(
+        accesses in proptest::collection::vec((0u32..2, 0u64..2048), 1..400),
+        split in 1u32..4,
+    ) {
+        let mut cache = small_cache();
+        let mask0 = (1u64 << split) - 1;
+        cache.set_allocation_mask(FlowId(0), mask0);
+        cache.set_allocation_mask(FlowId(1), 0xF & !mask0);
+        for &(flow, line) in &accesses {
+            cache.access(FlowId(flow), line * 64);
+        }
+        prop_assert_eq!(cache.stats(FlowId(0)).evictions_suffered, 0);
+        prop_assert_eq!(cache.stats(FlowId(1)).evictions_suffered, 0);
+        prop_assert_eq!(cache.stats(FlowId(0)).evictions_caused_to_others, 0);
+        prop_assert_eq!(cache.stats(FlowId(1)).evictions_caused_to_others, 0);
+    }
+
+    #[test]
+    fn geometry_roundtrip(
+        sets_pow in 1u32..10,
+        ways in 1u32..17,
+        line_pow in 4u32..8,
+        addr in 0u64..1u64<<45,
+    ) {
+        let g = CacheGeometry::new(1 << sets_pow, ways, 1 << line_pow);
+        let line_addr = addr & !((1u64 << line_pow) - 1);
+        prop_assert_eq!(g.line_address(g.tag(addr), g.set_index(addr)), line_addr);
+        prop_assert!(g.set_index(addr) < g.sets());
+    }
+
+    #[test]
+    fn clusterpartcr_assign_decode_roundtrip(owners in proptest::collection::vec(0u8..8, 4)) {
+        use autoplat_cache::{PartitionGroup, SchemeId};
+        let mut reg = ClusterPartCr::new();
+        for (g, &s) in owners.iter().enumerate() {
+            reg.assign(PartitionGroup::new(g as u8), SchemeId::new(s).expect("3-bit"));
+        }
+        let back = ClusterPartCr::from_bits(reg.bits()).expect("assign produces valid bits");
+        for (g, &s) in owners.iter().enumerate() {
+            prop_assert_eq!(
+                back.owner_of(PartitionGroup::new(g as u8)),
+                Some(SchemeId::new(s).expect("3-bit"))
+            );
+        }
+    }
+
+    #[test]
+    fn way_masks_of_all_schemes_cover_cache(bits in any::<u32>()) {
+        use autoplat_cache::SchemeId;
+        if let Ok(reg) = ClusterPartCr::from_bits(bits) {
+            // Union over all schemes covers everything: private groups go
+            // to their owner, unassigned groups to everyone.
+            let mut union = 0u64;
+            for s in 0..8u8 {
+                union |= reg.way_mask(SchemeId::new(s).expect("3-bit"), 16);
+            }
+            prop_assert_eq!(union, 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn coloring_translations_stay_in_owned_sets(
+        vaddrs in proptest::collection::vec(0u64..1u64<<20, 1..100),
+    ) {
+        use autoplat_cache::coloring::PageColoring;
+        let geometry = CacheGeometry::new(256, 8, 64);
+        let mut pc = PageColoring::new(geometry, 4096);
+        pc.assign_colors_exclusive(FlowId(0), &[0, 2]).expect("free");
+        let owned: std::collections::HashSet<u32> = pc
+            .sets_of_color(0)
+            .chain(pc.sets_of_color(2))
+            .collect();
+        for &v in &vaddrs {
+            let set = pc.set_of(FlowId(0), v).expect("has colors");
+            prop_assert!(owned.contains(&set), "set {set} not owned");
+        }
+    }
+}

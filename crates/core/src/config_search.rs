@@ -1,0 +1,177 @@
+//! Automated configuration search (§II).
+//!
+//! "Finding an optimal configuration for these interacting mechanisms is
+//! highly dependent on the characteristics of applications and the HW
+//! platform. Thus, automated profiling as well as sophisticated
+//! configuration tooling is required." This module provides that tooling
+//! for the two mechanisms the platform model exposes:
+//!
+//! * [`search_way_split`] — how many L3 ways must the critical core own
+//!   (privately) for its contract to hold, accounting for the §II
+//!   coupling effect (a bigger critical partition squeezes the others,
+//!   driving *their* DRAM traffic up);
+//! * [`search_memguard_budget`] — the largest hog budget for which the
+//!   critical contract still holds (utilization-friendliest regulation).
+
+use autoplat_sim::SimDuration;
+
+use crate::platform::{Platform, PlatformConfig, PlatformReport};
+use crate::qos::QosContract;
+use crate::workload::Workload;
+
+/// Result of a configuration search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<C> {
+    /// The chosen configuration value.
+    pub chosen: C,
+    /// The report obtained with the chosen configuration.
+    pub report: PlatformReport,
+    /// Every `(candidate, contract_held)` evaluated, in order.
+    pub evaluated: Vec<(C, bool)>,
+}
+
+/// Finds the smallest number of private L3 ways for `critical_core` such
+/// that `contract` holds when running `workloads`; all remaining ways go
+/// to the other cores. Returns `None` if no split works.
+///
+/// # Panics
+///
+/// Panics if `critical_core` has no workload in `workloads`.
+pub fn search_way_split(
+    config: PlatformConfig,
+    workloads: &[Workload],
+    critical_core: usize,
+    contract: &QosContract,
+) -> Option<SearchOutcome<u32>> {
+    assert!(
+        workloads.iter().any(|w| w.core == critical_core),
+        "critical core {critical_core} has no workload"
+    );
+    let ways = config.cache.geometry.ways();
+    let mut evaluated = Vec::new();
+    for critical_ways in 1..ways {
+        let mut platform = Platform::new(config.clone());
+        let critical_mask = (1u64 << critical_ways) - 1;
+        let others_mask = ((1u64 << ways) - 1) & !critical_mask;
+        for w in workloads {
+            let mask = if w.core == critical_core {
+                critical_mask
+            } else {
+                others_mask
+            };
+            platform.set_core_way_mask(w.core, mask);
+        }
+        let report = platform.run(workloads);
+        let holds = contract.holds_on(&report);
+        evaluated.push((critical_ways, holds));
+        if holds {
+            return Some(SearchOutcome {
+                chosen: critical_ways,
+                report,
+                evaluated,
+            });
+        }
+    }
+    None
+}
+
+/// Finds the **largest** per-period byte budget for the hog cores (every
+/// core except `critical_core`) such that `contract` holds, by halving
+/// downward from `max_budget`. The critical core keeps an effectively
+/// unlimited budget. Returns `None` if even the minimum budget (one
+/// line) fails.
+pub fn search_memguard_budget(
+    config: PlatformConfig,
+    workloads: &[Workload],
+    critical_core: usize,
+    contract: &QosContract,
+    period: SimDuration,
+    max_budget: u64,
+) -> Option<SearchOutcome<u64>> {
+    assert!(max_budget >= 64, "budget below one line");
+    let mut evaluated = Vec::new();
+    let mut budget = max_budget;
+    loop {
+        let budgets: Vec<u64> = (0..config.cores)
+            .map(|c| if c == critical_core { 1 << 40 } else { budget })
+            .collect();
+        let mut platform = Platform::new(config.clone().with_memguard(period, budgets));
+        let report = platform.run(workloads);
+        let holds = contract.holds_on(&report);
+        evaluated.push((budget, holds));
+        if holds {
+            return Some(SearchOutcome {
+                chosen: budget,
+                report,
+                evaluated,
+            });
+        }
+        if budget == 64 {
+            return None;
+        }
+        budget = (budget / 2).max(64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Vec<Workload> {
+        vec![
+            Workload::latency_probe(0, 5000),
+            Workload::bandwidth_hog(1, 30_000),
+            Workload::bandwidth_hog(2, 30_000),
+            Workload::bandwidth_hog(3, 30_000),
+        ]
+    }
+
+    #[test]
+    fn way_split_search_finds_minimal_partition() {
+        // Contract: the probe must keep a decent hit rate (cold misses
+        // cap it at ~0.9 for 5000 accesses over a 512-line working set).
+        let contract = QosContract::new(0).with_min_hit_rate(0.8);
+        let out = search_way_split(PlatformConfig::tiny(), &scenario(), 0, &contract)
+            .expect("some split must protect a 32 KiB working set");
+        assert!(out.chosen >= 1 && out.chosen < 16);
+        assert!(contract.holds_on(&out.report));
+        // The chosen value is minimal: every smaller candidate failed.
+        for (ways, held) in &out.evaluated[..out.evaluated.len() - 1] {
+            assert!(!held, "{ways} ways unexpectedly sufficed");
+        }
+    }
+
+    #[test]
+    fn impossible_contract_yields_none() {
+        let contract = QosContract::new(0).with_max_mean_latency_ns(0.0001);
+        assert!(search_way_split(PlatformConfig::tiny(), &scenario(), 0, &contract).is_none());
+    }
+
+    #[test]
+    fn memguard_search_finds_generous_feasible_budget() {
+        // First measure the unregulated mean latency under thrashing,
+        // then require an improvement only throttling can deliver.
+        let mut p = Platform::new(PlatformConfig::tiny());
+        let base = p.run(&scenario());
+        let target = base.cores[0].mean_read_latency() * 0.8;
+        let contract = QosContract::new(0).with_max_mean_latency_ns(target);
+        let out = search_memguard_budget(
+            PlatformConfig::tiny(),
+            &scenario(),
+            0,
+            &contract,
+            SimDuration::from_us(10.0),
+            1 << 20,
+        )
+        .expect("some budget must achieve a 20% improvement");
+        assert!(contract.holds_on(&out.report));
+        assert!(out.chosen >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload")]
+    fn search_requires_critical_workload() {
+        let contract = QosContract::new(5);
+        let _ = search_way_split(PlatformConfig::small(), &scenario(), 5, &contract);
+    }
+}

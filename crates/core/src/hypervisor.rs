@@ -1,0 +1,349 @@
+//! The hypervisor view: VMs, scheme-ID delegation and PARTID
+//! virtualization compiled into a platform isolation configuration.
+//!
+//! §III-A's worked example is a hypervisor hosting an RTOS VM (two
+//! real-time workloads) and a GPOS VM: the hypervisor assigns itself
+//! scheme ID 7, pins the GPOS to scheme 0, and delegates scheme IDs
+//! {2, 3} to the RTOS via an override mask. §III-B adds virtual PARTIDs
+//! so each guest manages a contiguous PARTID space of its own. This
+//! module models that control-plane work: declare VMs, and
+//! [`Hypervisor::compile`] produces the `CLUSTERPARTCR` value, the
+//! per-VM scheme overrides, the vPARTID maps, and the per-core way masks
+//! ready to apply to a [`Platform`].
+//!
+//! [`Platform`]: crate::platform::Platform
+
+use autoplat_cache::{ClusterPartCr, PartitionGroup, SchemeId, SchemeOverride};
+use autoplat_mpam::{PartId, VirtualPartIdMap};
+
+/// A guest VM specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmSpec {
+    /// VM name.
+    pub name: String,
+    /// Cores pinned to this VM.
+    pub cores: Vec<usize>,
+    /// L3 partition groups (0..=3) this VM privately owns.
+    pub partition_groups: Vec<u8>,
+    /// Number of virtual PARTIDs the VM needs.
+    pub vpartids: u16,
+    /// Number of scheme IDs (workload classes) the VM needs.
+    pub scheme_ids: u8,
+}
+
+impl VmSpec {
+    /// Creates a VM spec.
+    pub fn new(name: impl Into<String>, cores: Vec<usize>) -> Self {
+        VmSpec {
+            name: name.into(),
+            cores,
+            partition_groups: Vec::new(),
+            vpartids: 1,
+            scheme_ids: 1,
+        }
+    }
+
+    /// Builder-style private partition groups.
+    pub fn with_partition_groups(mut self, groups: Vec<u8>) -> Self {
+        self.partition_groups = groups;
+        self
+    }
+
+    /// Builder-style virtual PARTID count.
+    pub fn with_vpartids(mut self, n: u16) -> Self {
+        self.vpartids = n;
+        self
+    }
+
+    /// Builder-style scheme-ID (workload class) count.
+    pub fn with_scheme_ids(mut self, n: u8) -> Self {
+        self.scheme_ids = n;
+        self
+    }
+}
+
+/// One compiled VM: its scheme IDs, override register, vPARTID map and
+/// cache way mask.
+#[derive(Debug)]
+pub struct CompiledVm {
+    /// The VM's name.
+    pub name: String,
+    /// Scheme IDs reachable by the VM.
+    pub scheme_ids: Vec<SchemeId>,
+    /// The override register pinning the VM into its scheme IDs.
+    pub override_register: SchemeOverride,
+    /// The guest's vPARTID → pPARTID map.
+    pub vpartid_map: VirtualPartIdMap,
+    /// The L3 way mask its cores may allocate into (16-way L3).
+    pub way_mask: u64,
+    /// The cores the VM runs on.
+    pub cores: Vec<usize>,
+}
+
+/// Errors compiling a VM configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypervisorError {
+    /// More than 4 partition groups requested in total.
+    GroupsExhausted,
+    /// A partition group was claimed by two VMs.
+    GroupConflict {
+        /// The contested group.
+        group: u8,
+    },
+    /// More scheme IDs needed than the 3-bit space provides (the
+    /// hypervisor itself reserves scheme 7).
+    SchemeIdsExhausted,
+    /// The physical PARTID space (here 64 IDs) is exhausted.
+    PartIdsExhausted,
+}
+
+impl std::fmt::Display for HypervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HypervisorError::GroupsExhausted => write!(f, "only 4 partition groups exist"),
+            HypervisorError::GroupConflict { group } => {
+                write!(f, "partition group {group} claimed twice")
+            }
+            HypervisorError::SchemeIdsExhausted => {
+                write!(f, "scheme-ID space exhausted (7 delegable IDs)")
+            }
+            HypervisorError::PartIdsExhausted => write!(f, "physical PARTID pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for HypervisorError {}
+
+/// The hypervisor: compiles VM specs into isolation configuration.
+#[derive(Debug, Default)]
+pub struct Hypervisor {
+    vms: Vec<VmSpec>,
+}
+
+/// The hypervisor's own scheme ID (the §III-A example uses 7).
+pub const HYPERVISOR_SCHEME: u8 = 7;
+/// Size of the physical PARTID pool this model delegates from.
+pub const PHYSICAL_PARTIDS: u16 = 64;
+
+impl Hypervisor {
+    /// Creates a hypervisor with no guests.
+    pub fn new() -> Self {
+        Hypervisor::default()
+    }
+
+    /// Adds a guest VM.
+    pub fn vm(mut self, spec: VmSpec) -> Self {
+        self.vms.push(spec);
+        self
+    }
+
+    /// Compiles the guest set into per-VM configurations plus the shared
+    /// `CLUSTERPARTCR` register value.
+    ///
+    /// Scheme IDs are assigned sequentially from 0; a VM needing `k`
+    /// workload scheme IDs receives a power-of-two aligned block of size
+    /// `next_power_of_two(k)` so one mask/override pair covers it (the
+    /// §III-A delegation mechanism). Physical PARTIDs are handed out
+    /// sequentially.
+    ///
+    /// # Errors
+    ///
+    /// See [`HypervisorError`].
+    pub fn compile(&self) -> Result<(ClusterPartCr, Vec<CompiledVm>), HypervisorError> {
+        let mut reg = ClusterPartCr::new();
+        let mut used_groups = [false; 4];
+        let mut next_scheme: u8 = 0;
+        let mut next_ppartid: u16 = 0;
+        let mut compiled = Vec::with_capacity(self.vms.len());
+
+        for vm in &self.vms {
+            // Scheme-ID block, power-of-two aligned: one scheme ID per
+            // workload class, at least 1.
+            let needed = vm.scheme_ids.clamp(1, 8);
+            let block = needed.next_power_of_two();
+            let base = next_scheme.div_ceil(block) * block;
+            if u32::from(base) + u32::from(block) > u32::from(HYPERVISOR_SCHEME) + 1 {
+                return Err(HypervisorError::SchemeIdsExhausted);
+            }
+            // Never hand out the hypervisor's own ID.
+            if base + block > HYPERVISOR_SCHEME && base <= HYPERVISOR_SCHEME {
+                return Err(HypervisorError::SchemeIdsExhausted);
+            }
+            next_scheme = base + block;
+            let scheme_ids: Vec<SchemeId> = (base..base + block)
+                .map(|s| SchemeId::new(s).expect("block stays in 3 bits"))
+                .collect();
+            let mask = !(block - 1) & 0b111;
+            let override_register = SchemeOverride::new(mask, base & mask);
+
+            // Partition groups.
+            for &g in &vm.partition_groups {
+                if g >= 4 {
+                    return Err(HypervisorError::GroupsExhausted);
+                }
+                if used_groups[g as usize] {
+                    return Err(HypervisorError::GroupConflict { group: g });
+                }
+                used_groups[g as usize] = true;
+                reg.assign(PartitionGroup::new(g), scheme_ids[0]);
+            }
+
+            // Virtual PARTIDs backed by a contiguous physical block.
+            if next_ppartid + vm.vpartids > PHYSICAL_PARTIDS {
+                return Err(HypervisorError::PartIdsExhausted);
+            }
+            let mut vmap = VirtualPartIdMap::new(vm.vpartids);
+            for v in 0..vm.vpartids {
+                vmap.map(PartId(v), PartId(next_ppartid + v))
+                    .expect("v < space size by construction");
+            }
+            next_ppartid += vm.vpartids;
+
+            compiled.push(CompiledVm {
+                name: vm.name.clone(),
+                scheme_ids,
+                override_register,
+                vpartid_map: vmap,
+                way_mask: 0, // filled below, after the register is final
+                cores: vm.cores.clone(),
+            });
+        }
+
+        for vm in &mut compiled {
+            vm.way_mask = vm
+                .scheme_ids
+                .iter()
+                .fold(0u64, |m, s| m | reg.way_mask(*s, 16));
+        }
+        Ok((reg, compiled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §III-A worked example: GPOS pinned, RTOS delegated two IDs.
+    fn paper_setup() -> Hypervisor {
+        Hypervisor::new()
+            .vm(VmSpec::new("gpos", vec![0, 1]).with_partition_groups(vec![2]))
+            .vm(VmSpec::new("rtos", vec![2, 3])
+                .with_partition_groups(vec![0, 1])
+                .with_vpartids(2)
+                .with_scheme_ids(2))
+    }
+
+    #[test]
+    fn paper_example_compiles() {
+        let (reg, vms) = paper_setup().compile().expect("valid setup");
+        let gpos = &vms[0];
+        let rtos = &vms[1];
+        // GPOS: one scheme ID, fully pinned (mask 0b111).
+        assert_eq!(gpos.scheme_ids.len(), 1);
+        assert_eq!(gpos.override_register.reachable(), gpos.scheme_ids);
+        // RTOS: two scheme IDs reachable through its override.
+        assert_eq!(rtos.scheme_ids.len(), 2);
+        assert_eq!(rtos.override_register.reachable(), rtos.scheme_ids);
+        // Each VM's way mask covers its private groups (4 ways each) plus
+        // the unassigned group 3.
+        assert_eq!(gpos.way_mask.count_ones(), 4 + 4);
+        assert_eq!(rtos.way_mask.count_ones(), 8 + 4);
+        // The register assigns groups 0..=2; group 3 stays open.
+        assert!(reg.owner_of(PartitionGroup::new(3)).is_none());
+    }
+
+    #[test]
+    fn vpartid_spaces_are_disjoint() {
+        let (_, vms) = paper_setup().compile().expect("valid setup");
+        let a: Vec<PartId> = vms[0].vpartid_map.delegated();
+        let b: Vec<PartId> = vms[1].vpartid_map.delegated();
+        for p in &a {
+            assert!(!b.contains(p), "pPARTID {p} delegated twice");
+        }
+        // Each guest sees a contiguous space from 0.
+        assert_eq!(
+            vms[1].vpartid_map.translate(PartId(0)).expect("mapped"),
+            PartId(1)
+        );
+        assert_eq!(
+            vms[1].vpartid_map.translate(PartId(1)).expect("mapped"),
+            PartId(2)
+        );
+    }
+
+    #[test]
+    fn group_conflicts_detected() {
+        let err = Hypervisor::new()
+            .vm(VmSpec::new("a", vec![0]).with_partition_groups(vec![1]))
+            .vm(VmSpec::new("b", vec![1]).with_partition_groups(vec![1]))
+            .compile()
+            .unwrap_err();
+        assert_eq!(err, HypervisorError::GroupConflict { group: 1 });
+    }
+
+    #[test]
+    fn scheme_space_exhaustion_detected() {
+        let err = Hypervisor::new()
+            .vm(VmSpec::new("a", vec![0]).with_scheme_ids(4))
+            .vm(VmSpec::new("b", vec![1]).with_scheme_ids(4))
+            .compile()
+            .unwrap_err();
+        assert_eq!(err, HypervisorError::SchemeIdsExhausted);
+    }
+
+    #[test]
+    fn partid_pool_exhaustion_detected() {
+        let err = Hypervisor::new()
+            .vm(VmSpec::new("a", vec![0]).with_vpartids(2))
+            .vm(VmSpec::new("b", vec![1]).with_vpartids(2))
+            .compile()
+            .map(|_| ())
+            .err();
+        assert_eq!(err, None, "two small VMs fit");
+        let err = Hypervisor::new()
+            .vm(VmSpec::new("big", vec![0])
+                .with_vpartids(2)
+                .with_partition_groups(vec![0]))
+            .vm(VmSpec::new("huge", vec![1]).with_vpartids(PHYSICAL_PARTIDS - 1))
+            .compile()
+            .unwrap_err();
+        assert_eq!(err, HypervisorError::PartIdsExhausted);
+    }
+
+    #[test]
+    fn compiled_config_isolates_on_platform() {
+        use crate::platform::{Platform, PlatformConfig};
+        use crate::workload::Workload;
+        let (_, vms) = paper_setup().compile().expect("valid setup");
+        let mut platform = Platform::new(PlatformConfig::tiny());
+        for vm in &vms {
+            for &core in &vm.cores {
+                platform.set_core_way_mask(core, vm.way_mask);
+            }
+        }
+        // GPOS cores hog; RTOS core 2 runs the critical probe.
+        let report = platform.run(&[
+            Workload::bandwidth_hog(0, 30_000),
+            Workload::bandwidth_hog(1, 30_000),
+            Workload::latency_probe(2, 3000),
+        ]);
+        // With its private groups the probe's working set survives...
+        assert!(
+            report.cores[2].l3_hit_rate() > 0.8,
+            "rate {}",
+            report.cores[2].l3_hit_rate()
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            HypervisorError::GroupsExhausted,
+            HypervisorError::GroupConflict { group: 2 },
+            HypervisorError::SchemeIdsExhausted,
+            HypervisorError::PartIdsExhausted,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Applying MPAM control configurations to the platform's shared cache.
+//!
+//! MPAM (§III-B) defines the *architecture* of control interfaces; this
+//! bridge compiles a configured [`MemorySystemComponent`] down to the
+//! allocation masks and line caps the [`SetAssocCache`] model enforces:
+//!
+//! * **cache-portion partitioning** becomes a way mask when the portion
+//!   count equals the way count (the common implementation choice);
+//! * **cache maximum-capacity partitioning** becomes a per-flow line cap.
+//!
+//! Labelled traffic is identified by a `PARTID → flow` mapping supplied
+//! by the caller (on a real system, the label travels with the request).
+
+use autoplat_cache::{FlowId, SetAssocCache};
+use autoplat_mpam::{MemorySystemComponent, PartId};
+
+/// Errors applying an MSC configuration to a cache model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeError {
+    /// The MSC's portion count does not match the cache's way count, so
+    /// portions cannot be expressed as way masks.
+    PortionWayMismatch {
+        /// Configured portions.
+        portions: u32,
+        /// Cache ways.
+        ways: u32,
+    },
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::PortionWayMismatch { portions, ways } => write!(
+                f,
+                "{portions} portions cannot map onto {ways} ways (must be equal)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+/// Applies the cache-related control interfaces of `msc` to `cache` for
+/// the given `PARTID → flow` pairs.
+///
+/// Interfaces the MSC does not implement are skipped (they are all
+/// optional in the architecture).
+///
+/// # Errors
+///
+/// [`BridgeError::PortionWayMismatch`] if portion partitioning is
+/// configured with a portion count different from the cache's way count.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_cache::{CacheConfig, FlowId, SetAssocCache};
+/// use autoplat_core::mpam_bridge::apply_msc_to_cache;
+/// use autoplat_mpam::control::CachePortionPartitioning;
+/// use autoplat_mpam::{MemorySystemComponent, PartId};
+///
+/// let mut msc = MemorySystemComponent::new("l3");
+/// let mut portions = CachePortionPartitioning::new(16)?;
+/// portions.set_bitmap(PartId(1), 0x000F)?;
+/// msc.set_cache_portions(portions);
+///
+/// let mut cache = SetAssocCache::new(CacheConfig::new(64, 16, 64));
+/// apply_msc_to_cache(&msc, &mut cache, &[(PartId(1), FlowId(0))])?;
+/// assert_eq!(cache.allocation_mask(FlowId(0)), 0x000F);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apply_msc_to_cache(
+    msc: &MemorySystemComponent,
+    cache: &mut SetAssocCache,
+    mapping: &[(PartId, FlowId)],
+) -> Result<(), BridgeError> {
+    let geometry = cache.config().geometry;
+    if let Some(portions) = msc.cache_portions() {
+        if portions.portions() != geometry.ways() {
+            return Err(BridgeError::PortionWayMismatch {
+                portions: portions.portions(),
+                ways: geometry.ways(),
+            });
+        }
+        for &(partid, flow) in mapping {
+            cache.set_allocation_mask(flow, portions.way_mask(partid, geometry.ways()));
+        }
+    }
+    if let Some(max_cap) = msc.cache_max_capacity() {
+        let total_lines = geometry.sets() as u64 * geometry.ways() as u64;
+        for &(partid, flow) in mapping {
+            cache.set_max_lines(flow, max_cap.allowed_lines(partid, total_lines));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoplat_cache::CacheConfig;
+    use autoplat_mpam::control::{CacheMaxCapacity, CachePortionPartitioning};
+
+    fn cache() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig::new(64, 16, 64))
+    }
+
+    #[test]
+    fn portions_become_way_masks() {
+        let mut msc = MemorySystemComponent::new("l3");
+        let mut portions = CachePortionPartitioning::new(16).expect("valid");
+        portions.set_bitmap(PartId(0), 0x00FF).expect("in range");
+        portions.set_bitmap(PartId(1), 0xFF00).expect("in range");
+        msc.set_cache_portions(portions);
+        let mut cache = cache();
+        apply_msc_to_cache(
+            &msc,
+            &mut cache,
+            &[(PartId(0), FlowId(0)), (PartId(1), FlowId(1))],
+        )
+        .expect("16 portions on 16 ways");
+        assert_eq!(cache.allocation_mask(FlowId(0)), 0x00FF);
+        assert_eq!(cache.allocation_mask(FlowId(1)), 0xFF00);
+    }
+
+    #[test]
+    fn max_capacity_becomes_line_cap() {
+        let mut msc = MemorySystemComponent::new("l3");
+        let mut cap = CacheMaxCapacity::new();
+        cap.set_fraction(PartId(2), 0.25).expect("valid");
+        msc.set_cache_max_capacity(cap);
+        let mut cache = cache();
+        apply_msc_to_cache(&msc, &mut cache, &[(PartId(2), FlowId(5))]).expect("no portions");
+        assert_eq!(cache.max_lines(FlowId(5)), 64 * 16 / 4);
+    }
+
+    #[test]
+    fn mismatched_portion_count_rejected() {
+        let mut msc = MemorySystemComponent::new("l3");
+        msc.set_cache_portions(CachePortionPartitioning::new(8).expect("valid"));
+        let err = apply_msc_to_cache(&msc, &mut cache(), &[(PartId(0), FlowId(0))]).unwrap_err();
+        assert_eq!(
+            err,
+            BridgeError::PortionWayMismatch {
+                portions: 8,
+                ways: 16
+            }
+        );
+        assert!(err.to_string().contains("cannot map"));
+    }
+
+    #[test]
+    fn bare_msc_is_a_noop() {
+        let msc = MemorySystemComponent::new("l3");
+        let mut c = cache();
+        apply_msc_to_cache(&msc, &mut c, &[(PartId(0), FlowId(0))]).expect("nothing to do");
+        assert_eq!(c.allocation_mask(FlowId(0)), 0xFFFF);
+        assert_eq!(c.max_lines(FlowId(0)), u64::MAX);
+    }
+
+    #[test]
+    fn combined_interfaces_enforced_behaviourally() {
+        // Portions + max capacity together on a real access stream.
+        let mut msc = MemorySystemComponent::new("l3");
+        let mut portions = CachePortionPartitioning::new(16).expect("valid");
+        portions.set_bitmap(PartId(0), 0x000F).expect("in range");
+        msc.set_cache_portions(portions);
+        let mut cap = CacheMaxCapacity::new();
+        cap.set_fraction(PartId(0), 0.1).expect("valid");
+        msc.set_cache_max_capacity(cap);
+
+        let mut c = cache();
+        apply_msc_to_cache(&msc, &mut c, &[(PartId(0), FlowId(0))]).expect("applies");
+        let geometry = c.config().geometry;
+        for t in 0..5000u64 {
+            c.access(FlowId(0), geometry.line_address(t, (t % 64) as u32));
+        }
+        let max_allowed = (64u64 * 16) / 10;
+        assert!(c.occupancy_of(FlowId(0)) <= max_allowed);
+    }
+}

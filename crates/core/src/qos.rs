@@ -1,0 +1,190 @@
+//! QoS contracts and their verification.
+//!
+//! §IV: mission-critical systems "must meet QoS requirements by design,
+//! ex-ante", via formal bounds — but measured evidence from the platform
+//! simulator complements the analysis (and exposes configurations whose
+//! *measured* behaviour already violates what a sound bound must cover).
+
+use autoplat_admission::e2e::ResourceChain;
+use autoplat_netcalc::TokenBucket;
+
+use crate::platform::PlatformReport;
+
+/// A per-core QoS contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosContract {
+    /// The core the contract covers.
+    pub core: usize,
+    /// Maximum tolerable mean read latency (ns), if constrained.
+    pub max_mean_read_latency_ns: Option<f64>,
+    /// Maximum tolerable worst-case read latency (ns), if constrained.
+    pub max_read_latency_ns: Option<f64>,
+    /// Minimum L3 hit rate in `[0, 1]`, if constrained.
+    pub min_l3_hit_rate: Option<f64>,
+}
+
+impl QosContract {
+    /// An unconstrained contract for `core`.
+    pub fn new(core: usize) -> Self {
+        QosContract {
+            core,
+            max_mean_read_latency_ns: None,
+            max_read_latency_ns: None,
+            min_l3_hit_rate: None,
+        }
+    }
+
+    /// Builder-style mean-latency cap.
+    pub fn with_max_mean_latency_ns(mut self, ns: f64) -> Self {
+        self.max_mean_read_latency_ns = Some(ns);
+        self
+    }
+
+    /// Builder-style worst-case latency cap.
+    pub fn with_max_latency_ns(mut self, ns: f64) -> Self {
+        self.max_read_latency_ns = Some(ns);
+        self
+    }
+
+    /// Builder-style hit-rate floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_min_hit_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "hit rate in [0, 1]");
+        self.min_l3_hit_rate = Some(rate);
+        self
+    }
+
+    /// Checks the contract against a measured report, returning every
+    /// violation as a human-readable finding.
+    pub fn violations(&self, report: &PlatformReport) -> Vec<String> {
+        let mut out = Vec::new();
+        let Some(core) = report.cores.get(self.core) else {
+            out.push(format!("core {} missing from report", self.core));
+            return out;
+        };
+        if let Some(cap) = self.max_mean_read_latency_ns {
+            let got = core.mean_read_latency();
+            if got > cap {
+                out.push(format!(
+                    "core {}: mean read latency {got:.1} ns exceeds {cap:.1} ns",
+                    self.core
+                ));
+            }
+        }
+        if let Some(cap) = self.max_read_latency_ns {
+            if let Some(got) = core.read_latency.max() {
+                if got > cap {
+                    out.push(format!(
+                        "core {}: worst read latency {got:.1} ns exceeds {cap:.1} ns",
+                        self.core
+                    ));
+                }
+            }
+        }
+        if let Some(floor) = self.min_l3_hit_rate {
+            let got = core.l3_hit_rate();
+            if got < floor {
+                out.push(format!(
+                    "core {}: L3 hit rate {got:.3} below {floor:.3}",
+                    self.core
+                ));
+            }
+        }
+        out
+    }
+
+    /// Whether the contract holds on a measured report.
+    pub fn holds_on(&self, report: &PlatformReport) -> bool {
+        self.violations(report).is_empty()
+    }
+
+    /// Whether the worst-case latency cap is *guaranteed analytically*
+    /// for a flow shaped by `contract_flow` across `chain` — the ex-ante
+    /// check §IV calls for. Contracts without a worst-case cap trivially
+    /// hold; an unstable chain never does.
+    pub fn guaranteed_by(&self, contract_flow: &TokenBucket, chain: &ResourceChain) -> bool {
+        match self.max_read_latency_ns {
+            None => true,
+            Some(cap) => match chain.delay_bound(contract_flow) {
+                Some(bound) => bound <= cap,
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{Platform, PlatformConfig};
+    use crate::workload::Workload;
+    use autoplat_netcalc::RateLatency;
+
+    fn report() -> PlatformReport {
+        let mut p = Platform::new(PlatformConfig::small());
+        p.run(&[Workload::latency_probe(0, 1000)])
+    }
+
+    #[test]
+    fn unconstrained_contract_holds() {
+        assert!(QosContract::new(0).holds_on(&report()));
+    }
+
+    #[test]
+    fn violated_mean_latency_reported() {
+        let r = report();
+        let c = QosContract::new(0).with_max_mean_latency_ns(0.001);
+        let v = c.violations(&r);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("mean read latency"));
+        assert!(!c.holds_on(&r));
+    }
+
+    #[test]
+    fn satisfied_constraints_hold() {
+        let r = report();
+        let c = QosContract::new(0)
+            .with_max_mean_latency_ns(1e9)
+            .with_max_latency_ns(1e9)
+            .with_min_hit_rate(0.0);
+        assert!(c.holds_on(&r));
+    }
+
+    #[test]
+    fn hit_rate_floor_detected() {
+        let r = report();
+        let c = QosContract::new(0).with_min_hit_rate(1.0);
+        assert!(
+            !c.holds_on(&r),
+            "cold misses make a perfect hit rate impossible"
+        );
+    }
+
+    #[test]
+    fn missing_core_is_a_violation() {
+        let r = report();
+        let c = QosContract::new(99).with_max_mean_latency_ns(1.0);
+        assert!(c.violations(&r)[0].contains("missing"));
+    }
+
+    #[test]
+    fn analytic_guarantee_check() {
+        let chain = ResourceChain::new()
+            .stage("noc", RateLatency::new(1.0, 20.0))
+            .stage("dram", RateLatency::new(0.05, 400.0));
+        let flow = TokenBucket::new(2.0, 0.01);
+        let bound = chain.delay_bound(&flow).expect("stable");
+        let ok = QosContract::new(0).with_max_latency_ns(bound + 1.0);
+        let tight = QosContract::new(0).with_max_latency_ns(bound - 1.0);
+        assert!(ok.guaranteed_by(&flow, &chain));
+        assert!(!tight.guaranteed_by(&flow, &chain));
+        // Unstable flow can never be guaranteed.
+        let unstable = TokenBucket::new(2.0, 1.0);
+        assert!(!ok.guaranteed_by(&unstable, &chain));
+        // No cap: trivially guaranteed.
+        assert!(QosContract::new(0).guaranteed_by(&unstable, &chain));
+    }
+}

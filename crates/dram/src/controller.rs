@@ -1,0 +1,641 @@
+//! Cycle-approximate FR-FCFS DRAM controller simulator (Fig. 4 / Fig. 5).
+//!
+//! The simulator reproduces the controller behaviour the WCD analysis
+//! abstracts:
+//!
+//! * separate **read and write queues** per Fig. 4;
+//! * **first-ready** scheduling: row hits are promoted to the front of the
+//!   read queue, limited to [`ControllerConfig::n_cap`] consecutive
+//!   promotions to avoid starving misses;
+//! * **watermark write batching** per Fig. 5: switch to write mode when
+//!   the write queue reaches `W_high` (or `W_low` with an empty read
+//!   queue); switch back after `N_wd` writes when reads wait (or when the
+//!   write queue drains below `max(W_low − N_wd, 0)`);
+//! * periodic **refresh** every `tREFI`, costing `tRFC`, issued after the
+//!   in-flight request completes and closing all rows;
+//! * per-bank row-buffer state with the `tRC` activate-to-activate
+//!   constraint.
+//!
+//! Timing is approximated at request granularity (a hit occupies the data
+//! bus for `tBurst`; a miss pays the precharge→activate→CAS pipeline and
+//! holds its bank for `tRC`), which matches the granularity of the
+//! analytic model in [`crate::wcd`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use autoplat_sim::{SimDuration, SimTime, Summary, Trace};
+
+use crate::request::MasterId;
+
+use crate::config::ControllerConfig;
+use crate::request::{Completion, Request, RequestKind};
+use crate::timing::DramTiming;
+
+/// Serving direction of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Read,
+    Write,
+}
+
+#[derive(Debug, Clone)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest time the next activate to this bank may start (tRC rule).
+    ready_at: SimTime,
+}
+
+/// Aggregate outcome of one controller simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Every served request with its completion time.
+    pub completions: Vec<Completion>,
+    /// Read latency statistics (ns).
+    pub read_latency: Summary,
+    /// Write latency statistics (ns).
+    pub write_latency: Summary,
+    /// Per-master read latency statistics (ns).
+    pub read_latency_by_master: BTreeMap<MasterId, Summary>,
+    /// Number of requests served as row hits.
+    pub row_hits: u64,
+    /// Number of requests served as row misses.
+    pub row_misses: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+    /// Read↔write mode switches.
+    pub mode_switches: u64,
+    /// Time the last request completed.
+    pub finished_at: SimTime,
+    /// Behavioural trace (mode switches, refreshes) when enabled.
+    pub trace: Trace,
+}
+
+impl SimOutcome {
+    /// Row-hit rate over all served requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// The worst observed read latency in nanoseconds, if any read was
+    /// served.
+    pub fn max_read_latency_ns(&self) -> Option<f64> {
+        self.read_latency.max()
+    }
+}
+
+/// The FR-FCFS controller simulator.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_dram::{FrFcfsController, ControllerConfig, Request, RequestKind};
+/// use autoplat_dram::request::MasterId;
+/// use autoplat_dram::timing::presets::ddr3_1600;
+/// use autoplat_sim::SimTime;
+///
+/// let ctrl = FrFcfsController::new(ddr3_1600(), ControllerConfig::paper(), 8);
+/// let reqs = vec![
+///     Request::new(0, MasterId(0), RequestKind::Read, 0, 1, SimTime::ZERO),
+///     Request::new(1, MasterId(0), RequestKind::Read, 0, 1, SimTime::ZERO),
+/// ];
+/// let out = ctrl.simulate(reqs, false);
+/// assert_eq!(out.completions.len(), 2);
+/// assert_eq!(out.row_hits, 1); // second access hits the open row
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrFcfsController {
+    timing: DramTiming,
+    config: ControllerConfig,
+    banks: u32,
+}
+
+impl FrFcfsController {
+    /// Creates a controller model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing or configuration fails validation or `banks`
+    /// is zero.
+    pub fn new(timing: DramTiming, config: ControllerConfig, banks: u32) -> Self {
+        timing.validate().expect("invalid DRAM timing");
+        config.validate().expect("invalid controller config");
+        assert!(banks > 0, "need at least one bank");
+        FrFcfsController {
+            timing,
+            config,
+            banks,
+        }
+    }
+
+    /// The device timing in use.
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// The controller configuration in use.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Number of banks modelled.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Runs the workload to completion and reports statistics.
+    ///
+    /// Requests are admitted to their queue in arrival order; when a queue
+    /// is full the arrival stalls (back-pressure) until space frees up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request addresses a bank `>= self.banks()`.
+    pub fn simulate<I>(&self, workload: I, trace_enabled: bool) -> SimOutcome
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        let mut pending: VecDeque<Request> = {
+            let mut v: Vec<Request> = workload.into_iter().collect();
+            for r in &v {
+                assert!(
+                    r.bank < self.banks,
+                    "request {} targets bad bank {}",
+                    r.id,
+                    r.bank
+                );
+            }
+            v.sort_by_key(|r| (r.arrival, r.id));
+            v.into()
+        };
+        let t = &self.timing;
+        let cfg = &self.config;
+        let mut trace = if trace_enabled {
+            Trace::enabled()
+        } else {
+            Trace::new()
+        };
+
+        let mut now = SimTime::ZERO;
+        let mut mode = Mode::Read;
+        let mut banks: Vec<Bank> = (0..self.banks)
+            .map(|_| Bank {
+                open_row: None,
+                ready_at: SimTime::ZERO,
+            })
+            .collect();
+        let mut read_q: VecDeque<Request> = VecDeque::new();
+        let mut write_q: VecDeque<Request> = VecDeque::new();
+        let mut promoted_hits: u32 = 0;
+        let mut batch_served: u32 = 0;
+        let mut next_refresh = SimTime::ZERO + SimDuration::from_ns(t.t_refi);
+
+        let mut completions = Vec::new();
+        let mut read_latency = Summary::new();
+        let mut write_latency = Summary::new();
+        let mut read_latency_by_master: BTreeMap<MasterId, Summary> = BTreeMap::new();
+        let mut row_hits = 0u64;
+        let mut row_misses = 0u64;
+        let mut refreshes = 0u64;
+        let mut mode_switches = 0u64;
+
+        loop {
+            // Admit arrivals up to `now`, respecting queue capacities.
+            while let Some(front) = pending.front() {
+                if front.arrival > now {
+                    break;
+                }
+                let (queue, cap) = match front.kind {
+                    RequestKind::Read => (&mut read_q, cfg.read_queue_capacity),
+                    RequestKind::Write => (&mut write_q, cfg.write_queue_capacity),
+                };
+                if queue.len() >= cap {
+                    break; // back-pressure: retry after progress
+                }
+                queue.push_back(pending.pop_front().expect("front exists"));
+            }
+
+            if read_q.is_empty() && write_q.is_empty() {
+                match pending.front() {
+                    Some(next) => {
+                        // Idle: jump to the next arrival (serving refreshes
+                        // that fall inside the idle gap).
+                        while next_refresh <= next.arrival {
+                            now = next_refresh.max(now) + SimDuration::from_ns(t.t_rfc);
+                            for b in &mut banks {
+                                b.open_row = None;
+                            }
+                            refreshes += 1;
+                            trace.record(now, "dram", "refresh", None);
+                            next_refresh += SimDuration::from_ns(t.t_refi);
+                        }
+                        now = now.max(next.arrival);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // Refresh: highest priority once the timer has expired.
+            if now >= next_refresh {
+                now += SimDuration::from_ns(t.t_rfc);
+                for b in &mut banks {
+                    b.open_row = None;
+                }
+                refreshes += 1;
+                trace.record(now, "dram", "refresh", None);
+                next_refresh += SimDuration::from_ns(t.t_refi);
+                continue;
+            }
+
+            // Watermark policy (Fig. 5).
+            match mode {
+                Mode::Read => {
+                    let go_write = write_q.len() >= cfg.w_high as usize
+                        || (read_q.is_empty() && write_q.len() >= cfg.w_low as usize);
+                    if go_write && !write_q.is_empty() {
+                        mode = Mode::Write;
+                        mode_switches += 1;
+                        batch_served = 0;
+                        now += SimDuration::from_ns(t.t_rtw);
+                        trace.record(now, "dram", "switch-to-write", Some(write_q.len() as i64));
+                        continue;
+                    }
+                }
+                Mode::Write => {
+                    let drained = write_q.len() <= cfg.w_low.saturating_sub(cfg.n_wd) as usize;
+                    let go_read = write_q.is_empty()
+                        || (!read_q.is_empty() && batch_served >= cfg.n_wd)
+                        || (read_q.is_empty() && drained && !read_q.is_empty());
+                    if go_read {
+                        mode = Mode::Read;
+                        mode_switches += 1;
+                        promoted_hits = 0;
+                        now += SimDuration::from_ns(t.t_wr + t.t_wtr + t.t_cl);
+                        trace.record(now, "dram", "switch-to-read", Some(write_q.len() as i64));
+                        continue;
+                    }
+                }
+            }
+
+            // Serve one request in the current mode.
+            let served = match mode {
+                Mode::Read => {
+                    if read_q.is_empty() {
+                        // Nothing to read and the watermark keeps us out of
+                        // write mode: wait for the next arrival or refresh.
+                        let wake = pending
+                            .front()
+                            .map(|r| r.arrival)
+                            .unwrap_or(SimTime::MAX)
+                            .min(next_refresh);
+                        // If only writes remain below the watermark, drain
+                        // them rather than deadlock.
+                        if pending.is_empty() && !write_q.is_empty() {
+                            mode = Mode::Write;
+                            mode_switches += 1;
+                            batch_served = 0;
+                            now += SimDuration::from_ns(t.t_rtw);
+                            trace.record(
+                                now,
+                                "dram",
+                                "switch-to-write",
+                                Some(write_q.len() as i64),
+                            );
+                            continue;
+                        }
+                        now = wake;
+                        continue;
+                    }
+                    // First-ready: prefer the oldest row hit while under the
+                    // promotion cap.
+                    let hit_idx = read_q
+                        .iter()
+                        .position(|r| banks[r.bank as usize].open_row == Some(r.row));
+                    let idx = match hit_idx {
+                        Some(i) if promoted_hits < cfg.n_cap || i == 0 => i,
+                        _ => 0,
+                    };
+                    let req = read_q.remove(idx).expect("index in range");
+                    let is_promotion = idx > 0;
+                    let was_hit = banks[req.bank as usize].open_row == Some(req.row);
+                    if is_promotion && was_hit {
+                        promoted_hits += 1;
+                    } else if !was_hit {
+                        promoted_hits = 0;
+                    }
+                    Some((req, was_hit))
+                }
+                Mode::Write => {
+                    let req = write_q.pop_front().expect("write mode implies writes");
+                    let was_hit = banks[req.bank as usize].open_row == Some(req.row);
+                    batch_served += 1;
+                    Some((req, was_hit))
+                }
+            };
+
+            if let Some((req, was_hit)) = served {
+                let bank = &mut banks[req.bank as usize];
+                let finished = if was_hit {
+                    row_hits += 1;
+                    now + SimDuration::from_ns(t.t_burst)
+                } else {
+                    row_misses += 1;
+                    // Activate cannot start before the bank's tRC window
+                    // elapses; the precharge+activate+CAS pipeline follows.
+                    let begin = now.max(bank.ready_at);
+                    let cas = match req.kind {
+                        RequestKind::Read => t.t_cl,
+                        RequestKind::Write => t.t_cl, // CWL approximated by CL
+                    };
+                    let done = begin + SimDuration::from_ns(t.t_rp + t.t_rcd + cas + t.t_burst);
+                    bank.ready_at = begin + SimDuration::from_ns(t.t_rp + t.t_rc());
+                    bank.open_row = Some(req.row);
+                    done
+                };
+                now = finished;
+                match req.kind {
+                    RequestKind::Read => {
+                        let lat = finished.saturating_since(req.arrival).as_ns();
+                        read_latency.record(lat);
+                        read_latency_by_master
+                            .entry(req.master)
+                            .or_default()
+                            .record(lat);
+                    }
+                    RequestKind::Write => {
+                        write_latency.record(finished.saturating_since(req.arrival).as_ns())
+                    }
+                }
+                completions.push(Completion {
+                    request: req,
+                    finished,
+                    row_hit: was_hit,
+                });
+            }
+        }
+
+        SimOutcome {
+            completions,
+            read_latency,
+            write_latency,
+            read_latency_by_master,
+            row_hits,
+            row_misses,
+            refreshes,
+            mode_switches,
+            finished_at: now,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::MasterId;
+    use crate::timing::presets::ddr3_1600;
+
+    fn read(id: u64, bank: u32, row: u64, at_ns: f64) -> Request {
+        Request::new(
+            id,
+            MasterId(0),
+            RequestKind::Read,
+            bank,
+            row,
+            SimTime::from_ns(at_ns),
+        )
+    }
+
+    fn write(id: u64, bank: u32, row: u64, at_ns: f64) -> Request {
+        Request::new(
+            id,
+            MasterId(1),
+            RequestKind::Write,
+            bank,
+            row,
+            SimTime::from_ns(at_ns),
+        )
+    }
+
+    fn ctrl() -> FrFcfsController {
+        FrFcfsController::new(ddr3_1600(), ControllerConfig::paper(), 8)
+    }
+
+    #[test]
+    fn single_read_miss_latency_is_pipeline() {
+        let out = ctrl().simulate([read(0, 0, 5, 0.0)], false);
+        let t = ddr3_1600();
+        let expect = t.t_rp + t.t_rcd + t.t_cl + t.t_burst;
+        assert_eq!(out.completions.len(), 1);
+        assert!((out.read_latency.max().expect("one read") - expect).abs() < 1e-9);
+        assert_eq!(out.row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_reads_hit_after_first() {
+        let reqs: Vec<_> = (0..10).map(|i| read(i, 0, 7, 0.0)).collect();
+        let out = ctrl().simulate(reqs, false);
+        assert_eq!(out.row_misses, 1);
+        assert_eq!(out.row_hits, 9);
+    }
+
+    #[test]
+    fn alternating_rows_same_bank_all_miss_at_trc_rate() {
+        // Distinct rows so first-ready promotion finds no hits.
+        let reqs: Vec<_> = (0..10).map(|i| read(i, 0, i, 0.0)).collect();
+        let out = ctrl().simulate(reqs, false);
+        assert_eq!(out.row_hits, 0);
+        // Steady-state spacing is tRC per miss.
+        let t = ddr3_1600();
+        let total = out.finished_at.as_ns();
+        assert!(
+            total >= 9.0 * t.t_rc(),
+            "10 same-bank misses must be tRC-limited: {total}"
+        );
+    }
+
+    #[test]
+    fn hit_promotion_respects_cap() {
+        // One old miss behind a stream of hits to an open row: at most
+        // N_cap hits may jump ahead of the miss.
+        let cfg = ControllerConfig::paper().with_n_cap(4);
+        let ctrl = FrFcfsController::new(ddr3_1600(), cfg, 8);
+        let mut reqs = vec![read(0, 0, 1, 0.0)]; // opens row 1
+        reqs.push(read(1, 0, 2, 0.1)); // miss, FCFS-next
+        for i in 0..20 {
+            reqs.push(read(2 + i, 0, 1, 0.2)); // hits to the open row
+        }
+        let out = ctrl.simulate(reqs, false);
+        // The miss (id 1) must complete before the 5th hit in queue order
+        // would, i.e. only 4 of the row-1 hits finish before it.
+        let miss_finish = out
+            .completions
+            .iter()
+            .find(|c| c.request.id == 1)
+            .expect("served")
+            .finished;
+        let hits_before = out
+            .completions
+            .iter()
+            .filter(|c| c.request.id >= 2 && c.finished < miss_finish)
+            .count();
+        assert_eq!(hits_before, 4, "exactly N_cap hits may be promoted");
+    }
+
+    #[test]
+    fn writes_deferred_until_watermark() {
+        // Writes below W_low with reads flowing: writes wait.
+        let mut reqs = Vec::new();
+        for i in 0..5 {
+            reqs.push(write(100 + i, 0, 50, 0.0));
+        }
+        for i in 0..20 {
+            reqs.push(read(i, 0, 1, i as f64 * 10.0));
+        }
+        let out = ctrl().simulate(reqs, true);
+        // All reads complete before any write (watermark never reached
+        // until the read stream dries up).
+        let last_read = out
+            .completions
+            .iter()
+            .filter(|c| c.request.is_read())
+            .map(|c| c.finished)
+            .max()
+            .expect("reads served");
+        let first_write = out
+            .completions
+            .iter()
+            .filter(|c| !c.request.is_read())
+            .map(|c| c.finished)
+            .min()
+            .expect("writes served");
+        assert!(last_read < first_write, "writes must be deferred");
+    }
+
+    #[test]
+    fn high_watermark_triggers_write_mode() {
+        let cfg = ControllerConfig::paper().with_watermarks(4, 8);
+        let ctrl = FrFcfsController::new(ddr3_1600(), cfg, 8);
+        let mut reqs = Vec::new();
+        for i in 0..16 {
+            reqs.push(write(100 + i, 0, 50, 0.0));
+        }
+        // A steady read stream so the read queue is never empty.
+        for i in 0..50 {
+            reqs.push(read(i, 0, 1, i as f64 * 6.0));
+        }
+        let out = ctrl.simulate(reqs, true);
+        assert!(out.trace.count_tag("switch-to-write") >= 1);
+        assert!(out.trace.count_tag("switch-to-read") >= 1);
+        // Some writes complete before the last read: the batch interleaved.
+        let last_read = out
+            .completions
+            .iter()
+            .filter(|c| c.request.is_read())
+            .map(|c| c.finished)
+            .max()
+            .expect("reads");
+        let writes_before = out
+            .completions
+            .iter()
+            .filter(|c| !c.request.is_read() && c.finished < last_read)
+            .count();
+        assert!(
+            writes_before >= cfg.n_wd as usize,
+            "a full batch must interleave"
+        );
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        // Run well past several tREFI.
+        let reqs: Vec<_> = (0..500).map(|i| read(i, 0, i, i as f64 * 60.0)).collect();
+        let out = ctrl().simulate(reqs, false);
+        let expected = (out.finished_at.as_ns() / ddr3_1600().t_refi) as u64;
+        assert!(
+            out.refreshes >= expected.saturating_sub(1) && out.refreshes <= expected + 1,
+            "refreshes {} vs expected ~{expected}",
+            out.refreshes
+        );
+    }
+
+    #[test]
+    fn refresh_closes_rows() {
+        // A hit stream straddling a refresh: the access right after the
+        // refresh misses again.
+        let t = ddr3_1600();
+        let reqs = vec![read(0, 0, 1, 0.0), read(1, 0, 1, t.t_refi + 300.0)];
+        let out = ctrl().simulate(reqs, false);
+        assert_eq!(out.row_misses, 2, "row must be closed by the refresh");
+    }
+
+    #[test]
+    fn banks_are_independent_for_row_state() {
+        let reqs = vec![read(0, 0, 1, 0.0), read(1, 1, 1, 0.0), read(2, 0, 1, 0.0)];
+        let out = ctrl().simulate(reqs, false);
+        assert_eq!(out.row_misses, 2); // one per bank
+        assert_eq!(out.row_hits, 1);
+    }
+
+    #[test]
+    fn empty_workload_is_empty_outcome() {
+        let out = ctrl().simulate(Vec::new(), false);
+        assert!(out.completions.is_empty());
+        assert_eq!(out.finished_at, SimTime::ZERO);
+        assert_eq!(out.hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bank")]
+    fn rejects_out_of_range_bank() {
+        let _ = ctrl().simulate([read(0, 99, 0, 0.0)], false);
+    }
+
+    #[test]
+    fn simulated_wcd_within_analytic_upper_bound() {
+        // Adversarial scenario mirroring the WCD analysis: N misses queued
+        // ahead of the probe, hits behind an open row, heavy writes.
+        use crate::wcd::{upper_bound, WcdParams};
+        let n = 8u32;
+        let cfg = ControllerConfig::paper();
+        let ctrl = FrFcfsController::new(ddr3_1600(), cfg, 1);
+        let mut reqs = Vec::new();
+        // N misses to distinct rows (the probe is the Nth).
+        for i in 0..n as u64 {
+            reqs.push(read(i, 0, 1000 + i, 0.0));
+        }
+        // Hot hits that may be promoted.
+        for i in 0..cfg.n_cap as u64 {
+            reqs.push(read(100 + i, 0, 1000, 0.05));
+        }
+        // Saturating writes: 4 Gbps of 8-byte requests = 1 per 16 ns.
+        for i in 0..400u64 {
+            reqs.push(write(1000 + i, 0, 77, i as f64 * 16.0));
+        }
+        let out = ctrl.simulate(reqs, false);
+        let probe_finish = out
+            .completions
+            .iter()
+            .find(|c| c.request.id == n as u64 - 1)
+            .expect("probe served")
+            .finished
+            .as_ns();
+        let bound = upper_bound(&WcdParams {
+            timing: ddr3_1600(),
+            config: cfg,
+            writes: autoplat_netcalc::TokenBucket::new(8.0, 1.0 / 16.0),
+            queue_position: n,
+        })
+        .expect("stable");
+        assert!(
+            probe_finish <= bound.delay_ns,
+            "simulated {probe_finish} ns must be within the analytic bound {} ns",
+            bound.delay_ns
+        );
+    }
+}

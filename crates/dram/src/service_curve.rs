@@ -1,0 +1,148 @@
+//! DRAM service-curve extraction for compositional analysis.
+//!
+//! §IV-A: "Call `t_N` the time at which a read miss entering the read
+//! queue at the Nth position is scheduled. The curve that joins points
+//! `(t_N, N)` is a service curve for this system, hence can be used in a
+//! compositional analysis to obtain end-to-end performance metrics."
+//!
+//! [`read_service_curve`] computes those points with the WCD upper bound
+//! (a *conservative* service curve: the controller serves at least `N`
+//! misses by `t_N`) and joins them into a [`PiecewiseLinear`] curve;
+//! [`rate_latency_abstraction`] collapses it to the tightest rate-latency
+//! lower bound for use in closed-form end-to-end chains.
+
+use autoplat_netcalc::service::from_samples;
+use autoplat_netcalc::{PiecewiseLinear, RateLatency};
+
+use crate::wcd::{upper_bound, WcdError, WcdParams};
+
+/// The `(t_N, N)` service curve of the read channel for queue positions
+/// `1..=max_position`, derived from the WCD upper bound.
+///
+/// # Errors
+///
+/// Propagates [`WcdError`] from the bound computation (e.g. saturation).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_dram::service_curve::read_service_curve;
+/// use autoplat_dram::wcd::WcdParams;
+/// use autoplat_dram::{ControllerConfig, timing::presets::ddr3_1600};
+/// use autoplat_netcalc::arrival::gbps_bucket;
+///
+/// let params = WcdParams {
+///     timing: ddr3_1600(),
+///     config: ControllerConfig::paper(),
+///     writes: gbps_bucket(4.0, 8, 8),
+///     queue_position: 1, // overridden per point
+/// };
+/// let beta = read_service_curve(&params, 32)?;
+/// // The curve guarantees at least one served miss by t_1...
+/// assert!(beta.inverse(1.0).expect("reaches 1") > 0.0);
+/// # Ok::<(), autoplat_dram::wcd::WcdError>(())
+/// ```
+pub fn read_service_curve(
+    params: &WcdParams,
+    max_position: u32,
+) -> Result<PiecewiseLinear, WcdError> {
+    assert!(max_position >= 1, "need at least one queue position");
+    let mut samples = Vec::with_capacity(max_position as usize);
+    for n in 1..=max_position {
+        let p = WcdParams {
+            queue_position: n,
+            ..params.clone()
+        };
+        let bound = upper_bound(&p)?;
+        samples.push((bound.delay_ns, n as f64));
+    }
+    Ok(from_samples(&samples))
+}
+
+/// The tightest rate-latency abstraction lower-bounding the `(t_N, N)`
+/// service curve: rate in requests/ns, latency in ns.
+///
+/// # Errors
+///
+/// Propagates [`WcdError`]; additionally returns
+/// [`WcdError::Invalid`] if the curve has no positive long-run rate.
+pub fn rate_latency_abstraction(
+    params: &WcdParams,
+    max_position: u32,
+) -> Result<RateLatency, WcdError> {
+    let curve = read_service_curve(params, max_position)?;
+    RateLatency::lower_bound_of(&curve)
+        .ok_or_else(|| WcdError::Invalid("service curve has no positive rate".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerConfig;
+    use crate::timing::presets::ddr3_1600;
+    use autoplat_netcalc::arrival::gbps_bucket;
+
+    fn params(gbps: f64) -> WcdParams {
+        WcdParams {
+            timing: ddr3_1600(),
+            config: ControllerConfig::paper(),
+            writes: gbps_bucket(gbps, 8, 8),
+            queue_position: 1,
+        }
+    }
+
+    #[test]
+    fn curve_is_non_decreasing_and_reaches_counts() {
+        let beta = read_service_curve(&params(4.0), 24).expect("stable");
+        assert!(beta.is_non_decreasing());
+        for n in 1..=24 {
+            assert!(
+                beta.inverse(n as f64).is_some(),
+                "curve must eventually serve {n} requests"
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_write_traffic_gives_weaker_service() {
+        let light = read_service_curve(&params(2.0), 16).expect("stable");
+        let heavy = read_service_curve(&params(6.0), 16).expect("stable");
+        for i in 1..200 {
+            let t = i as f64 * 25.0;
+            assert!(
+                heavy.value(t) <= light.value(t) + 1e-9,
+                "more interference cannot improve service at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_latency_lower_bounds_curve() {
+        let p = params(4.0);
+        let beta = read_service_curve(&p, 32).expect("stable");
+        let rl = rate_latency_abstraction(&p, 32).expect("stable");
+        for i in 0..400 {
+            let t = i as f64 * 20.0;
+            assert!(
+                rl.guarantee(t) <= beta.value(t) + 1e-9,
+                "rate-latency must stay below the service curve at t={t}"
+            );
+        }
+        assert!(rl.rate() > 0.0);
+        assert!(rl.latency() > 0.0);
+    }
+
+    #[test]
+    fn saturated_params_propagate_error() {
+        let t = ddr3_1600();
+        let c_batch = t.write_batch_cost(16);
+        let p = WcdParams {
+            timing: t,
+            config: ControllerConfig::paper(),
+            writes: autoplat_netcalc::TokenBucket::new(8.0, 16.0 / c_batch * 1.1),
+            queue_position: 1,
+        };
+        assert!(read_service_curve(&p, 4).is_err());
+        assert!(rate_latency_abstraction(&p, 4).is_err());
+    }
+}

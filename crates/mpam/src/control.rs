@@ -1,0 +1,743 @@
+//! The six MPAM control interfaces (§III-B.4), all optional in the
+//! architecture:
+//!
+//! 1. [`CachePortionPartitioning`] — cache subdivided into up to `2^15`
+//!    equal portions; a bitmap per PARTID gates allocation (Fig. 3);
+//! 2. [`CacheMaxCapacity`] — limits a partition to a fraction of total
+//!    cache capacity, combinable with portion partitioning;
+//! 3. [`BandwidthPortionPartitioning`] — memory bandwidth subdivided into
+//!    up to `2^12` quanta gated by a bitmap per PARTID;
+//! 4. [`BandwidthMinMax`] — minimum guaranteed and maximum permitted
+//!    bandwidth per partition, applied **in the presence of contention**;
+//! 5. [`BandwidthProportionalStride`] — bandwidth shared in proportion to
+//!    each partition's configurable stride;
+//! 6. [`PriorityPartitioning`] — per-partition configuration of internal
+//!    arbitration priorities (e.g. in NoCs or memory controllers).
+
+use std::collections::HashMap;
+
+use crate::id::PartId;
+
+/// Maximum number of cache portions (`2^15`).
+pub const MAX_CACHE_PORTIONS: u32 = 1 << 15;
+/// Maximum number of bandwidth quanta (`2^12`).
+pub const MAX_BANDWIDTH_PORTIONS: u32 = 1 << 12;
+
+/// Errors raised by the control interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// Requested more portions than the architecture allows.
+    TooManyPortions {
+        /// Requested count.
+        requested: u32,
+        /// Architectural maximum.
+        max: u32,
+    },
+    /// A portion index beyond the configured count.
+    PortionOutOfRange {
+        /// The offending portion.
+        portion: u32,
+        /// Configured portion count.
+        portions: u32,
+    },
+    /// A capacity fraction outside `(0, 1]`.
+    InvalidFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// A min/max bandwidth pair with `min > max` or negative values.
+    InvalidBandwidthRange {
+        /// Configured minimum.
+        min: f64,
+        /// Configured maximum.
+        max: f64,
+    },
+    /// The guaranteed minimums exceed the available capacity.
+    Overcommitted {
+        /// Sum of configured minimums.
+        total_min: f64,
+        /// Available capacity.
+        capacity: f64,
+    },
+    /// A proportional stride of zero.
+    ZeroStride,
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::TooManyPortions { requested, max } => {
+                write!(
+                    f,
+                    "{requested} portions exceed the architectural maximum {max}"
+                )
+            }
+            ControlError::PortionOutOfRange { portion, portions } => {
+                write!(f, "portion {portion} out of range (have {portions})")
+            }
+            ControlError::InvalidFraction { fraction } => {
+                write!(f, "capacity fraction {fraction} outside (0, 1]")
+            }
+            ControlError::InvalidBandwidthRange { min, max } => {
+                write!(
+                    f,
+                    "invalid bandwidth range: min {min} > max {max} or negative"
+                )
+            }
+            ControlError::Overcommitted {
+                total_min,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "guaranteed minimums {total_min} exceed capacity {capacity}"
+                )
+            }
+            ControlError::ZeroStride => write!(f, "proportional stride must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Generic portion-bitmap partitioning shared by the cache-portion and
+/// bandwidth-portion interfaces.
+#[derive(Debug, Clone)]
+struct PortionBitmaps {
+    portions: u32,
+    bitmaps: HashMap<PartId, Vec<u64>>,
+}
+
+impl PortionBitmaps {
+    fn new(portions: u32, max: u32) -> Result<Self, ControlError> {
+        if portions == 0 || portions > max {
+            return Err(ControlError::TooManyPortions {
+                requested: portions,
+                max,
+            });
+        }
+        Ok(PortionBitmaps {
+            portions,
+            bitmaps: HashMap::new(),
+        })
+    }
+
+    fn words(&self) -> usize {
+        self.portions.div_ceil(64) as usize
+    }
+
+    fn set_bitmap64(&mut self, partid: PartId, bitmap: u64) -> Result<(), ControlError> {
+        if self.portions < 64 && bitmap >> self.portions != 0 {
+            let bad = 63 - bitmap.leading_zeros();
+            return Err(ControlError::PortionOutOfRange {
+                portion: bad,
+                portions: self.portions,
+            });
+        }
+        let mut words = vec![0u64; self.words()];
+        words[0] = bitmap;
+        self.bitmaps.insert(partid, words);
+        Ok(())
+    }
+
+    fn set_portions(&mut self, partid: PartId, portions: &[u32]) -> Result<(), ControlError> {
+        let mut words = vec![0u64; self.words()];
+        for &p in portions {
+            if p >= self.portions {
+                return Err(ControlError::PortionOutOfRange {
+                    portion: p,
+                    portions: self.portions,
+                });
+            }
+            words[(p / 64) as usize] |= 1 << (p % 64);
+        }
+        self.bitmaps.insert(partid, words);
+        Ok(())
+    }
+
+    fn may_allocate(&self, partid: PartId, portion: u32) -> bool {
+        if portion >= self.portions {
+            return false;
+        }
+        match self.bitmaps.get(&partid) {
+            // Unconfigured PARTIDs may allocate anywhere (open default).
+            None => true,
+            Some(words) => words[(portion / 64) as usize] & (1 << (portion % 64)) != 0,
+        }
+    }
+
+    fn owned_count(&self, partid: PartId) -> u32 {
+        match self.bitmaps.get(&partid) {
+            None => self.portions,
+            Some(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+}
+
+/// Cache-portion partitioning: a cache divided into equal fixed-size
+/// portions; bit `B_n` of a partition's bitmap gates allocation into
+/// portion `P_n`. Portions may be private, shared by a group, or open.
+///
+/// # Examples
+///
+/// Fig. 3's apportioning: 8 portions, two PARTIDs with two private
+/// portions each and one shared:
+///
+/// ```
+/// use autoplat_mpam::control::CachePortionPartitioning;
+/// use autoplat_mpam::PartId;
+///
+/// let mut c = CachePortionPartitioning::new(8)?;
+/// c.set_bitmap(PartId(0), 0b0000_0111)?; // portions 0,1 private + 2 shared
+/// c.set_bitmap(PartId(1), 0b0001_1100)?; // portions 3,4 private + 2 shared
+/// assert!(c.may_allocate(PartId(0), 2) && c.may_allocate(PartId(1), 2));
+/// assert!(!c.may_allocate(PartId(1), 0));
+/// # Ok::<(), autoplat_mpam::control::ControlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachePortionPartitioning {
+    inner: PortionBitmaps,
+}
+
+impl CachePortionPartitioning {
+    /// Creates an interface with `portions` equal portions.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::TooManyPortions`] if `portions` is zero or exceeds
+    /// `2^15`.
+    pub fn new(portions: u32) -> Result<Self, ControlError> {
+        Ok(CachePortionPartitioning {
+            inner: PortionBitmaps::new(portions, MAX_CACHE_PORTIONS)?,
+        })
+    }
+
+    /// Number of portions.
+    pub fn portions(&self) -> u32 {
+        self.inner.portions
+    }
+
+    /// Sets a partition's bitmap from a 64-bit value (for up to 64
+    /// portions).
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::PortionOutOfRange`] if the bitmap selects portions
+    /// beyond the configured count.
+    pub fn set_bitmap(&mut self, partid: PartId, bitmap: u64) -> Result<(), ControlError> {
+        self.inner.set_bitmap64(partid, bitmap)
+    }
+
+    /// Sets a partition's bitmap from explicit portion indices (any
+    /// portion count).
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::PortionOutOfRange`] for indices beyond the count.
+    pub fn set_portions(&mut self, partid: PartId, portions: &[u32]) -> Result<(), ControlError> {
+        self.inner.set_portions(partid, portions)
+    }
+
+    /// Whether `partid` may allocate into `portion`. Unconfigured PARTIDs
+    /// may allocate anywhere.
+    pub fn may_allocate(&self, partid: PartId, portion: u32) -> bool {
+        self.inner.may_allocate(partid, portion)
+    }
+
+    /// Number of portions `partid` owns.
+    pub fn owned_portions(&self, partid: PartId) -> u32 {
+        self.inner.owned_count(partid)
+    }
+
+    /// Exports the bitmap as a way mask for a `ways`-way cache when the
+    /// portion count equals the way count (the common implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways != portions` or `ways > 64`.
+    pub fn way_mask(&self, partid: PartId, ways: u32) -> u64 {
+        assert!(
+            ways == self.inner.portions && ways <= 64,
+            "way-mask export requires portions == ways <= 64"
+        );
+        (0..ways).fold(0u64, |m, p| {
+            if self.may_allocate(partid, p) {
+                m | (1 << p)
+            } else {
+                m
+            }
+        })
+    }
+}
+
+/// Cache maximum-capacity partitioning: limits a partition to a fraction
+/// of total capacity, e.g. to stop one partition monopolising portions
+/// shared with others.
+#[derive(Debug, Clone, Default)]
+pub struct CacheMaxCapacity {
+    fractions: HashMap<PartId, f64>,
+}
+
+impl CacheMaxCapacity {
+    /// Creates an interface with no limits configured.
+    pub fn new() -> Self {
+        CacheMaxCapacity::default()
+    }
+
+    /// Limits `partid` to `fraction` of the capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::InvalidFraction`] unless `0 < fraction <= 1`.
+    pub fn set_fraction(&mut self, partid: PartId, fraction: f64) -> Result<(), ControlError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(ControlError::InvalidFraction { fraction });
+        }
+        self.fractions.insert(partid, fraction);
+        Ok(())
+    }
+
+    /// The fraction configured for `partid` (1.0 when unconfigured).
+    pub fn fraction(&self, partid: PartId) -> f64 {
+        self.fractions.get(&partid).copied().unwrap_or(1.0)
+    }
+
+    /// The maximum number of lines `partid` may occupy out of
+    /// `total_lines`.
+    pub fn allowed_lines(&self, partid: PartId, total_lines: u64) -> u64 {
+        (self.fraction(partid) * total_lines as f64).floor() as u64
+    }
+
+    /// Whether an allocation by `partid` is admissible given its current
+    /// occupancy.
+    pub fn may_grow(&self, partid: PartId, occupancy: u64, total_lines: u64) -> bool {
+        occupancy < self.allowed_lines(partid, total_lines)
+    }
+}
+
+/// Memory-bandwidth portion partitioning: bandwidth divided into up to
+/// `2^12` quanta, gated per PARTID by a bitmap.
+#[derive(Debug, Clone)]
+pub struct BandwidthPortionPartitioning {
+    inner: PortionBitmaps,
+}
+
+impl BandwidthPortionPartitioning {
+    /// Creates an interface with `quanta` bandwidth portions.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::TooManyPortions`] if `quanta` is zero or exceeds
+    /// `2^12`.
+    pub fn new(quanta: u32) -> Result<Self, ControlError> {
+        Ok(BandwidthPortionPartitioning {
+            inner: PortionBitmaps::new(quanta, MAX_BANDWIDTH_PORTIONS)?,
+        })
+    }
+
+    /// Number of quanta.
+    pub fn quanta(&self) -> u32 {
+        self.inner.portions
+    }
+
+    /// Sets a partition's quantum bitmap (up to 64 quanta).
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::PortionOutOfRange`] if the bitmap selects quanta
+    /// beyond the configured count.
+    pub fn set_bitmap(&mut self, partid: PartId, bitmap: u64) -> Result<(), ControlError> {
+        self.inner.set_bitmap64(partid, bitmap)
+    }
+
+    /// Sets a partition's quanta from explicit indices.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::PortionOutOfRange`] for indices beyond the count.
+    pub fn set_quanta(&mut self, partid: PartId, quanta: &[u32]) -> Result<(), ControlError> {
+        self.inner.set_portions(partid, quanta)
+    }
+
+    /// Whether `partid` may use quantum `q`.
+    pub fn may_use(&self, partid: PartId, q: u32) -> bool {
+        self.inner.may_allocate(partid, q)
+    }
+
+    /// The bandwidth share of `partid`: owned quanta / total quanta.
+    pub fn share(&self, partid: PartId) -> f64 {
+        self.inner.owned_count(partid) as f64 / self.inner.portions as f64
+    }
+}
+
+/// Memory-bandwidth minimum/maximum partitioning: a minimum guaranteed
+/// and maximum permitted bandwidth per partition, enforced under
+/// contention.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthMinMax {
+    limits: HashMap<PartId, (f64, f64)>,
+}
+
+impl BandwidthMinMax {
+    /// Creates an interface with no limits configured.
+    pub fn new() -> Self {
+        BandwidthMinMax::default()
+    }
+
+    /// Configures `partid`'s guaranteed minimum and permitted maximum (in
+    /// any consistent bandwidth unit).
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::InvalidBandwidthRange`] if either value is negative
+    /// or `min > max`.
+    pub fn set_limits(&mut self, partid: PartId, min: f64, max: f64) -> Result<(), ControlError> {
+        if !(min >= 0.0 && max >= min && max.is_finite()) {
+            return Err(ControlError::InvalidBandwidthRange { min, max });
+        }
+        self.limits.insert(partid, (min, max));
+        Ok(())
+    }
+
+    /// The `(min, max)` pair for `partid`; `(0, +inf)` when unconfigured.
+    pub fn limits(&self, partid: PartId) -> (f64, f64) {
+        self.limits
+            .get(&partid)
+            .copied()
+            .unwrap_or((0.0, f64::INFINITY))
+    }
+
+    /// Allocates `capacity` among contending partitions with the given
+    /// demands: each first receives `min(demand, guaranteed_min)`, then
+    /// the remainder is distributed by progressive filling (water-fill)
+    /// capped by each partition's demand and maximum.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Overcommitted`] if the applicable guaranteed
+    /// minimums alone exceed `capacity`.
+    pub fn allocate(
+        &self,
+        demands: &[(PartId, f64)],
+        capacity: f64,
+    ) -> Result<HashMap<PartId, f64>, ControlError> {
+        let mut alloc: HashMap<PartId, f64> = HashMap::new();
+        let mut used = 0.0;
+        for &(p, demand) in demands {
+            let (min, _) = self.limits(p);
+            let grant = demand.min(min);
+            alloc.insert(p, grant);
+            used += grant;
+        }
+        if used > capacity + 1e-9 {
+            return Err(ControlError::Overcommitted {
+                total_min: used,
+                capacity,
+            });
+        }
+        // Water-fill the remainder, capped by demand and max.
+        let mut remaining = capacity - used;
+        loop {
+            let hungry: Vec<PartId> = demands
+                .iter()
+                .filter(|&&(p, d)| {
+                    let (_, max) = self.limits(p);
+                    let cur = alloc[&p];
+                    cur + 1e-12 < d.min(max)
+                })
+                .map(|&(p, _)| p)
+                .collect();
+            if hungry.is_empty() || remaining <= 1e-12 {
+                break;
+            }
+            let share = remaining / hungry.len() as f64;
+            let mut granted = 0.0;
+            for p in hungry {
+                let d = demands.iter().find(|&&(q, _)| q == p).expect("present").1;
+                let (_, max) = self.limits(p);
+                let cur = alloc[&p];
+                let inc = share.min(d.min(max) - cur);
+                alloc.insert(p, cur + inc);
+                granted += inc;
+            }
+            if granted <= 1e-12 {
+                break;
+            }
+            remaining -= granted;
+        }
+        Ok(alloc)
+    }
+}
+
+/// Memory-bandwidth proportional-stride partitioning: a partition consumes
+/// bandwidth "in proportion to its own stride relative to the strides of
+/// other partitions that are competing".
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthProportionalStride {
+    strides: HashMap<PartId, u32>,
+}
+
+impl BandwidthProportionalStride {
+    /// Creates an interface with no strides configured.
+    pub fn new() -> Self {
+        BandwidthProportionalStride::default()
+    }
+
+    /// Configures a partition's stride.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::ZeroStride`] if `stride` is zero.
+    pub fn set_stride(&mut self, partid: PartId, stride: u32) -> Result<(), ControlError> {
+        if stride == 0 {
+            return Err(ControlError::ZeroStride);
+        }
+        self.strides.insert(partid, stride);
+        Ok(())
+    }
+
+    /// The stride of `partid` (1 when unconfigured).
+    pub fn stride(&self, partid: PartId) -> u32 {
+        self.strides.get(&partid).copied().unwrap_or(1)
+    }
+
+    /// The bandwidth shares of the given competing partitions (sums to 1).
+    pub fn shares(&self, competing: &[PartId]) -> HashMap<PartId, f64> {
+        let total: u64 = competing.iter().map(|&p| self.stride(p) as u64).sum();
+        competing
+            .iter()
+            .map(|&p| (p, self.stride(p) as f64 / total.max(1) as f64))
+            .collect()
+    }
+}
+
+/// Priority partitioning: per-partition configuration of internal
+/// arbitration priorities in the memory system. Higher values win
+/// arbitration.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityPartitioning {
+    priorities: HashMap<PartId, u8>,
+}
+
+impl PriorityPartitioning {
+    /// Creates an interface with no priorities configured.
+    pub fn new() -> Self {
+        PriorityPartitioning::default()
+    }
+
+    /// Sets a partition's arbitration priority (higher wins).
+    pub fn set_priority(&mut self, partid: PartId, priority: u8) {
+        self.priorities.insert(partid, priority);
+    }
+
+    /// The priority of `partid` (0 when unconfigured).
+    pub fn priority(&self, partid: PartId) -> u8 {
+        self.priorities.get(&partid).copied().unwrap_or(0)
+    }
+
+    /// Picks the arbitration winner among `candidates`: highest priority,
+    /// ties broken by lowest PARTID. Returns `None` for an empty slate.
+    pub fn arbitrate(&self, candidates: &[PartId]) -> Option<PartId> {
+        candidates.iter().copied().max_by(|a, b| {
+            self.priority(*a)
+                .cmp(&self.priority(*b))
+                .then_with(|| b.cmp(a)) // lower PARTID wins ties
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portion_limits_enforced() {
+        assert!(matches!(
+            CachePortionPartitioning::new(0),
+            Err(ControlError::TooManyPortions { .. })
+        ));
+        assert!(CachePortionPartitioning::new(MAX_CACHE_PORTIONS).is_ok());
+        assert!(CachePortionPartitioning::new(MAX_CACHE_PORTIONS + 1).is_err());
+        assert!(BandwidthPortionPartitioning::new(MAX_BANDWIDTH_PORTIONS + 1).is_err());
+    }
+
+    #[test]
+    fn fig3_two_private_one_shared() {
+        let mut c = CachePortionPartitioning::new(8).expect("8 portions");
+        c.set_bitmap(PartId(0), 0b0000_0111).expect("ok");
+        c.set_bitmap(PartId(1), 0b0001_1100).expect("ok");
+        // Private to 0.
+        assert!(c.may_allocate(PartId(0), 0) && !c.may_allocate(PartId(1), 0));
+        // Shared portion 2.
+        assert!(c.may_allocate(PartId(0), 2) && c.may_allocate(PartId(1), 2));
+        // Private to 1.
+        assert!(!c.may_allocate(PartId(0), 4) && c.may_allocate(PartId(1), 4));
+        // Open portions 5-7 (not in either bitmap → closed for configured
+        // partitions, open for unconfigured ones).
+        assert!(!c.may_allocate(PartId(0), 7));
+        assert!(c.may_allocate(PartId(9), 7), "unconfigured PARTID is open");
+        assert_eq!(c.owned_portions(PartId(0)), 3);
+    }
+
+    #[test]
+    fn bitmap_out_of_range_detected() {
+        let mut c = CachePortionPartitioning::new(4).expect("ok");
+        let err = c.set_bitmap(PartId(0), 0b1_0000).unwrap_err();
+        assert!(matches!(
+            err,
+            ControlError::PortionOutOfRange { portion: 4, .. }
+        ));
+        assert!(c.set_portions(PartId(0), &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn large_portion_counts_use_indices() {
+        let mut c = CachePortionPartitioning::new(1 << 15).expect("max");
+        c.set_portions(PartId(0), &[0, 100, 32767]).expect("ok");
+        assert!(c.may_allocate(PartId(0), 32767));
+        assert!(!c.may_allocate(PartId(0), 32766));
+        assert_eq!(c.owned_portions(PartId(0)), 3);
+    }
+
+    #[test]
+    fn way_mask_export() {
+        let mut c = CachePortionPartitioning::new(16).expect("ok");
+        c.set_bitmap(PartId(2), 0x00F0).expect("ok");
+        assert_eq!(c.way_mask(PartId(2), 16), 0x00F0);
+    }
+
+    #[test]
+    #[should_panic(expected = "portions == ways")]
+    fn way_mask_mismatch_panics() {
+        let c = CachePortionPartitioning::new(8).expect("ok");
+        let _ = c.way_mask(PartId(0), 16);
+    }
+
+    #[test]
+    fn max_capacity_limits_growth() {
+        let mut m = CacheMaxCapacity::new();
+        m.set_fraction(PartId(1), 0.25).expect("ok");
+        assert_eq!(m.allowed_lines(PartId(1), 1024), 256);
+        assert!(m.may_grow(PartId(1), 255, 1024));
+        assert!(!m.may_grow(PartId(1), 256, 1024));
+        // Unconfigured: full capacity.
+        assert_eq!(m.allowed_lines(PartId(9), 1024), 1024);
+        assert!(matches!(
+            m.set_fraction(PartId(1), 0.0),
+            Err(ControlError::InvalidFraction { .. })
+        ));
+        assert!(m.set_fraction(PartId(1), 1.5).is_err());
+    }
+
+    #[test]
+    fn bandwidth_portions_share() {
+        let mut b = BandwidthPortionPartitioning::new(16).expect("ok");
+        b.set_bitmap(PartId(0), 0x000F).expect("ok");
+        b.set_bitmap(PartId(1), 0xFFF0).expect("ok");
+        assert_eq!(b.quanta(), 16);
+        assert!(b.may_use(PartId(0), 3) && !b.may_use(PartId(0), 4));
+        assert!((b.share(PartId(0)) - 0.25).abs() < 1e-12);
+        assert!((b.share(PartId(1)) - 0.75).abs() < 1e-12);
+        b.set_quanta(PartId(2), &[0, 1]).expect("ok");
+        assert!((b.share(PartId(2)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_guarantees_min_under_contention() {
+        let mut mm = BandwidthMinMax::new();
+        mm.set_limits(PartId(0), 4.0, 10.0).expect("ok"); // critical
+        mm.set_limits(PartId(1), 0.0, 3.0).expect("ok"); // best effort
+        let alloc = mm
+            .allocate(&[(PartId(0), 10.0), (PartId(1), 10.0)], 8.0)
+            .expect("feasible");
+        // Critical gets its minimum plus a share; best effort capped at 3.
+        assert!(alloc[&PartId(0)] >= 4.0);
+        assert!(alloc[&PartId(1)] <= 3.0 + 1e-9);
+        let total: f64 = alloc.values().sum();
+        assert!(total <= 8.0 + 1e-9);
+        // All capacity is used when demand exists.
+        assert!((total - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minmax_overcommit_detected() {
+        let mut mm = BandwidthMinMax::new();
+        mm.set_limits(PartId(0), 6.0, 10.0).expect("ok");
+        mm.set_limits(PartId(1), 6.0, 10.0).expect("ok");
+        let err = mm
+            .allocate(&[(PartId(0), 10.0), (PartId(1), 10.0)], 8.0)
+            .unwrap_err();
+        assert!(matches!(err, ControlError::Overcommitted { .. }));
+    }
+
+    #[test]
+    fn minmax_respects_demand() {
+        let mm = BandwidthMinMax::new();
+        let alloc = mm
+            .allocate(&[(PartId(0), 2.0), (PartId(1), 100.0)], 10.0)
+            .expect("feasible");
+        assert!(
+            (alloc[&PartId(0)] - 2.0).abs() < 1e-9,
+            "never exceeds demand"
+        );
+        assert!((alloc[&PartId(1)] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minmax_invalid_range() {
+        let mut mm = BandwidthMinMax::new();
+        assert!(mm.set_limits(PartId(0), 5.0, 1.0).is_err());
+        assert!(mm.set_limits(PartId(0), -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn stride_shares_proportional() {
+        let mut s = BandwidthProportionalStride::new();
+        s.set_stride(PartId(0), 3).expect("ok");
+        s.set_stride(PartId(1), 1).expect("ok");
+        let shares = s.shares(&[PartId(0), PartId(1)]);
+        assert!((shares[&PartId(0)] - 0.75).abs() < 1e-12);
+        assert!((shares[&PartId(1)] - 0.25).abs() < 1e-12);
+        assert_eq!(s.set_stride(PartId(2), 0), Err(ControlError::ZeroStride));
+        // Unconfigured partitions weigh 1.
+        let with_default = s.shares(&[PartId(0), PartId(9)]);
+        assert!((with_default[&PartId(0)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_arbitration() {
+        let mut p = PriorityPartitioning::new();
+        p.set_priority(PartId(0), 1);
+        p.set_priority(PartId(1), 5);
+        assert_eq!(p.arbitrate(&[PartId(0), PartId(1)]), Some(PartId(1)));
+        // Tie on priority: lower PARTID wins.
+        p.set_priority(PartId(2), 5);
+        assert_eq!(p.arbitrate(&[PartId(2), PartId(1)]), Some(PartId(1)));
+        assert_eq!(p.arbitrate(&[]), None);
+        assert_eq!(p.priority(PartId(7)), 0);
+    }
+
+    #[test]
+    fn error_display_all_variants() {
+        let errs: Vec<ControlError> = vec![
+            ControlError::TooManyPortions {
+                requested: 9,
+                max: 8,
+            },
+            ControlError::PortionOutOfRange {
+                portion: 9,
+                portions: 8,
+            },
+            ControlError::InvalidFraction { fraction: 2.0 },
+            ControlError::InvalidBandwidthRange { min: 2.0, max: 1.0 },
+            ControlError::Overcommitted {
+                total_min: 9.0,
+                capacity: 8.0,
+            },
+            ControlError::ZeroStride,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

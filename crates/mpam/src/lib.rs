@@ -1,0 +1,50 @@
+//! MPAM — Memory System Resource Partitioning and Monitoring (§III-B).
+//!
+//! Model of the Armv8.4-A MPAM architecture extension as described in the
+//! DATE'21 paper:
+//!
+//! * [`id`] — **identification**: partition identifiers ([`PartId`]) that
+//!   label memory traffic for control, performance-monitoring-group
+//!   identifiers ([`Pmg`]) that sub-label agents within a partition for
+//!   monitoring, and the four PARTID **spaces** (physical/virtual ×
+//!   secure/non-secure, encoded alongside the `MPAM_NS` bit);
+//! * [`virt`] — virtual-PARTID support: hypervisors delegate a subset of
+//!   physical PARTIDs to each guest, which manages its own contiguous
+//!   vPARTID space, translated back through mapping registers;
+//! * [`monitor`] — the two standard monitoring interfaces:
+//!   **cache-storage usage** and **memory-bandwidth usage** monitors, with
+//!   request-type filters and capture registers;
+//! * [`control`] — the six standard control interfaces: cache-portion
+//!   partitioning (Fig. 3), cache maximum-capacity, memory-bandwidth
+//!   portion, memory-bandwidth minimum/maximum, memory-bandwidth
+//!   proportional-stride, and priority partitioning;
+//! * [`msc`] — a memory-system component bundling monitors and controls,
+//!   the per-resource attachment point.
+//!
+//! # Examples
+//!
+//! Labelling a workload and partitioning a cache into portions (Fig. 3):
+//!
+//! ```
+//! use autoplat_mpam::{MpamLabel, PartId, Pmg, PartIdSpace};
+//! use autoplat_mpam::control::CachePortionPartitioning;
+//!
+//! let label = MpamLabel::new(PartId(3), Pmg(1), PartIdSpace::PhysicalNonSecure);
+//! let mut portions = CachePortionPartitioning::new(8)?;
+//! portions.set_bitmap(PartId(3), 0b0000_0111)?; // portions 0-2
+//! assert!(portions.may_allocate(PartId(3), 2));
+//! assert!(!portions.may_allocate(PartId(3), 5));
+//! assert_eq!(label.partid(), PartId(3));
+//! # Ok::<(), autoplat_mpam::control::ControlError>(())
+//! ```
+
+pub mod control;
+pub mod id;
+pub mod monitor;
+pub mod msc;
+pub mod virt;
+
+pub use id::{MpamLabel, PartId, PartIdSpace, Pmg};
+pub use monitor::{CacheStorageMonitor, MemoryBandwidthMonitor, MonitorFilter, RequestType};
+pub use msc::MemorySystemComponent;
+pub use virt::VirtualPartIdMap;

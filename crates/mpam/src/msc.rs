@@ -1,0 +1,258 @@
+//! A memory-system component (MSC): the per-resource attachment point for
+//! MPAM monitors and controls.
+//!
+//! Every MPAM-aware resource — a shared cache, an interconnect, a memory
+//! controller — exposes some subset of the monitoring and control
+//! interfaces. [`MemorySystemComponent`] bundles them and dispatches
+//! labelled traffic to the attached monitors.
+
+use crate::control::{
+    BandwidthMinMax, BandwidthPortionPartitioning, BandwidthProportionalStride, CacheMaxCapacity,
+    CachePortionPartitioning, PriorityPartitioning,
+};
+use crate::id::MpamLabel;
+use crate::monitor::{CacheStorageMonitor, MemoryBandwidthMonitor};
+
+/// An MPAM-instrumented memory-system resource.
+///
+/// All interfaces are optional, matching the architecture ("MPAM provides
+/// 6 types of standard control interfaces, all of which are optional").
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_mpam::MemorySystemComponent;
+/// use autoplat_mpam::control::CachePortionPartitioning;
+/// use autoplat_mpam::monitor::{MemoryBandwidthMonitor, MonitorFilter};
+/// use autoplat_mpam::{MpamLabel, PartId, Pmg, PartIdSpace};
+///
+/// let mut msc = MemorySystemComponent::new("l3-cache");
+/// msc.set_cache_portions(CachePortionPartitioning::new(16)?);
+/// msc.add_bandwidth_monitor(MemoryBandwidthMonitor::new(
+///     MonitorFilter::partid_only(PartId(1)),
+/// ));
+/// let label = MpamLabel::new(PartId(1), Pmg(0), PartIdSpace::PhysicalNonSecure);
+/// msc.on_transfer(&label, true, 64);
+/// assert_eq!(msc.bandwidth_monitors()[0].value(), 64);
+/// # Ok::<(), autoplat_mpam::control::ControlError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemorySystemComponent {
+    name: String,
+    cache_portions: Option<CachePortionPartitioning>,
+    cache_max_capacity: Option<CacheMaxCapacity>,
+    bw_portions: Option<BandwidthPortionPartitioning>,
+    bw_minmax: Option<BandwidthMinMax>,
+    bw_stride: Option<BandwidthProportionalStride>,
+    priority: Option<PriorityPartitioning>,
+    storage_monitors: Vec<CacheStorageMonitor>,
+    bandwidth_monitors: Vec<MemoryBandwidthMonitor>,
+}
+
+impl MemorySystemComponent {
+    /// Creates a bare MSC with no interfaces.
+    pub fn new(name: impl Into<String>) -> Self {
+        MemorySystemComponent {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The resource's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs cache-portion partitioning.
+    pub fn set_cache_portions(&mut self, c: CachePortionPartitioning) {
+        self.cache_portions = Some(c);
+    }
+
+    /// The cache-portion interface, if implemented.
+    pub fn cache_portions(&self) -> Option<&CachePortionPartitioning> {
+        self.cache_portions.as_ref()
+    }
+
+    /// Installs cache maximum-capacity partitioning.
+    pub fn set_cache_max_capacity(&mut self, c: CacheMaxCapacity) {
+        self.cache_max_capacity = Some(c);
+    }
+
+    /// The cache max-capacity interface, if implemented.
+    pub fn cache_max_capacity(&self) -> Option<&CacheMaxCapacity> {
+        self.cache_max_capacity.as_ref()
+    }
+
+    /// Installs bandwidth-portion partitioning.
+    pub fn set_bandwidth_portions(&mut self, c: BandwidthPortionPartitioning) {
+        self.bw_portions = Some(c);
+    }
+
+    /// The bandwidth-portion interface, if implemented.
+    pub fn bandwidth_portions(&self) -> Option<&BandwidthPortionPartitioning> {
+        self.bw_portions.as_ref()
+    }
+
+    /// Installs bandwidth min/max partitioning.
+    pub fn set_bandwidth_minmax(&mut self, c: BandwidthMinMax) {
+        self.bw_minmax = Some(c);
+    }
+
+    /// The bandwidth min/max interface, if implemented.
+    pub fn bandwidth_minmax(&self) -> Option<&BandwidthMinMax> {
+        self.bw_minmax.as_ref()
+    }
+
+    /// Installs proportional-stride partitioning.
+    pub fn set_bandwidth_stride(&mut self, c: BandwidthProportionalStride) {
+        self.bw_stride = Some(c);
+    }
+
+    /// The proportional-stride interface, if implemented.
+    pub fn bandwidth_stride(&self) -> Option<&BandwidthProportionalStride> {
+        self.bw_stride.as_ref()
+    }
+
+    /// Installs priority partitioning.
+    pub fn set_priority(&mut self, c: PriorityPartitioning) {
+        self.priority = Some(c);
+    }
+
+    /// The priority interface, if implemented.
+    pub fn priority(&self) -> Option<&PriorityPartitioning> {
+        self.priority.as_ref()
+    }
+
+    /// Attaches a cache-storage usage monitor; returns its index.
+    pub fn add_storage_monitor(&mut self, m: CacheStorageMonitor) -> usize {
+        self.storage_monitors.push(m);
+        self.storage_monitors.len() - 1
+    }
+
+    /// Attaches a memory-bandwidth usage monitor; returns its index.
+    pub fn add_bandwidth_monitor(&mut self, m: MemoryBandwidthMonitor) -> usize {
+        self.bandwidth_monitors.push(m);
+        self.bandwidth_monitors.len() - 1
+    }
+
+    /// The attached storage monitors.
+    pub fn storage_monitors(&self) -> &[CacheStorageMonitor] {
+        &self.storage_monitors
+    }
+
+    /// The attached bandwidth monitors.
+    pub fn bandwidth_monitors(&self) -> &[MemoryBandwidthMonitor] {
+        &self.bandwidth_monitors
+    }
+
+    /// Dispatches a data transfer to all bandwidth monitors.
+    pub fn on_transfer(&mut self, label: &MpamLabel, is_read: bool, bytes: u64) {
+        for m in &mut self.bandwidth_monitors {
+            m.on_transfer(label, is_read, bytes);
+        }
+    }
+
+    /// Dispatches a cache fill to all storage monitors.
+    pub fn on_fill(&mut self, label: &MpamLabel, bytes: u64) {
+        for m in &mut self.storage_monitors {
+            m.on_fill(label, bytes);
+        }
+    }
+
+    /// Dispatches a cache eviction to all storage monitors.
+    pub fn on_evict(&mut self, label: &MpamLabel, bytes: u64) {
+        for m in &mut self.storage_monitors {
+            m.on_evict(label, bytes);
+        }
+    }
+
+    /// Fires a capture event: freezes every monitor's value into its
+    /// capture register, "allowing the values in multiple registers at a
+    /// given point in time to be frozen and then read out sequentially".
+    pub fn capture_event(&mut self) {
+        for m in &mut self.storage_monitors {
+            m.capture();
+        }
+        for m in &mut self.bandwidth_monitors {
+            m.capture();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{PartId, PartIdSpace, Pmg};
+    use crate::monitor::MonitorFilter;
+
+    fn label(p: u16) -> MpamLabel {
+        MpamLabel::new(PartId(p), Pmg(0), PartIdSpace::PhysicalNonSecure)
+    }
+
+    #[test]
+    fn bare_msc_has_no_interfaces() {
+        let msc = MemorySystemComponent::new("dram");
+        assert_eq!(msc.name(), "dram");
+        assert!(msc.cache_portions().is_none());
+        assert!(msc.cache_max_capacity().is_none());
+        assert!(msc.bandwidth_portions().is_none());
+        assert!(msc.bandwidth_minmax().is_none());
+        assert!(msc.bandwidth_stride().is_none());
+        assert!(msc.priority().is_none());
+        assert!(msc.storage_monitors().is_empty());
+        assert!(msc.bandwidth_monitors().is_empty());
+    }
+
+    #[test]
+    fn monitors_receive_dispatched_events() {
+        let mut msc = MemorySystemComponent::new("l3");
+        let s = msc.add_storage_monitor(CacheStorageMonitor::new(MonitorFilter::partid_only(
+            PartId(1),
+        )));
+        let b = msc.add_bandwidth_monitor(MemoryBandwidthMonitor::new(MonitorFilter::partid_only(
+            PartId(1),
+        )));
+        msc.on_fill(&label(1), 64);
+        msc.on_fill(&label(2), 64); // filtered
+        msc.on_transfer(&label(1), true, 128);
+        msc.on_evict(&label(1), 64);
+        assert_eq!(msc.storage_monitors()[s].value(), 0);
+        assert_eq!(msc.bandwidth_monitors()[b].value(), 128);
+    }
+
+    #[test]
+    fn capture_event_freezes_all_monitors() {
+        let mut msc = MemorySystemComponent::new("l3");
+        msc.add_storage_monitor(CacheStorageMonitor::new(MonitorFilter::partid_only(
+            PartId(1),
+        )));
+        msc.add_bandwidth_monitor(MemoryBandwidthMonitor::new(MonitorFilter::partid_only(
+            PartId(1),
+        )));
+        msc.on_fill(&label(1), 64);
+        msc.on_transfer(&label(1), false, 32);
+        msc.capture_event();
+        msc.on_fill(&label(1), 64);
+        msc.on_transfer(&label(1), false, 32);
+        assert_eq!(msc.storage_monitors()[0].captured(), Some(64));
+        assert_eq!(msc.bandwidth_monitors()[0].captured(), Some(32));
+    }
+
+    #[test]
+    fn interfaces_installable() {
+        use crate::control::*;
+        let mut msc = MemorySystemComponent::new("ctrl");
+        msc.set_cache_portions(CachePortionPartitioning::new(8).expect("ok"));
+        msc.set_cache_max_capacity(CacheMaxCapacity::new());
+        msc.set_bandwidth_portions(BandwidthPortionPartitioning::new(8).expect("ok"));
+        msc.set_bandwidth_minmax(BandwidthMinMax::new());
+        msc.set_bandwidth_stride(BandwidthProportionalStride::new());
+        msc.set_priority(PriorityPartitioning::new());
+        assert!(msc.cache_portions().is_some());
+        assert!(msc.cache_max_capacity().is_some());
+        assert!(msc.bandwidth_portions().is_some());
+        assert!(msc.bandwidth_minmax().is_some());
+        assert!(msc.bandwidth_stride().is_some());
+        assert!(msc.priority().is_some());
+    }
+}

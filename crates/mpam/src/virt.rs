@@ -1,0 +1,203 @@
+//! Virtual PARTID support (§III-B.2).
+//!
+//! Hypervisors delegate a subset of physical PARTIDs (pPARTIDs) to each
+//! guest OS; the guest manages its own contiguous virtual space
+//! (vPARTIDs) which is translated back to pPARTIDs "using mapping system
+//! registers or translation tables under hypervisor control".
+
+use std::collections::BTreeMap;
+
+use crate::id::PartId;
+
+/// Errors translating virtual PARTIDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtError {
+    /// The guest used a vPARTID with no mapping entry.
+    Unmapped {
+        /// The unmapped virtual PARTID.
+        vpartid: PartId,
+    },
+    /// The hypervisor tried to map a vPARTID outside the guest's
+    /// contiguous space.
+    BeyondSpace {
+        /// The offending virtual PARTID.
+        vpartid: PartId,
+        /// The size of the guest's vPARTID space.
+        space_size: u16,
+    },
+}
+
+impl std::fmt::Display for VirtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VirtError::Unmapped { vpartid } => write!(f, "virtual {vpartid} is unmapped"),
+            VirtError::BeyondSpace {
+                vpartid,
+                space_size,
+            } => {
+                write!(f, "virtual {vpartid} outside guest space of {space_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VirtError {}
+
+/// A per-guest vPARTID → pPARTID mapping table.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_mpam::{PartId, VirtualPartIdMap};
+///
+/// // The hypervisor gives the guest 4 virtual PARTIDs backed by
+/// // physical PARTIDs 16..20.
+/// let mut map = VirtualPartIdMap::new(4);
+/// for v in 0..4u16 {
+///     map.map(PartId(v), PartId(16 + v))?;
+/// }
+/// assert_eq!(map.translate(PartId(2))?, PartId(18));
+/// assert!(map.translate(PartId(9)).is_err());
+/// # Ok::<(), autoplat_mpam::virt::VirtError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualPartIdMap {
+    space_size: u16,
+    entries: BTreeMap<u16, PartId>,
+}
+
+impl VirtualPartIdMap {
+    /// Creates a map for a guest with `space_size` contiguous vPARTIDs
+    /// (`0..space_size`).
+    pub fn new(space_size: u16) -> Self {
+        VirtualPartIdMap {
+            space_size,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The size of the guest's virtual space.
+    pub fn space_size(&self) -> u16 {
+        self.space_size
+    }
+
+    /// Installs (or replaces) a mapping entry. Hypervisor-only operation.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtError::BeyondSpace`] if `vpartid` is outside the guest space.
+    pub fn map(&mut self, vpartid: PartId, ppartid: PartId) -> Result<(), VirtError> {
+        if vpartid.0 >= self.space_size {
+            return Err(VirtError::BeyondSpace {
+                vpartid,
+                space_size: self.space_size,
+            });
+        }
+        self.entries.insert(vpartid.0, ppartid);
+        Ok(())
+    }
+
+    /// Removes a mapping entry, returning the previous target if any.
+    pub fn unmap(&mut self, vpartid: PartId) -> Option<PartId> {
+        self.entries.remove(&vpartid.0)
+    }
+
+    /// Translates a guest vPARTID to the backing pPARTID — what the
+    /// hardware does on every labelled request from the guest.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtError::Unmapped`] for vPARTIDs without an entry (including
+    /// those beyond the space).
+    pub fn translate(&self, vpartid: PartId) -> Result<PartId, VirtError> {
+        self.entries
+            .get(&vpartid.0)
+            .copied()
+            .ok_or(VirtError::Unmapped { vpartid })
+    }
+
+    /// The set of physical PARTIDs delegated through this map, sorted.
+    pub fn delegated(&self) -> Vec<PartId> {
+        let mut v: Vec<PartId> = self.entries.values().copied().collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_round_trip() {
+        let mut m = VirtualPartIdMap::new(8);
+        m.map(PartId(0), PartId(40)).expect("in space");
+        m.map(PartId(7), PartId(41)).expect("in space");
+        assert_eq!(m.translate(PartId(0)), Ok(PartId(40)));
+        assert_eq!(m.translate(PartId(7)), Ok(PartId(41)));
+    }
+
+    #[test]
+    fn unmapped_and_beyond_space_errors() {
+        let mut m = VirtualPartIdMap::new(2);
+        assert_eq!(
+            m.translate(PartId(0)),
+            Err(VirtError::Unmapped { vpartid: PartId(0) })
+        );
+        assert_eq!(
+            m.map(PartId(2), PartId(9)),
+            Err(VirtError::BeyondSpace {
+                vpartid: PartId(2),
+                space_size: 2
+            })
+        );
+        assert!(m.translate(PartId(5)).is_err());
+    }
+
+    #[test]
+    fn remap_replaces_and_unmap_removes() {
+        let mut m = VirtualPartIdMap::new(4);
+        m.map(PartId(1), PartId(10)).expect("ok");
+        m.map(PartId(1), PartId(11)).expect("ok");
+        assert_eq!(m.translate(PartId(1)), Ok(PartId(11)));
+        assert_eq!(m.unmap(PartId(1)), Some(PartId(11)));
+        assert!(m.translate(PartId(1)).is_err());
+        assert_eq!(m.unmap(PartId(1)), None);
+    }
+
+    #[test]
+    fn delegated_is_sorted_unique() {
+        let mut m = VirtualPartIdMap::new(4);
+        m.map(PartId(0), PartId(30)).expect("ok");
+        m.map(PartId(1), PartId(10)).expect("ok");
+        m.map(PartId(2), PartId(30)).expect("ok");
+        assert_eq!(m.delegated(), vec![PartId(10), PartId(30)]);
+    }
+
+    #[test]
+    fn two_guests_use_same_virtual_ids_different_physical() {
+        // The point of vPARTIDs: each guest sees a contiguous space from 0.
+        let mut rtos = VirtualPartIdMap::new(2);
+        let mut gpos = VirtualPartIdMap::new(2);
+        rtos.map(PartId(0), PartId(2)).expect("ok");
+        gpos.map(PartId(0), PartId(5)).expect("ok");
+        assert_ne!(
+            rtos.translate(PartId(0)).expect("ok"),
+            gpos.translate(PartId(0)).expect("ok")
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(VirtError::Unmapped { vpartid: PartId(3) }
+            .to_string()
+            .contains("unmapped"));
+        assert!(VirtError::BeyondSpace {
+            vpartid: PartId(9),
+            space_size: 4
+        }
+        .to_string()
+        .contains("outside"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the MPAM model.
+
+use autoplat_mpam::control::{
+    BandwidthMinMax, BandwidthProportionalStride, CachePortionPartitioning, PriorityPartitioning,
+};
+use autoplat_mpam::monitor::{MemoryBandwidthMonitor, MonitorFilter};
+use autoplat_mpam::{MpamLabel, PartId, PartIdSpace, Pmg, VirtualPartIdMap};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn portion_bitmaps_round_trip(portions_pow in 0u32..7, bitmap in any::<u64>()) {
+        let portions = 1u32 << portions_pow;
+        let mut c = CachePortionPartitioning::new(portions).expect("valid count");
+        let mask = if portions >= 64 { u64::MAX } else { (1u64 << portions) - 1 };
+        let bitmap = bitmap & mask;
+        c.set_bitmap(PartId(1), bitmap).expect("masked in range");
+        for p in 0..portions {
+            prop_assert_eq!(c.may_allocate(PartId(1), p), bitmap & (1 << p) != 0);
+        }
+        prop_assert_eq!(c.owned_portions(PartId(1)), bitmap.count_ones());
+    }
+
+    #[test]
+    fn minmax_allocation_invariants(
+        mins in proptest::collection::vec(0.0f64..2.0, 1..5),
+        demands in proptest::collection::vec(0.0f64..10.0, 1..5),
+        capacity in 5.0f64..50.0,
+    ) {
+        let n = mins.len().min(demands.len());
+        let mut mm = BandwidthMinMax::new();
+        for (i, &min) in mins.iter().take(n).enumerate() {
+            mm.set_limits(PartId(i as u16), min, min + 5.0).expect("valid range");
+        }
+        let ds: Vec<(PartId, f64)> = demands
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, &d)| (PartId(i as u16), d))
+            .collect();
+        if let Ok(alloc) = mm.allocate(&ds, capacity) {
+            let total: f64 = alloc.values().sum();
+            prop_assert!(total <= capacity + 1e-6, "capacity exceeded");
+            for (p, d) in &ds {
+                let a = alloc[p];
+                let (min, max) = mm.limits(*p);
+                prop_assert!(a <= d + 1e-9, "allocation beyond demand");
+                prop_assert!(a <= max + 1e-9, "allocation beyond max");
+                // Guaranteed minimum honored (up to demand).
+                prop_assert!(a + 1e-9 >= min.min(*d), "minimum violated");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_shares_sum_to_one(strides in proptest::collection::vec(1u32..100, 1..6)) {
+        let mut s = BandwidthProportionalStride::new();
+        for (i, &st) in strides.iter().enumerate() {
+            s.set_stride(PartId(i as u16), st).expect("non-zero");
+        }
+        let ids: Vec<PartId> = (0..strides.len()).map(|i| PartId(i as u16)).collect();
+        let shares = s.shares(&ids);
+        let total: f64 = shares.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Proportionality: share_i / share_j == stride_i / stride_j.
+        if strides.len() >= 2 {
+            let r_shares = shares[&ids[0]] / shares[&ids[1]];
+            let r_strides = strides[0] as f64 / strides[1] as f64;
+            prop_assert!((r_shares - r_strides).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn priority_winner_has_max_priority(
+        prios in proptest::collection::vec(0u8..=255, 1..8),
+    ) {
+        let mut p = PriorityPartitioning::new();
+        for (i, &pr) in prios.iter().enumerate() {
+            p.set_priority(PartId(i as u16), pr);
+        }
+        let ids: Vec<PartId> = (0..prios.len()).map(|i| PartId(i as u16)).collect();
+        let winner = p.arbitrate(&ids).expect("non-empty");
+        let max = prios.iter().copied().max().expect("non-empty");
+        prop_assert_eq!(p.priority(winner), max);
+        // Deterministic: lowest PARTID among max-priority candidates.
+        let expect = ids
+            .iter()
+            .copied()
+            .filter(|id| p.priority(*id) == max)
+            .min()
+            .expect("non-empty");
+        prop_assert_eq!(winner, expect);
+    }
+
+    #[test]
+    fn virtual_map_translations_are_installed_pairs(
+        pairs in proptest::collection::vec((0u16..32, 0u16..1024), 1..32),
+    ) {
+        let mut map = VirtualPartIdMap::new(32);
+        let mut last: std::collections::HashMap<u16, u16> = Default::default();
+        for &(v, p) in &pairs {
+            map.map(PartId(v), PartId(p)).expect("in space");
+            last.insert(v, p);
+        }
+        for (&v, &p) in &last {
+            prop_assert_eq!(map.translate(PartId(v)), Ok(PartId(p)));
+        }
+        // Unmapped vPARTIDs in the space still error.
+        for v in 0..32u16 {
+            if !last.contains_key(&v) {
+                prop_assert!(map.translate(PartId(v)).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_monitor_counts_exactly_matching_bytes(
+        events in proptest::collection::vec((0u16..4, 0u8..4, any::<bool>(), 1u64..512), 1..100),
+    ) {
+        let target = PartId(1);
+        let mut mon = MemoryBandwidthMonitor::new(MonitorFilter::partid_only(target));
+        let mut expect = 0u64;
+        for &(partid, pmg, is_read, bytes) in &events {
+            let label = MpamLabel::new(
+                PartId(partid),
+                Pmg(pmg),
+                PartIdSpace::PhysicalNonSecure,
+            );
+            mon.on_transfer(&label, is_read, bytes);
+            if PartId(partid) == target {
+                expect += bytes;
+            }
+        }
+        prop_assert_eq!(mon.value(), expect);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic delay and backlog bounds.
+//!
+//! Given an arrival curve `α` and a service curve `β`:
+//!
+//! * the **backlog bound** is the vertical deviation
+//!   `sup_t [α(t) − β(t)]` — it dimensions buffer space;
+//! * the **delay bound** is the horizontal deviation
+//!   `sup_t inf{ d ≥ 0 : α(t) ≤ β(t + d) }` — it bounds response time.
+//!
+//! Both are computed **exactly** for piecewise-linear curves by examining
+//! breakpoints and tail slopes.
+
+use crate::curve::PiecewiseLinear;
+
+/// Exact backlog (vertical deviation) bound `sup_t [α(t) − β(t)]`.
+///
+/// Returns `None` (unbounded backlog) when the arrival curve eventually
+/// grows faster than the service curve.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::{TokenBucket, RateLatency, backlog_bound};
+///
+/// let alpha = TokenBucket::new(8.0, 1.0).to_curve();
+/// let beta = RateLatency::new(4.0, 2.0).to_curve();
+/// // b + r·T = 8 + 1·2 = 10
+/// assert_eq!(backlog_bound(&alpha, &beta), Some(10.0));
+/// ```
+pub fn backlog_bound(alpha: &PiecewiseLinear, beta: &PiecewiseLinear) -> Option<f64> {
+    if alpha.final_slope() > beta.final_slope() + 1e-12 {
+        return None;
+    }
+    // sup of a PL function (α − β) is attained at a breakpoint of either
+    // curve (the difference is PL with breakpoints at the union).
+    let mut best = f64::NEG_INFINITY;
+    for &(x, _) in alpha.breakpoints().iter().chain(beta.breakpoints()) {
+        best = best.max(alpha.value(x) - beta.value(x));
+    }
+    Some(best.max(0.0))
+}
+
+/// Exact delay (horizontal deviation) bound
+/// `sup_t inf{ d >= 0 : α(t) <= β(t + d) }`.
+///
+/// Returns `None` (unbounded delay) when the system is unstable
+/// (`α`'s long-run rate exceeds `β`'s) or when `β` never reaches some
+/// level that `α` attains.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::{TokenBucket, RateLatency, delay_bound};
+///
+/// let alpha = TokenBucket::new(8.0, 1.0).to_curve();
+/// let beta = RateLatency::new(4.0, 2.0).to_curve();
+/// // T + b/R = 2 + 8/4 = 4
+/// assert_eq!(delay_bound(&alpha, &beta), Some(4.0));
+/// ```
+pub fn delay_bound(alpha: &PiecewiseLinear, beta: &PiecewiseLinear) -> Option<f64> {
+    if alpha.final_slope() > beta.final_slope() + 1e-12 {
+        return None;
+    }
+    // The horizontal deviation between PL curves is attained at a
+    // breakpoint of α or at a point of α mapping to a breakpoint of β.
+    // Candidate t values: α's breakpoints, plus α⁻¹(y) for β breakpoint
+    // levels y, plus t = 0.
+    let mut candidates: Vec<f64> = alpha.breakpoints().iter().map(|&(x, _)| x).collect();
+    for &(_, y) in beta.breakpoints() {
+        if let Some(t) = alpha.inverse(y) {
+            candidates.push(t);
+        }
+    }
+    candidates.push(0.0);
+
+    let mut worst: f64 = 0.0;
+    for &t in &candidates {
+        let need = alpha.value(t);
+        let reach = beta.inverse(need)?; // earliest time β reaches `need`
+        worst = worst.max(reach - t);
+    }
+    Some(worst.max(0.0))
+}
+
+/// Delay bound specialized to the token-bucket / rate-latency pair:
+/// the classic closed form `T + b / R`, returning `None` when unstable.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::{TokenBucket, RateLatency};
+/// use autoplat_netcalc::bounds::token_bucket_delay;
+///
+/// let d = token_bucket_delay(&TokenBucket::new(8.0, 1.0), &RateLatency::new(4.0, 2.0));
+/// assert_eq!(d, Some(4.0));
+/// ```
+pub fn token_bucket_delay(
+    alpha: &crate::arrival::TokenBucket,
+    beta: &crate::service::RateLatency,
+) -> Option<f64> {
+    if alpha.rate() > beta.rate() {
+        return None;
+    }
+    Some(beta.latency() + alpha.burst() / beta.rate())
+}
+
+/// Backlog bound specialized to the token-bucket / rate-latency pair:
+/// `b + r·T`, returning `None` when unstable.
+pub fn token_bucket_backlog(
+    alpha: &crate::arrival::TokenBucket,
+    beta: &crate::service::RateLatency,
+) -> Option<f64> {
+    if alpha.rate() > beta.rate() {
+        return None;
+    }
+    Some(alpha.burst() + alpha.rate() * beta.latency())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::TokenBucket;
+    use crate::service::RateLatency;
+
+    #[test]
+    fn closed_forms_match_generic() {
+        let cases = [
+            (TokenBucket::new(8.0, 1.0), RateLatency::new(4.0, 2.0)),
+            (TokenBucket::new(0.0, 0.5), RateLatency::new(1.0, 0.0)),
+            (TokenBucket::new(100.0, 3.0), RateLatency::new(3.0, 10.0)),
+        ];
+        for (a, b) in cases {
+            let ac = a.to_curve();
+            let bc = b.to_curve();
+            assert!(
+                (delay_bound(&ac, &bc).expect("stable")
+                    - token_bucket_delay(&a, &b).expect("stable"))
+                .abs()
+                    < 1e-9
+            );
+            assert!(
+                (backlog_bound(&ac, &bc).expect("stable")
+                    - token_bucket_backlog(&a, &b).expect("stable"))
+                .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn unstable_system_has_no_bounds() {
+        let a = TokenBucket::new(1.0, 5.0).to_curve();
+        let b = RateLatency::new(2.0, 0.0).to_curve();
+        assert_eq!(delay_bound(&a, &b), None);
+        assert_eq!(backlog_bound(&a, &b), None);
+    }
+
+    #[test]
+    fn equal_rates_are_stable() {
+        let a = TokenBucket::new(4.0, 2.0).to_curve();
+        let b = RateLatency::new(2.0, 1.0).to_curve();
+        assert_eq!(delay_bound(&a, &b), Some(1.0 + 4.0 / 2.0));
+        assert_eq!(backlog_bound(&a, &b), Some(4.0 + 2.0));
+    }
+
+    #[test]
+    fn multi_segment_service_curve_delay() {
+        // Staircase-ish convex service curve: slow start then fast.
+        let beta = PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 0.0), (4.0, 2.0)], 5.0);
+        let alpha = TokenBucket::new(3.0, 1.0).to_curve();
+        let d = delay_bound(&alpha, &beta).expect("stable");
+        // At t=0, α=3; β reaches 3 at t = 4 + 1/5 = 4.2 → d = 4.2.
+        // Later α grows slower than β so the worst case is at t=0.
+        assert!((d - 4.2).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn concave_two_rate_arrival_delay() {
+        // α = min(8 + t, 2 + 4t): steep early, flat late.
+        let alpha = PiecewiseLinear::affine(8.0, 1.0).min(&PiecewiseLinear::affine(2.0, 4.0));
+        let beta = RateLatency::new(2.0, 1.0).to_curve();
+        let d = delay_bound(&alpha, &beta).expect("stable");
+        // Worst case at the α breakpoint t = 2 (α = 10): β reaches 10 at
+        // t = 1 + 5 = 6 → delay 4.
+        assert!((d - 4.0).abs() < 1e-9, "got {d}");
+        let q = backlog_bound(&alpha, &beta).expect("stable");
+        // Vertical deviation at t = 2: 10 − 2 = 8.
+        assert!((q - 8.0).abs() < 1e-9, "got {q}");
+    }
+
+    #[test]
+    fn delay_zero_when_service_dominates() {
+        let alpha = TokenBucket::new(0.0, 1.0).to_curve();
+        let beta = RateLatency::new(10.0, 0.0).to_curve();
+        assert_eq!(delay_bound(&alpha, &beta), Some(0.0));
+        assert_eq!(backlog_bound(&alpha, &beta), Some(0.0));
+    }
+
+    #[test]
+    fn bounds_monotone_in_burst() {
+        let beta = RateLatency::new(4.0, 2.0).to_curve();
+        let mut last_d = 0.0;
+        let mut last_q = 0.0;
+        for b in [0.0, 1.0, 4.0, 16.0] {
+            let alpha = TokenBucket::new(b, 1.0).to_curve();
+            let d = delay_bound(&alpha, &beta).expect("stable");
+            let q = backlog_bound(&alpha, &beta).expect("stable");
+            assert!(d >= last_d && q >= last_q, "bounds must grow with burst");
+            last_d = d;
+            last_q = q;
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Runtime token-bucket conformance checking and shaping.
+//!
+//! §IV-A notes that a token-bucket shaper "can be practically implemented
+//! in hardware (all it takes is a buffer and a timer)". [`BucketState`]
+//! is that implementation: a fluid token bucket that either *checks*
+//! arrivals against the contract ([`BucketState::conforms`]) or computes
+//! the earliest conformant emission time ([`BucketState::earliest_send`]),
+//! which is what the NoC injection regulators and the MemGuard-style
+//! bandwidth regulator build on.
+
+use crate::arrival::TokenBucket;
+
+/// Runtime state of a token bucket: a fluid token level refilled at rate
+/// `r`, capped at the burst `b`.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::TokenBucket;
+/// use autoplat_netcalc::conformance::BucketState;
+///
+/// let contract = TokenBucket::new(2.0, 1.0); // 2 tokens, +1 token/s
+/// let mut state = BucketState::new(contract);
+/// assert!(state.try_consume(0.0, 2.0)); // burst of 2 at t=0 conforms
+/// assert!(!state.try_consume(0.0, 1.0)); // third item does not
+/// assert!(state.try_consume(1.0, 1.0)); // one second later, refilled
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketState {
+    contract: TokenBucket,
+    tokens: f64,
+    last_update: f64,
+}
+
+impl BucketState {
+    /// Creates a full bucket for `contract`.
+    pub fn new(contract: TokenBucket) -> Self {
+        BucketState {
+            tokens: contract.burst(),
+            contract,
+            last_update: 0.0,
+        }
+    }
+
+    /// The contract being enforced.
+    pub fn contract(&self) -> &TokenBucket {
+        &self.contract
+    }
+
+    /// Current token level after refilling up to time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last observed time (time must be
+    /// monotone).
+    pub fn tokens_at(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    fn refill(&mut self, now: f64) {
+        assert!(
+            now >= self.last_update,
+            "time went backwards: {now} < {}",
+            self.last_update
+        );
+        self.tokens = (self.tokens + self.contract.rate() * (now - self.last_update))
+            .min(self.contract.burst());
+        self.last_update = now;
+    }
+
+    /// Whether consuming `amount` at time `now` would conform, without
+    /// consuming.
+    pub fn conforms(&mut self, now: f64, amount: f64) -> bool {
+        self.refill(now);
+        self.tokens + 1e-12 >= amount
+    }
+
+    /// Attempts to consume `amount` at `now`; returns whether it conformed
+    /// (and only then consumes).
+    pub fn try_consume(&mut self, now: f64, amount: f64) -> bool {
+        if self.conforms(now, amount) {
+            self.tokens -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest time `>= now` at which `amount` could be sent
+    /// conformantly (the shaping delay), or `None` if `amount` exceeds the
+    /// burst (it can never be sent at once) or the rate is zero with
+    /// insufficient tokens.
+    pub fn earliest_send(&mut self, now: f64, amount: f64) -> Option<f64> {
+        self.refill(now);
+        if amount > self.contract.burst() + 1e-12 {
+            return None;
+        }
+        if self.tokens + 1e-12 >= amount {
+            return Some(now);
+        }
+        if self.contract.rate() <= 0.0 {
+            return None;
+        }
+        Some(now + (amount - self.tokens) / self.contract.rate())
+    }
+
+    /// Resets the bucket to full at time `now`.
+    pub fn reset(&mut self, now: f64) {
+        self.tokens = self.contract.burst();
+        self.last_update = now;
+    }
+}
+
+/// Verifies that a complete arrival trace `(time, amount)` conforms to
+/// `contract`, returning the index of the first violation if any.
+///
+/// The check is the definition from §IV-A: for every window
+/// `R(t+τ) − R(t) ≤ α(τ)` — evaluated pairwise over the trace, which is
+/// exact for impulse arrivals.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::TokenBucket;
+/// use autoplat_netcalc::conformance::first_violation;
+///
+/// let contract = TokenBucket::new(1.0, 1.0);
+/// assert_eq!(first_violation(&contract, &[(0.0, 1.0), (1.0, 1.0)]), None);
+/// assert_eq!(first_violation(&contract, &[(0.0, 1.0), (0.5, 1.0)]), Some(1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if trace times are not non-decreasing.
+pub fn first_violation(contract: &TokenBucket, trace: &[(f64, f64)]) -> Option<usize> {
+    for w in trace.windows(2) {
+        assert!(w[1].0 >= w[0].0, "trace times must be non-decreasing");
+    }
+    // Cumulative amounts including arrival i, checked over every window
+    // ending at i (windows are closed: an arrival at t and one at t+τ are
+    // both inside a window of length τ, bounded by α(τ) = b + rτ).
+    for i in 0..trace.len() {
+        let (ti, _) = trace[i];
+        let mut cum = 0.0;
+        for j in (0..=i).rev() {
+            let (tj, aj) = trace[j];
+            cum += aj;
+            let window = ti - tj;
+            if cum > contract.bound(window) + 1e-9 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_starts_full() {
+        let mut s = BucketState::new(TokenBucket::new(4.0, 1.0));
+        assert_eq!(s.tokens_at(0.0), 4.0);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut s = BucketState::new(TokenBucket::new(4.0, 1.0));
+        assert!(s.try_consume(0.0, 4.0));
+        assert_eq!(s.tokens_at(100.0), 4.0);
+    }
+
+    #[test]
+    fn earliest_send_computes_shaping_delay() {
+        let mut s = BucketState::new(TokenBucket::new(2.0, 0.5));
+        assert!(s.try_consume(0.0, 2.0));
+        // Need 1 token; refill at 0.5/s → ready at t = 2.
+        assert_eq!(s.earliest_send(0.0, 1.0), Some(2.0));
+        // Larger than the burst can never be sent.
+        assert_eq!(s.earliest_send(0.0, 3.0), None);
+    }
+
+    #[test]
+    fn earliest_send_zero_rate() {
+        let mut s = BucketState::new(TokenBucket::new(1.0, 0.0));
+        assert_eq!(s.earliest_send(0.0, 1.0), Some(0.0));
+        assert!(s.try_consume(0.0, 1.0));
+        assert_eq!(s.earliest_send(5.0, 1.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn non_monotone_time_panics() {
+        let mut s = BucketState::new(TokenBucket::new(1.0, 1.0));
+        let _ = s.tokens_at(5.0);
+        let _ = s.tokens_at(4.0);
+    }
+
+    #[test]
+    fn reset_refills() {
+        let mut s = BucketState::new(TokenBucket::new(2.0, 0.1));
+        assert!(s.try_consume(0.0, 2.0));
+        s.reset(1.0);
+        assert_eq!(s.tokens_at(1.0), 2.0);
+    }
+
+    #[test]
+    fn trace_conformance_accepts_shaped_traffic() {
+        let contract = TokenBucket::new(2.0, 1.0);
+        let mut state = BucketState::new(contract);
+        // Greedily emit 0.5-unit items as early as allowed.
+        let mut trace = Vec::new();
+        let mut now = 0.0;
+        for _ in 0..50 {
+            now = state.earliest_send(now, 0.5).expect("positive rate");
+            assert!(state.try_consume(now, 0.5));
+            trace.push((now, 0.5));
+        }
+        assert_eq!(first_violation(&contract, &trace), None);
+    }
+
+    #[test]
+    fn trace_conformance_flags_violation_index() {
+        let contract = TokenBucket::new(1.0, 0.5);
+        let trace = [(0.0, 1.0), (1.0, 0.5), (1.1, 0.5)];
+        // Window (0, 1.1]: 2.0 > 1 + 0.55; the violating arrival is #2.
+        assert_eq!(first_violation(&contract, &trace), Some(2));
+    }
+
+    #[test]
+    fn instantaneous_burst_within_contract() {
+        let contract = TokenBucket::new(3.0, 1.0);
+        let trace = [(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)];
+        assert_eq!(first_violation(&contract, &trace), None);
+        let trace2 = [(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 0.5)];
+        assert_eq!(first_violation(&contract, &trace2), Some(3));
+    }
+}

@@ -1,0 +1,53 @@
+//! Network calculus (NC) / real-time calculus for worst-case QoS analysis.
+//!
+//! Section IV of the DATE'21 paper argues that mission-critical automotive
+//! systems must meet QoS requirements *ex ante*, by design, and that Network
+//! Calculus (Le Boudec & Thiran, 2001) is the theory of choice: the
+//! worst-case service a component offers to a flow is a **service curve**
+//! `β(t)`, the traffic the flow may generate is bounded by an **arrival
+//! curve** `α(t)`, and from the pair one computes deterministic bounds on
+//! **delay** (horizontal deviation) and **backlog** (vertical deviation).
+//! Service curves *compose*: an end-to-end guarantee is the min-plus
+//! convolution of per-node curves.
+//!
+//! This crate implements that machinery on exact piecewise-linear curves:
+//!
+//! * [`PiecewiseLinear`] — the core curve representation (breakpoints plus a
+//!   final slope), with exact pointwise `min`/`max`/`add` and inverses;
+//! * [`TokenBucket`] — the `α(t) = b + r·t` shaping curve the paper uses to
+//!   model rate-limited DRAM write traffic (§IV-A) and NoC injection
+//!   regulation (§V);
+//! * [`RateLatency`] — the `β(t) = R·[t − T]⁺` service curve;
+//! * [`ops`] — min-plus convolution (concave ⊗ concave, convex ⊗ convex) and
+//!   deconvolution (output arrival curves);
+//! * [`bounds`] — exact delay/backlog bounds for piecewise-linear pairs;
+//! * [`conformance`] — runtime token-bucket conformance checking, the
+//!   "enforceable model" of §IV-A (all it takes is a buffer and a timer).
+//!
+//! # Examples
+//!
+//! A flow shaped to 100 MB/s with 1 KiB burst, crossing a server that
+//! guarantees 400 MB/s after at most 2 µs of latency:
+//!
+//! ```
+//! use autoplat_netcalc::{TokenBucket, RateLatency, bounds};
+//!
+//! let alpha = TokenBucket::new(1024.0, 100e6);     // bytes, bytes/s
+//! let beta = RateLatency::new(400e6, 2e-6);        // bytes/s, s
+//! let delay = bounds::delay_bound(&alpha.to_curve(), &beta.to_curve())
+//!     .expect("stable: arrival rate below service rate");
+//! // T + b/R = 2 µs + 1024/400e6 s = 4.56 µs
+//! assert!((delay - (2e-6 + 1024.0 / 400e6)).abs() < 1e-12);
+//! ```
+
+pub mod arrival;
+pub mod bounds;
+pub mod conformance;
+pub mod curve;
+pub mod ops;
+pub mod service;
+
+pub use arrival::TokenBucket;
+pub use bounds::{backlog_bound, delay_bound};
+pub use curve::PiecewiseLinear;
+pub use service::RateLatency;

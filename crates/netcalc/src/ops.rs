@@ -1,0 +1,303 @@
+//! Min-plus algebra operators on piecewise-linear curves.
+//!
+//! * [`convolve_concave`] — `(f ⊗ g)(t) = inf_s f(s) + g(t−s)` for concave
+//!   arrival curves with `f(0⁺)` jumps (σρ-style): reduces to the pointwise
+//!   minimum;
+//! * [`convolve_convex`] — the same operator for convex service curves with
+//!   `f(0) = 0`: segments concatenate in order of increasing slope;
+//! * [`deconvolve_token_bucket`] — the exact output arrival curve of a
+//!   token-bucket flow served by a rate-latency server.
+
+use crate::arrival::TokenBucket;
+use crate::curve::PiecewiseLinear;
+use crate::service::RateLatency;
+
+/// Min-plus convolution of two **concave** arrival curves (each of the
+/// σρ family: a jump at `0⁺` followed by concave growth).
+///
+/// For such curves the convolution equals the pointwise minimum, because
+/// for any split `s` the sum `f(s) + g(t−s)` is minimized at `s = 0` or
+/// `s = t` (true arrival processes satisfy `f(0) = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::PiecewiseLinear;
+/// use autoplat_netcalc::ops::convolve_concave;
+///
+/// let f = PiecewiseLinear::affine(10.0, 1.0);
+/// let g = PiecewiseLinear::affine(2.0, 3.0);
+/// let c = convolve_concave(&f, &g);
+/// assert_eq!(c.value(0.0), 2.0);  // g is lower near 0
+/// assert_eq!(c.value(10.0), 20.0); // f is lower later (f=20, g=32)
+/// ```
+pub fn convolve_concave(f: &PiecewiseLinear, g: &PiecewiseLinear) -> PiecewiseLinear {
+    f.min(g)
+}
+
+/// Min-plus convolution of two **convex** service curves with `f(0) = g(0) = 0`.
+///
+/// For convex piecewise-linear functions through the origin, the
+/// convolution concatenates the segments of both curves sorted by
+/// increasing slope (each curve "serves" in its cheapest regime first).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::RateLatency;
+/// use autoplat_netcalc::ops::convolve_convex;
+///
+/// let b1 = RateLatency::new(4.0, 1.0).to_curve();
+/// let b2 = RateLatency::new(2.0, 3.0).to_curve();
+/// let c = convolve_convex(&b1, &b2);
+/// let expect = RateLatency::new(2.0, 4.0).to_curve();
+/// for i in 0..100 {
+///     let t = i as f64 * 0.1;
+///     assert!((c.value(t) - expect.value(t)).abs() < 1e-9);
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if either curve does not start at `(0, 0)` or is not convex
+/// non-decreasing (segment slopes must be non-decreasing).
+pub fn convolve_convex(f: &PiecewiseLinear, g: &PiecewiseLinear) -> PiecewiseLinear {
+    let segs_f = segments_checked(f, "f");
+    let segs_g = segments_checked(g, "g");
+
+    // Merge the two slope-sorted segment lists.
+    let mut merged: Vec<Segment> = Vec::with_capacity(segs_f.len() + segs_g.len());
+    let (mut i, mut j) = (0, 0);
+    while i < segs_f.len() && j < segs_g.len() {
+        if segs_f[i].slope <= segs_g[j].slope {
+            merged.push(segs_f[i]);
+            i += 1;
+        } else {
+            merged.push(segs_g[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&segs_f[i..]);
+    merged.extend_from_slice(&segs_g[j..]);
+
+    // Rebuild the curve by walking the merged segments. Exactly one of the
+    // two final (infinite) segments survives as the final slope: the
+    // smaller one; the larger is preceded by it and never re-emerges.
+    let final_slope = f.final_slope().min(g.final_slope());
+    let mut points = vec![(0.0, 0.0)];
+    let (mut x, mut y) = (0.0, 0.0);
+    for seg in merged {
+        match seg.length {
+            Some(len) => {
+                x += len;
+                y += seg.slope * len;
+                points.push((x, y));
+            }
+            None => {
+                // Infinite segment: if it is the overall final slope we are
+                // done; otherwise it is dominated and skipped (the other
+                // curve's cheaper infinite segment caps growth).
+                if (seg.slope - final_slope).abs() < 1e-12 {
+                    break;
+                }
+            }
+        }
+    }
+    PiecewiseLinear::new(points, final_slope)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    slope: f64,
+    /// `None` for the final, unbounded segment.
+    length: Option<f64>,
+}
+
+/// Decomposes a convex curve through the origin into slope-sorted segments.
+fn segments_checked(f: &PiecewiseLinear, name: &str) -> Vec<Segment> {
+    let pts = f.breakpoints();
+    assert!(
+        pts[0] == (0.0, 0.0),
+        "convolve_convex: {name} must satisfy f(0) = 0, got {:?}",
+        pts[0]
+    );
+    let mut segs = Vec::with_capacity(pts.len());
+    let mut prev_slope = f64::NEG_INFINITY;
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        let slope = (y1 - y0) / (x1 - x0);
+        assert!(
+            slope >= prev_slope - 1e-12 && slope >= -1e-12,
+            "convolve_convex: {name} is not convex non-decreasing"
+        );
+        prev_slope = slope;
+        segs.push(Segment {
+            slope,
+            length: Some(x1 - x0),
+        });
+    }
+    assert!(
+        f.final_slope() >= prev_slope - 1e-12 && f.final_slope() >= 0.0,
+        "convolve_convex: {name} final slope breaks convexity"
+    );
+    segs.push(Segment {
+        slope: f.final_slope(),
+        length: None,
+    });
+    segs
+}
+
+/// Exact min-plus deconvolution `α ⊘ β` of a token-bucket arrival curve by
+/// a rate-latency service curve: the arrival curve of the flow's *output*.
+///
+/// Closed form: a token bucket with the same rate and burst inflated by
+/// `r·T` (the traffic that can accumulate during the service latency).
+/// Requires stability (`r <= R`); returns `None` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_netcalc::{TokenBucket, RateLatency};
+/// use autoplat_netcalc::ops::deconvolve_token_bucket;
+///
+/// let alpha = TokenBucket::new(8.0, 0.5);
+/// let beta = RateLatency::new(2.0, 10.0);
+/// let out = deconvolve_token_bucket(&alpha, &beta).expect("stable");
+/// assert_eq!(out.burst(), 8.0 + 0.5 * 10.0);
+/// assert_eq!(out.rate(), 0.5);
+/// ```
+pub fn deconvolve_token_bucket(alpha: &TokenBucket, beta: &RateLatency) -> Option<TokenBucket> {
+    if alpha.rate() > beta.rate() {
+        return None;
+    }
+    Some(TokenBucket::new(
+        alpha.burst() + alpha.rate() * beta.latency(),
+        alpha.rate(),
+    ))
+}
+
+/// End-to-end service curve of a chain of rate-latency servers
+/// (convenience wrapper over [`RateLatency::convolve`]).
+///
+/// Returns `None` for an empty chain.
+pub fn chain_service<I: IntoIterator<Item = RateLatency>>(servers: I) -> Option<RateLatency> {
+    servers.into_iter().reduce(|a, b| a.convolve(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force min-plus convolution by sampling (reference oracle).
+    fn conv_oracle(f: &PiecewiseLinear, g: &PiecewiseLinear, t: f64, steps: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for k in 0..=steps {
+            let s = t * k as f64 / steps as f64;
+            best = best.min(f.value(s) + g.value(t - s));
+        }
+        best
+    }
+
+    #[test]
+    fn convex_convolution_matches_oracle() {
+        let f = RateLatency::new(4.0, 1.0).to_curve();
+        let g = PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 0.0), (4.0, 2.0)], 5.0);
+        let c = convolve_convex(&f, &g);
+        for i in 0..60 {
+            let t = i as f64 * 0.25;
+            let oracle = conv_oracle(&f, &g, t, 400);
+            // The sampled oracle over-estimates the true infimum by at most
+            // max_slope * grid_step.
+            let grid_err = 5.0 * t / 400.0 + 1e-9;
+            assert!(
+                c.value(t) <= oracle + 1e-9 && oracle - c.value(t) <= grid_err,
+                "mismatch at t={t}: {} vs oracle {}",
+                c.value(t),
+                oracle
+            );
+        }
+    }
+
+    #[test]
+    fn convex_convolution_commutes() {
+        let f = RateLatency::new(3.0, 2.0).to_curve();
+        let g = RateLatency::new(1.0, 0.5).to_curve();
+        let ab = convolve_convex(&f, &g);
+        let ba = convolve_convex(&g, &f);
+        for i in 0..50 {
+            let t = i as f64 * 0.2;
+            assert!((ab.value(t) - ba.value(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_convolution_with_zero_latency_identity() {
+        // β ⊗ (infinite-rate-ish zero-latency) keeps the smaller rate.
+        let f = RateLatency::new(2.0, 1.0).to_curve();
+        let id = RateLatency::new(1e9, 0.0).to_curve();
+        let c = convolve_convex(&f, &id);
+        for i in 0..40 {
+            let t = i as f64 * 0.25;
+            assert!((c.value(t) - f.value(t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "f(0) = 0")]
+    fn convex_convolution_rejects_offset_curves() {
+        let f = PiecewiseLinear::affine(1.0, 1.0);
+        let g = PiecewiseLinear::zero();
+        let _ = convolve_convex(&f, &g);
+    }
+
+    #[test]
+    #[should_panic(expected = "convexity")]
+    fn convex_convolution_rejects_concave() {
+        let f = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 5.0)], 1.0); // slope 5 then 1
+        let g = PiecewiseLinear::zero();
+        let _ = convolve_convex(&f, &g);
+    }
+
+    #[test]
+    fn concave_convolution_is_min() {
+        let f = PiecewiseLinear::affine(10.0, 1.0);
+        let g = PiecewiseLinear::affine(2.0, 3.0);
+        let c = convolve_concave(&f, &g);
+        for i in 0..100 {
+            let t = i as f64 * 0.2;
+            assert!((c.value(t) - f.value(t).min(g.value(t))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deconvolution_requires_stability() {
+        let alpha = TokenBucket::new(1.0, 5.0);
+        let beta = RateLatency::new(2.0, 1.0);
+        assert!(deconvolve_token_bucket(&alpha, &beta).is_none());
+    }
+
+    #[test]
+    fn deconvolution_output_dominates_input() {
+        let alpha = TokenBucket::new(4.0, 1.0);
+        let beta = RateLatency::new(3.0, 2.0);
+        let out = deconvolve_token_bucket(&alpha, &beta).expect("stable");
+        for i in 0..50 {
+            let t = i as f64 * 0.3;
+            assert!(out.bound(t) >= alpha.bound(t));
+        }
+    }
+
+    #[test]
+    fn chain_service_reduces() {
+        let chain = chain_service([
+            RateLatency::new(10.0, 1.0),
+            RateLatency::new(4.0, 2.0),
+            RateLatency::new(6.0, 0.5),
+        ])
+        .expect("non-empty");
+        assert_eq!(chain.rate(), 4.0);
+        assert_eq!(chain.latency(), 3.5);
+        assert!(chain_service(std::iter::empty()).is_none());
+    }
+}

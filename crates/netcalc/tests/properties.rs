@@ -1,0 +1,201 @@
+//! Property-based tests for the network-calculus operators.
+
+use autoplat_netcalc::ops::{chain_service, convolve_convex, deconvolve_token_bucket};
+use autoplat_netcalc::{backlog_bound, delay_bound, PiecewiseLinear, RateLatency, TokenBucket};
+use proptest::prelude::*;
+
+fn token_bucket() -> impl Strategy<Value = TokenBucket> {
+    (0.0f64..100.0, 0.001f64..10.0).prop_map(|(b, r)| TokenBucket::new(b, r))
+}
+
+fn rate_latency() -> impl Strategy<Value = RateLatency> {
+    (0.01f64..50.0, 0.0f64..100.0).prop_map(|(r, t)| RateLatency::new(r, t))
+}
+
+/// A random convex curve through the origin: segments with increasing
+/// slopes.
+fn convex_curve() -> impl Strategy<Value = PiecewiseLinear> {
+    (
+        proptest::collection::vec((0.1f64..5.0, 0.0f64..3.0), 1..6),
+        0.1f64..5.0,
+    )
+        .prop_map(|(segs, extra)| {
+            let mut slopes: Vec<f64> = segs.iter().map(|(s, _)| *s).collect();
+            slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mut points = vec![(0.0, 0.0)];
+            let (mut x, mut y) = (0.0, 0.0);
+            for (slope, len) in slopes.iter().zip(segs.iter().map(|(_, l)| *l + 0.1)) {
+                x += len;
+                y += slope * len;
+                points.push((x, y));
+            }
+            let final_slope = slopes.last().expect("non-empty") + extra;
+            PiecewiseLinear::new(points, final_slope)
+        })
+}
+
+proptest! {
+    #[test]
+    fn delay_bound_matches_closed_form(tb in token_bucket(), rl in rate_latency()) {
+        let generic = delay_bound(&tb.to_curve(), &rl.to_curve());
+        let closed = autoplat_netcalc::bounds::token_bucket_delay(&tb, &rl);
+        match (generic, closed) {
+            (Some(g), Some(c)) => prop_assert!((g - c).abs() < 1e-6, "{g} vs {c}"),
+            (None, None) => {}
+            other => prop_assert!(false, "disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backlog_bound_matches_closed_form(tb in token_bucket(), rl in rate_latency()) {
+        let generic = backlog_bound(&tb.to_curve(), &rl.to_curve());
+        let closed = autoplat_netcalc::bounds::token_bucket_backlog(&tb, &rl);
+        match (generic, closed) {
+            (Some(g), Some(c)) => prop_assert!((g - c).abs() < 1e-6, "{g} vs {c}"),
+            (None, None) => {}
+            other => prop_assert!(false, "disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_max_pointwise_consistent(a in convex_curve(), b in convex_curve()) {
+        let mn = a.min(&b);
+        let mx = a.max(&b);
+        for i in 0..50 {
+            let t = i as f64 * 0.37;
+            let (va, vb) = (a.value(t), b.value(t));
+            prop_assert!((mn.value(t) - va.min(vb)).abs() < 1e-7);
+            prop_assert!((mx.value(t) - va.max(vb)).abs() < 1e-7);
+            prop_assert!(mn.value(t) <= mx.value(t) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_convolution_commutative_and_below_operands(
+        a in convex_curve(),
+        b in convex_curve(),
+    ) {
+        let ab = convolve_convex(&a, &b);
+        let ba = convolve_convex(&b, &a);
+        for i in 0..40 {
+            let t = i as f64 * 0.5;
+            prop_assert!((ab.value(t) - ba.value(t)).abs() < 1e-6);
+            // f ⊗ g <= min(f, g) for curves through the origin.
+            prop_assert!(ab.value(t) <= a.value(t).min(b.value(t)) + 1e-7);
+            // The result is still non-decreasing.
+        }
+        prop_assert!(ab.is_non_decreasing());
+    }
+
+    #[test]
+    fn rate_latency_convolution_associative(
+        a in rate_latency(),
+        b in rate_latency(),
+        c in rate_latency(),
+    ) {
+        let left = a.convolve(&b).convolve(&c);
+        let right = a.convolve(&b.convolve(&c));
+        prop_assert!((left.rate() - right.rate()).abs() < 1e-12);
+        prop_assert!((left.latency() - right.latency()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_equals_pairwise_folding(stages in proptest::collection::vec(rate_latency(), 1..6)) {
+        let chained = chain_service(stages.clone()).expect("non-empty");
+        let folded = stages
+            .iter()
+            .copied()
+            .reduce(|x, y| x.convolve(&y))
+            .expect("non-empty");
+        prop_assert_eq!(chained, folded);
+    }
+
+    #[test]
+    fn deconvolution_output_dominates_input(tb in token_bucket(), rl in rate_latency()) {
+        if let Some(out) = deconvolve_token_bucket(&tb, &rl) {
+            for i in 0..30 {
+                let t = i as f64;
+                prop_assert!(out.bound(t) + 1e-9 >= tb.bound(t));
+            }
+            prop_assert!((out.rate() - tb.rate()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_is_consistent(curve in convex_curve(), y in 0.0f64..50.0) {
+        if let Some(t) = curve.inverse(y) {
+            // f(t) >= y, and f just before t is < y (up to numerics).
+            prop_assert!(curve.value(t) + 1e-6 >= y);
+            if t > 1e-6 {
+                prop_assert!(curve.value(t - 1e-6) <= y + 1e-3);
+            }
+        } else {
+            // Curve never reaches y: flat tail below y.
+            prop_assert!(curve.final_slope() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn delay_bound_monotone_in_latency(
+        tb in token_bucket(),
+        rate in 10.0f64..50.0,
+        lat1 in 0.0f64..50.0,
+        extra in 0.0f64..50.0,
+    ) {
+        let d1 = delay_bound(&tb.to_curve(), &RateLatency::new(rate, lat1).to_curve());
+        let d2 = delay_bound(
+            &tb.to_curve(),
+            &RateLatency::new(rate, lat1 + extra).to_curve(),
+        );
+        if let (Some(a), Some(b)) = (d1, d2) {
+            prop_assert!(b + 1e-9 >= a, "more latency cannot reduce delay");
+        }
+    }
+
+    #[test]
+    fn convex_hull_is_convex_lower_bound(
+        points in proptest::collection::vec((0.1f64..3.0, 0.0f64..5.0), 1..8),
+        final_slope in 0.0f64..4.0,
+    ) {
+        // Build an arbitrary non-decreasing curve from positive steps.
+        let mut pts = vec![(0.0, 0.0)];
+        let (mut x, mut y) = (0.0, 0.0);
+        for &(dx, dy) in &points {
+            x += dx;
+            y += dy;
+            pts.push((x, y));
+        }
+        let f = PiecewiseLinear::new(pts, final_slope);
+        let h = f.convex_lower_hull();
+        // Lower bound everywhere on a dense probe grid.
+        for i in 0..120 {
+            let t = i as f64 * x.max(1.0) / 60.0;
+            prop_assert!(h.value(t) <= f.value(t) + 1e-7, "hull above f at {t}");
+        }
+        // Convex: slopes non-decreasing through the tail.
+        let bps = h.breakpoints();
+        let mut last = f64::NEG_INFINITY;
+        for w in bps.windows(2) {
+            let s = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            prop_assert!(s >= last - 1e-7);
+            last = s;
+        }
+        prop_assert!(h.final_slope() >= last - 1e-7);
+        // Idempotent.
+        let hh = h.convex_lower_hull();
+        for i in 0..40 {
+            let t = i as f64 * 0.5;
+            prop_assert!((hh.value(t) - h.value(t)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn aggregate_bound_is_sum(flows in proptest::collection::vec(token_bucket(), 1..5)) {
+        let agg = TokenBucket::aggregate(flows.clone());
+        for i in 0..20 {
+            let t = i as f64 * 0.7;
+            let sum: f64 = flows.iter().map(|f| f.bound(t)).sum();
+            prop_assert!((agg.bound(t) - sum).abs() < 1e-9);
+        }
+    }
+}

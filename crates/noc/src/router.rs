@@ -1,0 +1,219 @@
+//! Per-router state: input buffers, wormhole output locks, round-robin
+//! arbitration pointers.
+//!
+//! Arbitration is a single-iteration round-robin grant per output port —
+//! the degenerate (and common) form of iSLIP: each output independently
+//! grants the next requesting input after its pointer, and the pointer
+//! advances past a granted input so persistent requesters cannot starve
+//! the others.
+
+use std::collections::VecDeque;
+
+use crate::packet::Flit;
+use crate::topology::{Direction, NodeId};
+
+/// A wormhole lock: `output` is reserved for `packet` arriving on
+/// `in_port` until the tail flit passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lock {
+    /// The input port the locked packet flows in from.
+    pub in_port: usize,
+    /// The packet holding the lock.
+    pub packet: u64,
+}
+
+/// One mesh router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    node: NodeId,
+    buffer_capacity: usize,
+    inputs: [VecDeque<Flit>; 5],
+    locks: [Option<Lock>; 5],
+    rr: [usize; 5],
+}
+
+impl Router {
+    /// Creates a router with `buffer_capacity` flits per input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_capacity` is zero.
+    pub fn new(node: NodeId, buffer_capacity: usize) -> Self {
+        assert!(buffer_capacity > 0, "input buffers need capacity");
+        Router {
+            node,
+            buffer_capacity,
+            inputs: Default::default(),
+            locks: [None; 5],
+            rr: [0; 5],
+        }
+    }
+
+    /// This router's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Per-port input buffer capacity in flits.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+
+    /// Whether the input buffer at `port` can accept a flit.
+    pub fn has_space(&self, port: Direction) -> bool {
+        self.inputs[port.index()].len() < self.buffer_capacity
+    }
+
+    /// Occupancy of the input buffer at `port`.
+    pub fn occupancy(&self, port: Direction) -> usize {
+        self.inputs[port.index()].len()
+    }
+
+    /// Pushes an arriving flit into the input buffer at `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (callers must check [`has_space`]).
+    ///
+    /// [`has_space`]: Router::has_space
+    pub fn push(&mut self, port: Direction, flit: Flit) {
+        assert!(
+            self.has_space(port),
+            "input buffer overflow at {} {port:?}",
+            self.node
+        );
+        self.inputs[port.index()].push_back(flit);
+    }
+
+    /// The flit at the head of the input buffer at `port`, if any.
+    pub fn head_flit(&self, port: usize) -> Option<&Flit> {
+        self.inputs[port].front()
+    }
+
+    /// Removes and returns the head flit at input `port`.
+    pub fn pop(&mut self, port: usize) -> Option<Flit> {
+        self.inputs[port].pop_front()
+    }
+
+    /// The current lock on `output`, if any.
+    pub fn lock(&self, output: usize) -> Option<Lock> {
+        self.locks[output]
+    }
+
+    /// Installs a lock on `output`.
+    pub fn set_lock(&mut self, output: usize, lock: Option<Lock>) {
+        self.locks[output] = lock;
+    }
+
+    /// Round-robin selection of an input port among `candidates` for
+    /// `output`, advancing the pointer past the grant.
+    ///
+    /// Returns `None` when `candidates` is empty.
+    pub fn arbitrate(&mut self, output: usize, candidates: &[usize]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let start = self.rr[output];
+        let grant = (0..5)
+            .map(|k| (start + k) % 5)
+            .find(|p| candidates.contains(p))?;
+        self.rr[output] = (grant + 1) % 5;
+        Some(grant)
+    }
+
+    /// Total flits buffered across all input ports.
+    pub fn total_buffered(&self) -> usize {
+        self.inputs.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlitKind, Packet};
+
+    fn flit(packet: u64) -> Flit {
+        Packet::new(packet, NodeId(0), NodeId(1), 1).to_flits()[0]
+    }
+
+    #[test]
+    fn buffer_capacity_enforced() {
+        let mut r = Router::new(NodeId(0), 2);
+        assert!(r.has_space(Direction::North));
+        r.push(Direction::North, flit(0));
+        r.push(Direction::North, flit(1));
+        assert!(!r.has_space(Direction::North));
+        assert_eq!(r.occupancy(Direction::North), 2);
+        assert_eq!(r.total_buffered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn push_to_full_buffer_panics() {
+        let mut r = Router::new(NodeId(0), 1);
+        r.push(Direction::East, flit(0));
+        r.push(Direction::East, flit(1));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut r = Router::new(NodeId(0), 4);
+        r.push(Direction::West, flit(1));
+        r.push(Direction::West, flit(2));
+        let w = Direction::West.index();
+        assert_eq!(r.head_flit(w).map(|f| f.packet), Some(1));
+        assert_eq!(r.pop(w).map(|f| f.packet), Some(1));
+        assert_eq!(r.pop(w).map(|f| f.packet), Some(2));
+        assert_eq!(r.pop(w), None);
+    }
+
+    #[test]
+    fn round_robin_rotates_grants() {
+        let mut r = Router::new(NodeId(0), 1);
+        // Inputs 1 and 3 persistently request output 0.
+        let g1 = r.arbitrate(0, &[1, 3]).expect("grant");
+        let g2 = r.arbitrate(0, &[1, 3]).expect("grant");
+        let g3 = r.arbitrate(0, &[1, 3]).expect("grant");
+        assert_ne!(g1, g2, "round robin must alternate");
+        assert_eq!(g1, g3);
+        assert_eq!(r.arbitrate(0, &[]), None);
+    }
+
+    #[test]
+    fn pointers_independent_per_output() {
+        let mut r = Router::new(NodeId(0), 1);
+        let a = r.arbitrate(0, &[2, 4]).expect("grant");
+        let b = r.arbitrate(1, &[2, 4]).expect("grant");
+        assert_eq!(a, b, "fresh pointers grant the same first input");
+    }
+
+    #[test]
+    fn locks_set_and_clear() {
+        let mut r = Router::new(NodeId(0), 1);
+        assert_eq!(r.lock(2), None);
+        r.set_lock(
+            2,
+            Some(Lock {
+                in_port: 1,
+                packet: 9,
+            }),
+        );
+        assert_eq!(
+            r.lock(2),
+            Some(Lock {
+                in_port: 1,
+                packet: 9
+            })
+        );
+        r.set_lock(2, None);
+        assert_eq!(r.lock(2), None);
+    }
+
+    #[test]
+    fn head_and_tail_flit_kinds() {
+        let p = Packet::new(5, NodeId(0), NodeId(3), 3);
+        let flits = p.to_flits();
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[2].kind, FlitKind::Tail);
+    }
+}

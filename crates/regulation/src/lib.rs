@@ -1,0 +1,45 @@
+//! Runtime traffic regulation: software bandwidth control for COTS
+//! platforms (§II).
+//!
+//! When the hardware offers no fine-grained QoS mechanisms, "one has to
+//! resort to software-based methods": performance counters can be used
+//! "to actively limit the number of requests and reserve memory
+//! bandwidths on the level of cores, hypervisor partitions or single
+//! applications using software-based mechanisms such as Memguard \[6\]".
+//!
+//! * [`perf`] — the per-core performance-counter abstraction the
+//!   regulator reads;
+//! * [`memguard`] — a MemGuard-style regulator: per-core bandwidth
+//!   budgets replenished every period, with cores throttled until the
+//!   next period once their budget is spent;
+//! * [`shaper`] — a [`SimTime`]-domain token-bucket traffic shaper (the
+//!   hardware-friendly regulation primitive of §IV-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use autoplat_regulation::memguard::{MemGuard, AccessDecision};
+//! use autoplat_sim::{SimTime, SimDuration};
+//!
+//! // Two cores, 1 ms period, 1000/2000 bytes of budget.
+//! let mut mg = MemGuard::new(SimDuration::from_us(1000.0), vec![1000, 2000]);
+//! match mg.try_access(0, 1000, SimTime::ZERO) {
+//!     AccessDecision::Granted => {}
+//!     AccessDecision::ThrottledUntil(_) => unreachable!("budget available"),
+//! }
+//! // Budget spent: the next access is deferred to the next period.
+//! assert!(matches!(
+//!     mg.try_access(0, 1, SimTime::ZERO),
+//!     AccessDecision::ThrottledUntil(_)
+//! ));
+//! ```
+//!
+//! [`SimTime`]: autoplat_sim::SimTime
+
+pub mod memguard;
+pub mod perf;
+pub mod shaper;
+
+pub use memguard::{AccessDecision, MemGuard};
+pub use perf::PerfCounters;
+pub use shaper::TrafficShaper;

@@ -1,0 +1,287 @@
+//! MemGuard-style per-core memory-bandwidth regulation
+//! (Yun et al., RTAS 2013 — reference \[6\] of the paper).
+//!
+//! Each core receives a bandwidth **budget** (bytes per regulation
+//! period). The regulator reads the performance counters on every access;
+//! once a core's budget is spent, its further accesses are **throttled**
+//! — deferred to the start of the next period, when all budgets
+//! replenish. The sum of guaranteed budgets must not exceed the
+//! guaranteed (worst-case) memory bandwidth for the reservation to hold.
+
+use autoplat_sim::{SimDuration, SimTime};
+
+use crate::perf::PerfCounters;
+
+/// The regulator's verdict on one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Budget available: proceed now.
+    Granted,
+    /// Budget exhausted: the core stalls until the given instant (the
+    /// next period boundary).
+    ThrottledUntil(SimTime),
+}
+
+/// A MemGuard-style bandwidth regulator.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_regulation::{MemGuard, AccessDecision};
+/// use autoplat_sim::{SimDuration, SimTime};
+///
+/// let mut mg = MemGuard::new(SimDuration::from_us(100.0), vec![128]);
+/// assert_eq!(mg.try_access(0, 128, SimTime::ZERO), AccessDecision::Granted);
+/// let next = SimTime::ZERO + SimDuration::from_us(100.0);
+/// assert_eq!(
+///     mg.try_access(0, 64, SimTime::ZERO),
+///     AccessDecision::ThrottledUntil(next)
+/// );
+/// // In the next period the budget is fresh.
+/// assert_eq!(mg.try_access(0, 64, next), AccessDecision::Granted);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemGuard {
+    period: SimDuration,
+    budgets: Vec<u64>,
+    used: Vec<u64>,
+    period_index: u64,
+    throttle_events: Vec<u64>,
+    counters: PerfCounters,
+}
+
+impl MemGuard {
+    /// Creates a regulator with one budget (bytes/period) per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `budgets` is empty.
+    pub fn new(period: SimDuration, budgets: Vec<u64>) -> Self {
+        assert!(!period.is_zero(), "regulation period must be non-zero");
+        assert!(!budgets.is_empty(), "need at least one core budget");
+        let cores = budgets.len();
+        MemGuard {
+            period,
+            budgets,
+            used: vec![0; cores],
+            period_index: 0,
+            throttle_events: vec![0; cores],
+            counters: PerfCounters::new(cores),
+        }
+    }
+
+    /// Number of regulated cores.
+    pub fn cores(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// The regulation period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The budget of `core` in bytes per period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn budget(&self, core: usize) -> u64 {
+        self.budgets[core]
+    }
+
+    /// Updates the budget of `core` (takes effect immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_budget(&mut self, core: usize, bytes_per_period: u64) {
+        self.budgets[core] = bytes_per_period;
+    }
+
+    /// Whether the budgets are feasible against a guaranteed memory
+    /// bandwidth (bytes/second): the reservation invariant of \[6\].
+    pub fn is_feasible(&self, guaranteed_bytes_per_sec: f64) -> bool {
+        let total: u64 = self.budgets.iter().sum();
+        total as f64 <= guaranteed_bytes_per_sec * self.period.as_secs()
+    }
+
+    /// Rolls the regulation period forward to include `now`, replenishing
+    /// budgets at each boundary.
+    fn roll(&mut self, now: SimTime) {
+        let idx = now.as_ps() / self.period.as_ps();
+        if idx > self.period_index {
+            self.period_index = idx;
+            self.used.fill(0);
+            self.counters.reset_all();
+        }
+    }
+
+    /// The start of the period following the one containing `now`.
+    fn next_boundary(&self, now: SimTime) -> SimTime {
+        let idx = now.as_ps() / self.period.as_ps();
+        SimTime::from_ps((idx + 1) * self.period.as_ps())
+    }
+
+    /// Regulates one access of `bytes` by `core` at `now`.
+    ///
+    /// Time must be non-decreasing across calls (per-core interleaving is
+    /// fine). An access larger than the whole budget is granted at a
+    /// period boundary (it can never fit otherwise) and overdraws that
+    /// period — matching MemGuard, which only throttles *after* the
+    /// counter overflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn try_access(&mut self, core: usize, bytes: u64, now: SimTime) -> AccessDecision {
+        self.roll(now);
+        if self.used[core] >= self.budgets[core] && self.budgets[core] > 0 {
+            self.throttle_events[core] += 1;
+            return AccessDecision::ThrottledUntil(self.next_boundary(now));
+        }
+        if self.budgets[core] == 0 {
+            self.throttle_events[core] += 1;
+            return AccessDecision::ThrottledUntil(self.next_boundary(now));
+        }
+        self.used[core] += bytes;
+        self.counters.record(core, bytes, now);
+        AccessDecision::Granted
+    }
+
+    /// Bytes used by `core` in the current period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn used(&self, core: usize) -> u64 {
+        self.used[core]
+    }
+
+    /// Number of throttle decisions issued to `core` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn throttle_events(&self, core: usize) -> u64 {
+        self.throttle_events[core]
+    }
+
+    /// The underlying performance counters (lifetime totals survive
+    /// period rolls).
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mg(budgets: Vec<u64>) -> MemGuard {
+        MemGuard::new(SimDuration::from_us(1.0), budgets)
+    }
+
+    #[test]
+    fn grants_until_budget_exhausted() {
+        let mut m = mg(vec![256]);
+        assert_eq!(m.try_access(0, 128, SimTime::ZERO), AccessDecision::Granted);
+        assert_eq!(m.try_access(0, 128, SimTime::ZERO), AccessDecision::Granted);
+        let boundary = SimTime::from_us(1.0);
+        assert_eq!(
+            m.try_access(0, 64, SimTime::from_ns(500.0)),
+            AccessDecision::ThrottledUntil(boundary)
+        );
+        assert_eq!(m.throttle_events(0), 1);
+        assert_eq!(m.used(0), 256);
+    }
+
+    #[test]
+    fn budget_replenishes_each_period() {
+        let mut m = mg(vec![100]);
+        assert_eq!(m.try_access(0, 100, SimTime::ZERO), AccessDecision::Granted);
+        for k in 1..5u64 {
+            let t = SimTime::from_us(k as f64);
+            assert_eq!(
+                m.try_access(0, 100, t),
+                AccessDecision::Granted,
+                "period {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn cores_are_isolated() {
+        let mut m = mg(vec![100, 100]);
+        // Core 0 burns its budget.
+        let _ = m.try_access(0, 100, SimTime::ZERO);
+        assert!(matches!(
+            m.try_access(0, 1, SimTime::ZERO),
+            AccessDecision::ThrottledUntil(_)
+        ));
+        // Core 1 is unaffected.
+        assert_eq!(m.try_access(1, 100, SimTime::ZERO), AccessDecision::Granted);
+    }
+
+    #[test]
+    fn zero_budget_always_throttles() {
+        let mut m = mg(vec![0]);
+        assert!(matches!(
+            m.try_access(0, 1, SimTime::ZERO),
+            AccessDecision::ThrottledUntil(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_access_overdraws_at_boundary() {
+        let mut m = mg(vec![100]);
+        // 300 > budget: granted (fresh period) but overdraws.
+        assert_eq!(m.try_access(0, 300, SimTime::ZERO), AccessDecision::Granted);
+        assert!(matches!(
+            m.try_access(0, 1, SimTime::ZERO),
+            AccessDecision::ThrottledUntil(_)
+        ));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let m = MemGuard::new(SimDuration::from_us(1000.0), vec![500_000, 400_000]);
+        // 900 KB per ms = 900 MB/s.
+        assert!(m.is_feasible(1.0e9));
+        assert!(!m.is_feasible(0.5e9));
+    }
+
+    #[test]
+    fn set_budget_takes_effect() {
+        let mut m = mg(vec![100]);
+        let _ = m.try_access(0, 100, SimTime::ZERO);
+        m.set_budget(0, 200);
+        assert_eq!(m.budget(0), 200);
+        assert_eq!(m.try_access(0, 50, SimTime::ZERO), AccessDecision::Granted);
+    }
+
+    #[test]
+    fn counters_track_lifetime() {
+        let mut m = mg(vec![1000]);
+        let _ = m.try_access(0, 100, SimTime::ZERO);
+        let _ = m.try_access(0, 100, SimTime::from_us(1.5)); // next period
+        assert_eq!(m.counters().total(0).bytes, 200);
+        assert_eq!(m.counters().sample(0).bytes, 100, "sample reset at roll");
+    }
+
+    #[test]
+    fn throttled_core_proceeds_next_period() {
+        let mut m = mg(vec![64]);
+        let _ = m.try_access(0, 64, SimTime::ZERO);
+        let d = m.try_access(0, 64, SimTime::from_ns(10.0));
+        let AccessDecision::ThrottledUntil(t) = d else {
+            panic!("expected throttle")
+        };
+        assert_eq!(m.try_access(0, 64, t), AccessDecision::Granted);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = MemGuard::new(SimDuration::ZERO, vec![1]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the traffic regulators.
+
+use autoplat_netcalc::conformance::first_violation;
+use autoplat_netcalc::TokenBucket;
+use autoplat_regulation::memguard::{AccessDecision, MemGuard};
+use autoplat_regulation::TrafficShaper;
+use autoplat_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn shaped_output_always_conformant(
+        burst in 1.0f64..32.0,
+        rate_milli in 1u32..1000,
+        amounts in proptest::collection::vec(0.1f64..4.0, 1..80),
+    ) {
+        let contract = TokenBucket::new(burst, rate_milli as f64 / 1000.0);
+        let mut shaper = TrafficShaper::new(contract);
+        let mut now = SimTime::ZERO;
+        let mut trace = Vec::new();
+        for &a in &amounts {
+            let amount = a.min(burst);
+            let rel = shaper.release_time(now, amount).expect("within burst");
+            trace.push((rel.as_ns(), amount));
+            now = rel;
+        }
+        prop_assert_eq!(first_violation(&contract, &trace), None);
+        prop_assert_eq!(shaper.shaped(), amounts.len() as u64);
+    }
+
+    #[test]
+    fn memguard_grants_at_most_budget_per_period(
+        budget_lines in 1u64..64,
+        attempts in 2u64..200,
+    ) {
+        let period = SimDuration::from_us(10.0);
+        let budget = budget_lines * 64;
+        let mut mg = MemGuard::new(period, vec![budget]);
+        // All attempts at t=0: exactly ceil(budget/64) grants (the last
+        // may overdraw once).
+        let mut grants = 0u64;
+        for _ in 0..attempts {
+            if mg.try_access(0, 64, SimTime::ZERO) == AccessDecision::Granted {
+                grants += 1;
+            }
+        }
+        prop_assert!(grants <= budget_lines);
+        prop_assert!(grants == budget_lines.min(attempts));
+    }
+
+    #[test]
+    fn memguard_throttle_always_points_to_next_boundary(
+        budget in 64u64..512,
+        offset_ns in 0.0f64..9999.0,
+    ) {
+        let period = SimDuration::from_us(10.0);
+        let mut mg = MemGuard::new(period, vec![budget]);
+        let now = SimTime::from_ns(offset_ns);
+        // Exhaust the budget.
+        loop {
+            match mg.try_access(0, 64, now) {
+                AccessDecision::Granted => {}
+                AccessDecision::ThrottledUntil(t) => {
+                    // The boundary is the next multiple of the period.
+                    let idx = now.as_ps() / period.as_ps();
+                    prop_assert_eq!(t.as_ps(), (idx + 1) * period.as_ps());
+                    // And access at the boundary is granted again.
+                    prop_assert_eq!(mg.try_access(0, 64, t), AccessDecision::Granted);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memguard_cores_never_interact(
+        budgets in proptest::collection::vec(64u64..4096, 2..5),
+        heavy_core in 0usize..2,
+    ) {
+        let mut mg = MemGuard::new(SimDuration::from_us(5.0), budgets.clone());
+        let heavy = heavy_core % budgets.len();
+        // Heavy core exhausts its budget.
+        while mg.try_access(heavy, 64, SimTime::ZERO) == AccessDecision::Granted {}
+        // Every other core still gets its full budget.
+        for (core, &budget) in budgets.iter().enumerate() {
+            if core == heavy {
+                continue;
+            }
+            let mut granted_bytes = 0u64;
+            while mg.try_access(core, 64, SimTime::ZERO) == AccessDecision::Granted {
+                granted_bytes += 64;
+            }
+            prop_assert!(granted_bytes + 64 > budget, "core {core} shortchanged");
+        }
+    }
+
+    #[test]
+    fn shaper_reconfigure_preserves_conformance_to_new_contract(
+        r1 in 1u32..500,
+        r2 in 1u32..500,
+        n in 1usize..30,
+    ) {
+        let c1 = TokenBucket::new(4.0, r1 as f64 / 1000.0);
+        let c2 = TokenBucket::new(4.0, r2 as f64 / 1000.0);
+        let mut shaper = TrafficShaper::new(c1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now = shaper.release_time(now, 1.0).expect("fits");
+        }
+        shaper.reconfigure(now, c2);
+        let mut trace = Vec::new();
+        for _ in 0..n {
+            now = shaper.release_time(now, 1.0).expect("fits");
+            trace.push((now.as_ns(), 1.0));
+        }
+        prop_assert_eq!(first_violation(&c2, &trace), None);
+    }
+}

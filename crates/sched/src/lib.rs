@@ -1,0 +1,49 @@
+//! Real-time CPU scheduling for mixed-criticality platforms (§II).
+//!
+//! §II surveys the scheduling dimension of predictable platforms:
+//! "reservation-based scheduling approaches show advantages in offering
+//! composable QoS guarantees to applications while allowing more
+//! flexibility than TDMA-based scheduling", and "partitioned scheduling
+//! […] shows better predictability than global scheduling in multi-core
+//! settings as interference effects can be better localized". This crate
+//! implements all the policy classes the paper compares:
+//!
+//! * [`task`] — the periodic task model and seeded task-set generation;
+//! * [`rta`] — exact response-time analysis for preemptive fixed-priority
+//!   uniprocessor scheduling;
+//! * [`partition`] — partitioned multi-core scheduling (first-fit
+//!   decreasing bin-packing with per-core RTA);
+//! * [`simulate`] — an event-driven preemptive scheduling simulator for
+//!   both partitioned and global fixed-priority policies;
+//! * [`server`] — reservation-based scheduling: periodic servers with a
+//!   guaranteed budget per period, exportable as network-calculus service
+//!   curves for end-to-end composition;
+//! * [`tdma`] — time-division multiplexing, the rigid baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoplat_sched::task::Task;
+//! use autoplat_sched::rta::response_times;
+//! use autoplat_sim::SimDuration;
+//!
+//! let tasks = vec![
+//!     Task::new(0, SimDuration::from_us(1.0), SimDuration::from_us(4.0)),
+//!     Task::new(1, SimDuration::from_us(2.0), SimDuration::from_us(8.0)),
+//! ];
+//! let rt = response_times(&tasks).expect("schedulable");
+//! assert_eq!(rt[0], SimDuration::from_us(1.0)); // highest priority
+//! assert_eq!(rt[1], SimDuration::from_us(3.0)); // 2 + ⌈3/4⌉×1 preemption
+//! ```
+
+pub mod partition;
+pub mod rta;
+pub mod server;
+pub mod simulate;
+pub mod task;
+pub mod tdma;
+
+pub use rta::response_times;
+pub use server::PeriodicServer;
+pub use task::{Task, TaskSet};
+pub use tdma::TdmaSchedule;

@@ -1,0 +1,194 @@
+//! Partitioned multi-core scheduling: bin-packing tasks onto cores.
+//!
+//! §II: "partitioned scheduling, i.e. the pinning of application
+//! processes to cores, shows better predictability than global
+//! scheduling in multi-core settings as interference effects can be
+//! better localized". The partitioner here is first-fit decreasing by
+//! utilization with an exact per-core RTA admission test.
+
+use crate::rta::is_schedulable;
+use crate::task::Task;
+
+/// A task-to-core assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Per-core task lists, each in rate-monotonic (priority) order.
+    pub cores: Vec<Vec<Task>>,
+}
+
+impl Partition {
+    /// The core index hosting `task_id`, if assigned.
+    pub fn core_of(&self, task_id: u32) -> Option<usize> {
+        self.cores
+            .iter()
+            .position(|c| c.iter().any(|t| t.id == task_id))
+    }
+
+    /// Utilization of each core.
+    pub fn core_utilizations(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            // `+ 0.0` normalizes the empty-core sum's negative zero.
+            .map(|c| c.iter().map(Task::utilization).sum::<f64>() + 0.0)
+            .collect()
+    }
+}
+
+/// Errors from partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// No core could accept the given task and remain schedulable.
+    Unplaceable {
+        /// The task that failed to fit.
+        task_id: u32,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Unplaceable { task_id } => {
+                write!(f, "task {task_id} fits on no core under RTA")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// First-fit decreasing partitioning of `tasks` onto `cores` cores with
+/// an RTA admission test: a task is placed on the first core where the
+/// resulting rate-monotonic task set passes exact response-time analysis.
+///
+/// # Errors
+///
+/// [`PartitionError::Unplaceable`] when some task fits nowhere.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_sched::partition::first_fit_decreasing;
+/// use autoplat_sched::Task;
+/// use autoplat_sim::SimDuration;
+///
+/// let tasks = vec![
+///     Task::new(0, SimDuration::from_us(3.0), SimDuration::from_us(5.0)),
+///     Task::new(1, SimDuration::from_us(3.0), SimDuration::from_us(5.0)),
+/// ];
+/// // Each 60%-utilization task needs its own core.
+/// let p = first_fit_decreasing(&tasks, 2)?;
+/// assert_ne!(p.core_of(0), p.core_of(1));
+/// # Ok::<(), autoplat_sched::partition::PartitionError>(())
+/// ```
+pub fn first_fit_decreasing(tasks: &[Task], cores: usize) -> Result<Partition, PartitionError> {
+    assert!(cores > 0, "need at least one core");
+    let mut sorted: Vec<Task> = tasks.to_vec();
+    sorted.sort_by(|a, b| {
+        b.utilization()
+            .partial_cmp(&a.utilization())
+            .expect("utilizations are finite")
+            .then(a.id.cmp(&b.id))
+    });
+
+    let mut partition = Partition {
+        cores: vec![Vec::new(); cores],
+    };
+    for task in sorted {
+        let mut placed = false;
+        for core in &mut partition.cores {
+            let mut candidate = core.clone();
+            candidate.push(task);
+            candidate.sort_by_key(|t| (t.period, t.id)); // rate-monotonic
+            if is_schedulable(&candidate) {
+                *core = candidate;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(PartitionError::Unplaceable { task_id: task.id });
+        }
+    }
+    Ok(partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSet;
+    use autoplat_sim::{SimDuration, SimRng};
+
+    fn t(id: u32, c_us: f64, p_us: f64) -> Task {
+        Task::new(id, SimDuration::from_us(c_us), SimDuration::from_us(p_us))
+    }
+
+    #[test]
+    fn light_set_fits_one_core() {
+        let tasks = vec![t(0, 1.0, 10.0), t(1, 1.0, 20.0), t(2, 1.0, 40.0)];
+        let p = first_fit_decreasing(&tasks, 4).expect("fits");
+        assert_eq!(p.core_of(0), Some(0));
+        assert_eq!(p.core_of(1), Some(0));
+        assert_eq!(p.core_of(2), Some(0));
+        assert_eq!(p.core_utilizations()[1], 0.0);
+    }
+
+    #[test]
+    fn heavy_tasks_spread_across_cores() {
+        let tasks = vec![t(0, 6.0, 10.0), t(1, 6.0, 10.0), t(2, 6.0, 10.0)];
+        let p = first_fit_decreasing(&tasks, 3).expect("fits");
+        let cores: Vec<_> = (0..3).map(|i| p.core_of(i).expect("placed")).collect();
+        assert_eq!(
+            {
+                let mut c = cores.clone();
+                c.sort();
+                c.dedup();
+                c.len()
+            },
+            3,
+            "60% tasks must land on distinct cores"
+        );
+    }
+
+    #[test]
+    fn infeasible_set_reports_task() {
+        let tasks = vec![t(0, 9.0, 10.0), t(1, 9.0, 10.0), t(2, 9.0, 10.0)];
+        let err = first_fit_decreasing(&tasks, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::Unplaceable { .. }));
+        assert!(err.to_string().contains("fits on no core"));
+    }
+
+    #[test]
+    fn all_partitioned_cores_pass_rta() {
+        let mut rng = SimRng::seed_from(1);
+        let ts = TaskSet::generate(
+            12,
+            2.4,
+            SimDuration::from_us(5.0),
+            SimDuration::from_us(500.0),
+            &mut rng,
+        );
+        let p = first_fit_decreasing(ts.tasks(), 4).expect("feasible at 60%/core");
+        for core in &p.cores {
+            assert!(crate::rta::is_schedulable(core));
+        }
+        // Every task placed exactly once.
+        let placed: usize = p.cores.iter().map(Vec::len).sum();
+        assert_eq!(placed, 12);
+    }
+
+    #[test]
+    fn core_of_unknown_task_is_none() {
+        let p = first_fit_decreasing(&[t(0, 1.0, 10.0)], 1).expect("fits");
+        assert_eq!(p.core_of(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = first_fit_decreasing(&[t(0, 1.0, 10.0)], 0);
+    }
+}

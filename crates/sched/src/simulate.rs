@@ -1,0 +1,331 @@
+//! Event-driven preemptive fixed-priority scheduling simulator.
+//!
+//! Simulates synchronous periodic task sets on `m` cores under **global**
+//! fixed-priority scheduling (the `m` highest-priority ready jobs run,
+//! jobs migrate freely) or under **partitioned** scheduling (each core
+//! runs its own subset; see [`crate::partition`]). Used to demonstrate
+//! §II's observation that partitioning localizes interference — e.g.
+//! Dhall's effect, where global scheduling misses deadlines at low
+//! utilization.
+
+use std::collections::HashMap;
+
+use autoplat_sim::{SimDuration, SimTime};
+
+use crate::partition::Partition;
+use crate::task::Task;
+
+/// Outcome of a scheduling simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SchedOutcome {
+    /// Worst observed response time per task id.
+    pub worst_response: HashMap<u32, SimDuration>,
+    /// Jobs that completed after their absolute deadline.
+    pub deadline_misses: u64,
+    /// Number of preemptions (a running job displaced before finishing).
+    pub preemptions: u64,
+    /// Jobs completed within the horizon.
+    pub completed_jobs: u64,
+    /// Jobs still unfinished at the horizon (regardless of deadline).
+    pub incomplete_jobs: u64,
+}
+
+impl SchedOutcome {
+    /// Whether no job missed its deadline: completed jobs finished in
+    /// time, and no unfinished job's deadline fell inside the horizon
+    /// (unfinished jobs with later deadlines are not counted against the
+    /// schedule — they simply straddle the measurement window).
+    pub fn all_deadlines_met(&self) -> bool {
+        self.deadline_misses == 0
+    }
+
+    fn merge(&mut self, other: SchedOutcome) {
+        for (id, r) in other.worst_response {
+            let e = self.worst_response.entry(id).or_default();
+            *e = (*e).max(r);
+        }
+        self.deadline_misses += other.deadline_misses;
+        self.preemptions += other.preemptions;
+        self.completed_jobs += other.completed_jobs;
+        self.incomplete_jobs += other.incomplete_jobs;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    task_idx: usize,
+    release: SimTime,
+    deadline: SimTime,
+    remaining: SimDuration,
+}
+
+/// Simulates global preemptive fixed-priority scheduling of `tasks`
+/// (slice order = priority order, first = highest) on `cores` cores with
+/// synchronous release at `t = 0`, until `horizon`.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or `tasks` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_sched::simulate::simulate_global_fp;
+/// use autoplat_sched::Task;
+/// use autoplat_sim::SimDuration;
+///
+/// let tasks = vec![Task::new(0, SimDuration::from_us(1.0), SimDuration::from_us(4.0))];
+/// let out = simulate_global_fp(&tasks, 1, SimDuration::from_us(40.0));
+/// assert!(out.all_deadlines_met());
+/// assert_eq!(out.completed_jobs, 10);
+/// ```
+pub fn simulate_global_fp(tasks: &[Task], cores: usize, horizon: SimDuration) -> SchedOutcome {
+    assert!(cores > 0, "need at least one core");
+    assert!(!tasks.is_empty(), "need at least one task");
+    let horizon_t = SimTime::ZERO + horizon;
+
+    let mut outcome = SchedOutcome::default();
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut next_release: Vec<SimTime> = vec![SimTime::ZERO; tasks.len()];
+    let mut now = SimTime::ZERO;
+    let mut prev_running: Vec<usize> = Vec::new(); // indices into `jobs` keyed by (task, release)
+    let mut prev_running_keys: Vec<(usize, SimTime)> = Vec::new();
+    let _ = &mut prev_running;
+
+    while now < horizon_t {
+        // Release jobs due now.
+        for (i, t) in tasks.iter().enumerate() {
+            while next_release[i] <= now {
+                jobs.push(Job {
+                    task_idx: i,
+                    release: next_release[i],
+                    deadline: next_release[i] + t.deadline,
+                    remaining: t.wcet,
+                });
+                next_release[i] += t.period;
+            }
+        }
+
+        // Pick the `cores` highest-priority ready jobs (stable by task
+        // index, then earliest release).
+        let mut ready: Vec<usize> = (0..jobs.len())
+            .filter(|&j| !jobs[j].remaining.is_zero())
+            .collect();
+        ready.sort_by_key(|&j| (jobs[j].task_idx, jobs[j].release));
+        let running: Vec<usize> = ready.iter().copied().take(cores).collect();
+
+        // Count preemptions: previously-running unfinished jobs displaced.
+        let running_keys: Vec<(usize, SimTime)> = running
+            .iter()
+            .map(|&j| (jobs[j].task_idx, jobs[j].release))
+            .collect();
+        for key in &prev_running_keys {
+            let still_exists = jobs
+                .iter()
+                .any(|j| (j.task_idx, j.release) == *key && !j.remaining.is_zero());
+            if still_exists && !running_keys.contains(key) {
+                outcome.preemptions += 1;
+            }
+        }
+
+        // Next event: earliest of (a) next release, (b) earliest running
+        // completion, (c) horizon.
+        let mut next_event = horizon_t.min(
+            next_release
+                .iter()
+                .copied()
+                .min()
+                .expect("tasks is non-empty"),
+        );
+        for &j in &running {
+            next_event = next_event.min(now + jobs[j].remaining);
+        }
+        if next_event <= now {
+            // Horizon reached with events at `now` (horizon == now).
+            break;
+        }
+        let delta = next_event - now;
+
+        // Advance running jobs.
+        for &j in &running {
+            jobs[j].remaining = jobs[j].remaining.saturating_sub(delta);
+        }
+        now = next_event;
+
+        // Handle completions.
+        let mut completed: Vec<usize> = running
+            .iter()
+            .copied()
+            .filter(|&j| jobs[j].remaining.is_zero())
+            .collect();
+        completed.sort_unstable_by(|a, b| b.cmp(a));
+        for j in completed {
+            let job = jobs.remove(j);
+            let response = now - job.release;
+            let id = tasks[job.task_idx].id;
+            let worst = outcome.worst_response.entry(id).or_default();
+            *worst = (*worst).max(response);
+            if now > job.deadline {
+                outcome.deadline_misses += 1;
+            }
+            outcome.completed_jobs += 1;
+        }
+        prev_running_keys = jobs
+            .iter()
+            .filter(|j| !j.remaining.is_zero())
+            .filter(|j| running_keys.contains(&(j.task_idx, j.release)))
+            .map(|j| (j.task_idx, j.release))
+            .collect();
+    }
+
+    for job in jobs.iter().filter(|j| !j.remaining.is_zero()) {
+        outcome.incomplete_jobs += 1;
+        if job.deadline <= horizon_t {
+            outcome.deadline_misses += 1;
+        }
+    }
+    outcome
+}
+
+/// Simulates a partitioned assignment: each core independently runs its
+/// task list (already in priority order) on one core.
+pub fn simulate_partitioned_fp(partition: &Partition, horizon: SimDuration) -> SchedOutcome {
+    let mut total = SchedOutcome::default();
+    for core_tasks in &partition.cores {
+        if core_tasks.is_empty() {
+            continue;
+        }
+        total.merge(simulate_global_fp(core_tasks, 1, horizon));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rta::response_times;
+    use crate::task::TaskSet;
+    use autoplat_sim::SimRng;
+
+    fn t(id: u32, c_us: f64, p_us: f64) -> Task {
+        Task::new(id, SimDuration::from_us(c_us), SimDuration::from_us(p_us))
+    }
+
+    #[test]
+    fn single_task_runs_every_period() {
+        let out = simulate_global_fp(&[t(0, 1.0, 5.0)], 1, SimDuration::from_us(50.0));
+        assert_eq!(out.completed_jobs, 10);
+        assert!(out.all_deadlines_met());
+        assert_eq!(out.worst_response[&0], SimDuration::from_us(1.0));
+    }
+
+    #[test]
+    fn simulated_worst_response_matches_rta_at_critical_instant() {
+        // Synchronous release IS the critical instant for constrained
+        // deadlines, so simulation over a hyperperiod matches RTA.
+        let tasks = vec![t(0, 1.0, 4.0), t(1, 2.0, 6.0), t(2, 3.0, 12.0)];
+        let rt = response_times(&tasks).expect("schedulable");
+        let out = simulate_global_fp(&tasks, 1, SimDuration::from_us(48.0));
+        for (i, task) in tasks.iter().enumerate() {
+            assert_eq!(
+                out.worst_response[&task.id], rt[i],
+                "task {} sim vs RTA",
+                task.id
+            );
+        }
+        assert!(out.all_deadlines_met());
+    }
+
+    #[test]
+    fn overload_misses_deadlines() {
+        let tasks = vec![t(0, 3.0, 4.0), t(1, 3.0, 8.0)];
+        let out = simulate_global_fp(&tasks, 1, SimDuration::from_us(80.0));
+        assert!(out.deadline_misses > 0 || out.incomplete_jobs > 0);
+        assert!(!out.all_deadlines_met());
+    }
+
+    #[test]
+    fn two_cores_run_two_heavy_tasks() {
+        let tasks = vec![t(0, 3.0, 5.0), t(1, 3.0, 5.0)];
+        let one = simulate_global_fp(&tasks, 1, SimDuration::from_us(50.0));
+        assert!(!one.all_deadlines_met(), "120% does not fit one core");
+        let two = simulate_global_fp(&tasks, 2, SimDuration::from_us(50.0));
+        assert!(two.all_deadlines_met(), "two cores fit 2×60%");
+    }
+
+    #[test]
+    fn dhalls_effect_global_vs_partitioned() {
+        // Dhall's instance on 2 cores: two light tasks (C=1, T=5) and one
+        // heavy task (C=5.0, T=5.05 → deadline barely above C). Global RM
+        // runs the two light tasks first on both cores; the heavy task
+        // then cannot finish by its deadline. Partitioned puts the heavy
+        // task alone on a core and everything fits.
+        let light1 = t(0, 1.0, 5.0);
+        let light2 = t(1, 1.0, 5.0);
+        let heavy = Task::new(2, SimDuration::from_us(4.2), SimDuration::from_us(5.05));
+        let tasks = vec![light1, light2, heavy];
+        let global = simulate_global_fp(&tasks, 2, SimDuration::from_us(101.0));
+        assert!(
+            global.deadline_misses > 0,
+            "Dhall's effect must bite global RM"
+        );
+
+        let partition = Partition {
+            cores: vec![vec![light1, light2], vec![heavy]],
+        };
+        let part = simulate_partitioned_fp(&partition, SimDuration::from_us(101.0));
+        assert!(
+            part.all_deadlines_met(),
+            "partitioned schedules the same set"
+        );
+    }
+
+    #[test]
+    fn preemptions_counted() {
+        // Low-priority long task preempted by high-priority short one.
+        let tasks = vec![t(0, 1.0, 4.0), t(1, 6.0, 20.0)];
+        let out = simulate_global_fp(&tasks, 1, SimDuration::from_us(20.0));
+        assert!(out.preemptions >= 1, "long task must be preempted");
+        assert!(out.all_deadlines_met());
+    }
+
+    #[test]
+    fn random_sets_sim_never_beats_rta() {
+        // RTA is an upper bound on any observed response time.
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..10 {
+            let ts = TaskSet::generate(
+                5,
+                0.6,
+                SimDuration::from_us(10.0),
+                SimDuration::from_us(200.0),
+                &mut rng,
+            )
+            .rate_monotonic();
+            if let Some(rt) = response_times(ts.tasks()) {
+                let out = simulate_global_fp(ts.tasks(), 1, SimDuration::from_us(5000.0));
+                for (i, task) in ts.tasks().iter().enumerate() {
+                    if let Some(obs) = out.worst_response.get(&task.id) {
+                        assert!(
+                            *obs <= rt[i],
+                            "observed {} > RTA {} for task {}",
+                            obs,
+                            rt[i],
+                            task.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_merge_accumulates() {
+        let partition = Partition {
+            cores: vec![vec![t(0, 1.0, 4.0)], vec![t(1, 1.0, 4.0)], Vec::new()],
+        };
+        let out = simulate_partitioned_fp(&partition, SimDuration::from_us(16.0));
+        assert_eq!(out.completed_jobs, 8);
+        assert_eq!(out.worst_response.len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! TDMA (time-division multiple access) scheduling.
+//!
+//! The rigid baseline §II contrasts reservation-based scheduling against:
+//! a fixed cyclic frame of equal slots, each owned by one client. Fully
+//! predictable, but inflexible — an idle slot's time is lost.
+
+use autoplat_netcalc::{PiecewiseLinear, RateLatency};
+use autoplat_sim::SimDuration;
+
+/// A TDMA frame: a cyclic sequence of equal-length slots with owners.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_sched::TdmaSchedule;
+/// use autoplat_sim::SimDuration;
+///
+/// // 4 slots of 100 µs; client 0 owns two of them.
+/// let tdma = TdmaSchedule::new(SimDuration::from_us(100.0), vec![0, 1, 0, 2]);
+/// assert_eq!(tdma.share(0), 0.5);
+/// assert_eq!(tdma.frame_length(), SimDuration::from_us(400.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdmaSchedule {
+    slot: SimDuration,
+    owners: Vec<u32>,
+}
+
+impl TdmaSchedule {
+    /// Creates a schedule from a slot length and the owner of each slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero or `owners` is empty.
+    pub fn new(slot: SimDuration, owners: Vec<u32>) -> Self {
+        assert!(!slot.is_zero(), "slot length must be non-zero");
+        assert!(!owners.is_empty(), "frame needs at least one slot");
+        TdmaSchedule { slot, owners }
+    }
+
+    /// Slot length.
+    pub fn slot(&self) -> SimDuration {
+        self.slot
+    }
+
+    /// The owner of each slot, in frame order.
+    pub fn owners(&self) -> &[u32] {
+        &self.owners
+    }
+
+    /// Frame length (slots × slot length).
+    pub fn frame_length(&self) -> SimDuration {
+        self.slot * self.owners.len() as u64
+    }
+
+    /// Number of slots `client` owns per frame.
+    pub fn slots_of(&self, client: u32) -> usize {
+        self.owners.iter().filter(|&&o| o == client).count()
+    }
+
+    /// The bandwidth share of `client`.
+    pub fn share(&self, client: u32) -> f64 {
+        self.slots_of(client) as f64 / self.owners.len() as f64
+    }
+
+    /// The exact staircase service curve of `client` over one frame
+    /// pattern, as a piecewise-linear **lower bound** starting from the
+    /// worst-case phase (just after the client's last slot ended).
+    ///
+    /// Units: execution-nanoseconds of service per nanosecond.
+    pub fn service_curve(&self, client: u32) -> PiecewiseLinear {
+        let n = self.owners.len();
+        let owned = self.slots_of(client);
+        if owned == 0 {
+            return PiecewiseLinear::zero();
+        }
+        // Worst-case start phase: maximize the initial gap. Evaluate the
+        // cumulative service for every rotation and take the pointwise
+        // minimum over two frames, which is periodic thereafter.
+        let slot_ns = self.slot.as_ns();
+        let mut worst: Option<PiecewiseLinear> = None;
+        for phase in 0..n {
+            let mut points = vec![(0.0, 0.0)];
+            let mut served = 0.0;
+            for k in 0..2 * n {
+                let idx = (phase + k) % n;
+                let t0 = k as f64 * slot_ns;
+                let t1 = (k + 1) as f64 * slot_ns;
+                if self.owners[idx] == client {
+                    served += slot_ns;
+                }
+                points.push((t1, served));
+                let _ = t0;
+            }
+            let rate = owned as f64 / n as f64;
+            let curve = PiecewiseLinear::new(points, rate);
+            worst = Some(match worst {
+                None => curve,
+                Some(w) => w.min(&curve),
+            });
+        }
+        worst.expect("owned > 0 implies at least one phase")
+    }
+
+    /// The rate-latency abstraction of the client's guarantee: rate =
+    /// share, latency = the longest wait for the next owned slot
+    /// (frame minus the owned-slot coverage, conservatively
+    /// `frame − slots_of × slot`) plus nothing else.
+    ///
+    /// Returns `None` if the client owns no slot.
+    pub fn rate_latency(&self, client: u32) -> Option<RateLatency> {
+        let owned = self.slots_of(client);
+        if owned == 0 {
+            return None;
+        }
+        RateLatency::lower_bound_of(&self.service_curve(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdma() -> TdmaSchedule {
+        TdmaSchedule::new(SimDuration::from_us(100.0), vec![0, 1, 2, 0])
+    }
+
+    #[test]
+    fn shares_and_slots() {
+        let t = tdma();
+        assert_eq!(t.slots_of(0), 2);
+        assert_eq!(t.slots_of(1), 1);
+        assert_eq!(t.slots_of(9), 0);
+        assert_eq!(t.share(0), 0.5);
+        assert_eq!(t.frame_length(), SimDuration::from_us(400.0));
+        assert_eq!(t.slot(), SimDuration::from_us(100.0));
+        assert_eq!(t.owners(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn service_curve_unowned_is_zero() {
+        let t = tdma();
+        let c = t.service_curve(9);
+        assert_eq!(c.value(1e6), 0.0);
+        assert!(t.rate_latency(9).is_none());
+    }
+
+    #[test]
+    fn service_curve_long_run_rate_is_share() {
+        let t = tdma();
+        let c = t.service_curve(1);
+        assert!((c.final_slope() - 0.25).abs() < 1e-12);
+        // After a long horizon the curve approximates share × time.
+        let horizon = 100.0 * 400_000.0;
+        let v = c.value(horizon);
+        assert!((v / horizon - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn worst_phase_latency_bounded_by_frame() {
+        let t = tdma();
+        // Client 1 owns one slot: worst wait is frame − slot = 300 µs.
+        let rl = t.rate_latency(1).expect("owns a slot");
+        assert!(rl.latency() <= 300_000.0 + 1e-6, "latency {}", rl.latency());
+        assert!(rl.latency() >= 299_999.0, "should be the full gap");
+        assert!((rl.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_curve_is_monotone_and_conservative() {
+        let t = tdma();
+        let c = t.service_curve(0);
+        assert!(c.is_non_decreasing());
+        // Never exceeds share × time + slot (one slot of slack).
+        for i in 0..100 {
+            let x = i as f64 * 10_000.0;
+            assert!(c.value(x) <= 0.5 * x + 100_000.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn denser_allocation_means_lower_latency() {
+        // Same share, different spreading: 0 owns slots {0, 2} (spread)
+        // vs {0, 1} (contiguous). Spread placement has lower worst-case
+        // latency.
+        let spread = TdmaSchedule::new(SimDuration::from_us(100.0), vec![0, 1, 0, 2]);
+        let packed = TdmaSchedule::new(SimDuration::from_us(100.0), vec![0, 0, 1, 2]);
+        let l_spread = spread.rate_latency(0).expect("owned").latency();
+        let l_packed = packed.rate_latency(0).expect("owned").latency();
+        assert!(
+            l_spread < l_packed,
+            "spread {l_spread} should beat packed {l_packed}"
+        );
+    }
+
+    #[test]
+    fn reservation_beats_tdma_latency_at_same_share() {
+        // §II: reservation-based scheduling is more flexible than TDMA.
+        // At equal share, a periodic server with a short period yields a
+        // smaller worst-case latency than one long TDMA frame.
+        use crate::server::PeriodicServer;
+        let tdma = TdmaSchedule::new(SimDuration::from_us(100.0), vec![0, 1, 2, 3]);
+        let server = PeriodicServer::new(SimDuration::from_us(10.0), SimDuration::from_us(40.0));
+        assert_eq!(tdma.share(0), server.utilization());
+        let tdma_latency = tdma.rate_latency(0).expect("owned").latency();
+        let server_latency = server.service_curve().latency();
+        assert!(
+            server_latency < tdma_latency,
+            "server {server_latency} vs TDMA {tdma_latency}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_frame_rejected() {
+        let _ = TdmaSchedule::new(SimDuration::from_us(1.0), Vec::new());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for scheduling analysis and simulation.
+
+use autoplat_sched::partition::first_fit_decreasing;
+use autoplat_sched::rta::{is_schedulable, liu_layland_bound, response_times};
+use autoplat_sched::simulate::{simulate_global_fp, simulate_partitioned_fp};
+use autoplat_sched::task::TaskSet;
+use autoplat_sched::{PeriodicServer, TdmaSchedule};
+use autoplat_sim::{SimDuration, SimRng};
+use proptest::prelude::*;
+
+fn random_taskset(seed: u64, n: usize, util: f64) -> TaskSet {
+    let mut rng = SimRng::seed_from(seed);
+    TaskSet::generate(
+        n,
+        util,
+        SimDuration::from_us(10.0),
+        SimDuration::from_us(500.0),
+        &mut rng,
+    )
+    .rate_monotonic()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rta_upper_bounds_simulation(seed in any::<u64>(), n in 2usize..8) {
+        let ts = random_taskset(seed, n, 0.65);
+        if let Some(rt) = response_times(ts.tasks()) {
+            let out = simulate_global_fp(ts.tasks(), 1, SimDuration::from_us(8_000.0));
+            for (i, task) in ts.tasks().iter().enumerate() {
+                if let Some(obs) = out.worst_response.get(&task.id) {
+                    prop_assert!(
+                        *obs <= rt[i],
+                        "task {}: observed {} > RTA {}",
+                        task.id,
+                        obs,
+                        rt[i]
+                    );
+                }
+            }
+            prop_assert!(out.all_deadlines_met(), "RTA-schedulable set missed deadlines");
+        }
+    }
+
+    #[test]
+    fn liu_layland_sets_always_pass_rta(seed in any::<u64>(), n in 2usize..10) {
+        let ts = random_taskset(seed, n, liu_layland_bound(n) * 0.98);
+        prop_assert!(is_schedulable(ts.tasks()));
+    }
+
+    #[test]
+    fn response_times_exceed_wcet_and_respect_order(seed in any::<u64>(), n in 2usize..8) {
+        let ts = random_taskset(seed, n, 0.6);
+        if let Some(rt) = response_times(ts.tasks()) {
+            for (task, r) in ts.tasks().iter().zip(&rt) {
+                prop_assert!(*r >= task.wcet);
+                prop_assert!(*r <= task.deadline);
+            }
+            // The highest-priority task has zero interference.
+            prop_assert_eq!(rt[0], ts.tasks()[0].wcet);
+        }
+    }
+
+    #[test]
+    fn partitioned_cores_each_pass_rta(seed in any::<u64>(), cores in 2usize..5) {
+        let ts = random_taskset(seed, 10, 0.55 * cores as f64);
+        if let Ok(partition) = first_fit_decreasing(ts.tasks(), cores) {
+            for core in &partition.cores {
+                prop_assert!(is_schedulable(core));
+            }
+            // Partitioned simulation then meets all deadlines.
+            let out = simulate_partitioned_fp(&partition, SimDuration::from_us(5_000.0));
+            prop_assert!(out.all_deadlines_met());
+            // Every task placed exactly once.
+            let placed: usize = partition.cores.iter().map(Vec::len).sum();
+            prop_assert_eq!(placed, 10);
+        }
+    }
+
+    #[test]
+    fn server_supply_bound_is_monotone_and_conservative(
+        q_us in 1.0f64..10.0,
+        extra_us in 0.0f64..40.0,
+        probe_us in 0.0f64..100.0,
+    ) {
+        let p_us = q_us + extra_us;
+        let server = PeriodicServer::new(
+            SimDuration::from_us(q_us),
+            SimDuration::from_us(p_us),
+        );
+        let t1 = SimDuration::from_us(probe_us);
+        let t2 = SimDuration::from_us(probe_us + 10.0);
+        prop_assert!(server.supply_bound(t2) >= server.supply_bound(t1));
+        // Supply never exceeds utilization × interval.
+        let cap = server.utilization() * t1.as_ns();
+        prop_assert!(server.supply_bound(t1).as_ns() <= cap + 1e-6);
+    }
+
+    #[test]
+    fn tdma_service_curve_sound(
+        slot_us in 1.0f64..20.0,
+        owners in proptest::collection::vec(0u32..4, 2..10),
+    ) {
+        let tdma = TdmaSchedule::new(SimDuration::from_us(slot_us), owners.clone());
+        for client in 0..4u32 {
+            let curve = tdma.service_curve(client);
+            prop_assert!(curve.is_non_decreasing());
+            // Long-run rate equals the slot share.
+            prop_assert!((curve.final_slope() - tdma.share(client)).abs() < 1e-9);
+            if let Some(rl) = tdma.rate_latency(client) {
+                // The rate-latency abstraction stays below the exact curve.
+                for i in 0..30 {
+                    let t = i as f64 * slot_us * 500.0;
+                    prop_assert!(rl.guarantee(t) <= curve.value(t) + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_simulation_never_beats_supply_nor_misses_bound(
+        q_us in 1.0f64..8.0,
+        extra_us in 1.0f64..30.0,
+        work_us in 0.5f64..40.0,
+        arrival_us in 0.0f64..100.0,
+        late in any::<bool>(),
+    ) {
+        use autoplat_sched::server::BudgetPlacement;
+        let server = PeriodicServer::new(
+            SimDuration::from_us(q_us),
+            SimDuration::from_us(q_us + extra_us),
+        );
+        let placement = if late { BudgetPlacement::Late } else { BudgetPlacement::Early };
+        let arrival = autoplat_sim::SimTime::from_us(arrival_us);
+        let work = SimDuration::from_us(work_us);
+        let done = server.serve_jobs(&[(arrival, work)], placement)[0];
+        let response = done.saturating_since(arrival);
+        // Never faster than the work itself, never slower than the bound.
+        prop_assert!(response >= work);
+        prop_assert!(
+            response <= server.completion_bound(work),
+            "{placement:?}: response {} > bound {}",
+            response,
+            server.completion_bound(work)
+        );
+    }
+
+    #[test]
+    fn generated_sets_match_target_utilization(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        util_pct in 5u32..95,
+    ) {
+        let util = util_pct as f64 / 100.0;
+        let ts = random_taskset(seed, n, util);
+        prop_assert!((ts.utilization() - util).abs() < 0.05);
+        for t in ts.tasks() {
+            prop_assert!(t.wcet <= t.period);
+        }
+    }
+}

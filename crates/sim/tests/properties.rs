@@ -1,0 +1,101 @@
+//! Property-based tests for the simulation kernel.
+
+use autoplat_sim::{EventQueue, SimDuration, SimTime, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_with_fifo_ties(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ps(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    #[test]
+    fn time_addition_associates(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+        let t = SimTime::from_ps(a);
+        let d1 = SimDuration::from_ps(b);
+        let d2 = SimDuration::from_ps(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+    }
+
+    #[test]
+    fn duration_roundtrip_through_ns(ps in 0u64..1u64<<50) {
+        let d = SimDuration::from_ps(ps);
+        let back = SimDuration::from_ns(d.as_ns());
+        // f64 has 52 bits of mantissa; ps < 2^50 round-trips exactly.
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn saturating_since_is_never_negative_and_inverts_add(
+        a in 0u64..1u64<<40,
+        b in 0u64..1u64<<40,
+    ) {
+        let t = SimTime::from_ps(a);
+        let d = SimDuration::from_ps(b);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d + SimDuration::from_ps(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_mean_between_min_and_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let mean = s.mean();
+        prop_assert!(mean >= s.min().expect("non-empty") - 1e-9);
+        prop_assert!(mean <= s.max().expect("non-empty") + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(
+        xs in proptest::collection::vec(-1e4f64..1e4, 0..60),
+        ys in proptest::collection::vec(-1e4f64..1e4, 0..60),
+    ) {
+        let mut all = Summary::new();
+        for &x in xs.iter().chain(&ys) {
+            all.record(x);
+        }
+        let mut a = Summary::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        let mut b = Summary::new();
+        for &y in &ys {
+            b.record(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        if all.count() > 0 {
+            prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+            prop_assert!((a.variance() - all.variance()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rng_fork_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        use autoplat_sim::SimRng;
+        let mut p1 = SimRng::seed_from(seed);
+        let mut p2 = SimRng::seed_from(seed);
+        let mut c1 = p1.fork(stream);
+        let mut c2 = p2.fork(stream);
+        for _ in 0..8 {
+            prop_assert_eq!(c1.gen_range(0..u64::MAX), c2.gen_range(0..u64::MAX));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Worst-case DRAM delay analysis across memory technologies (§IV-A).
+//!
+//! Computes the FR-FCFS worst-case-delay bounds of the paper for
+//! DDR3-1600 (Table I/II), DDR4-2400 and LPDDR4-3200 — "the method can
+//! be applied to any memory technology by just changing the values of
+//! the timing parameters" — then turns the `(t_N, N)` points into a
+//! service curve and derives an end-to-end delay bound for a shaped
+//! read flow.
+//!
+//! Run with: `cargo run --example dram_wcd`
+
+use autoplat_dram::service_curve::{rate_latency_abstraction, read_service_curve};
+use autoplat_dram::timing::presets::{ddr3_1600, ddr4_2400, lpddr4_3200};
+use autoplat_dram::wcd::{bounds, WcdParams};
+use autoplat_dram::ControllerConfig;
+use autoplat_netcalc::arrival::gbps_bucket;
+use autoplat_netcalc::{bounds as nc_bounds, TokenBucket};
+
+fn main() {
+    for timing in [ddr3_1600(), ddr4_2400(), lpddr4_3200()] {
+        println!("== {} ==", timing.name);
+        for gbps in [4.0, 5.0, 6.0, 7.0] {
+            let params = WcdParams {
+                timing: timing.clone(),
+                config: ControllerConfig::paper(),
+                writes: gbps_bucket(gbps, 8, 8),
+                queue_position: 16,
+            };
+            match bounds(&params) {
+                Ok((lower, upper)) => println!(
+                    "  {gbps} Gbps writes: WCD in [{:.1}, {:.1}] ns ({} batches, {} refreshes)",
+                    lower.delay_ns, upper.delay_ns, upper.write_batches, upper.refreshes
+                ),
+                Err(e) => println!("  {gbps} Gbps writes: {e}"),
+            }
+        }
+    }
+
+    // Service-curve composition: a shaped read flow against the DDR3
+    // read channel at 4 Gbps of write interference.
+    let params = WcdParams {
+        timing: ddr3_1600(),
+        config: ControllerConfig::paper(),
+        writes: gbps_bucket(4.0, 8, 8),
+        queue_position: 1,
+    };
+    let beta = read_service_curve(&params, 32).expect("stable");
+    let rl = rate_latency_abstraction(&params, 32).expect("stable");
+    println!(
+        "\nDDR3 read service curve: {} breakpoints;",
+        beta.breakpoints().len()
+    );
+    println!(
+        "rate-latency abstraction: rate {:.5} req/ns, latency {:.1} ns",
+        rl.rate(),
+        rl.latency()
+    );
+    let flow = TokenBucket::new(4.0, 0.004); // 4-request burst, 1 req / 250 ns
+    let delay = nc_bounds::delay_bound(&flow.to_curve(), &beta).expect("stable flow");
+    let backlog = nc_bounds::backlog_bound(&flow.to_curve(), &beta).expect("stable flow");
+    println!(
+        "shaped reader (b = {}, r = {} req/ns): delay <= {:.1} ns, backlog <= {:.1} requests",
+        flow.burst(),
+        flow.rate(),
+        delay,
+        backlog
+    );
+}

@@ -1,0 +1,72 @@
+//! Dynamic mode changes, end to end (§V, Fig. 7 realized).
+//!
+//! Scripts a day-in-the-life scenario on a 4×4 NoC: a critical
+//! application starts, best-effort applications come and go, and the
+//! Resource Manager reconfigures every client's injection rate on each
+//! mode transition. The output shows, per mode interval, the *observed*
+//! injection rates — the critical application's rate stays flat while
+//! best-effort rates breathe with the system mode.
+//!
+//! Run with: `cargo run --example dynamic_modes`
+
+use autoplat_admission::app::{AppId, Application};
+use autoplat_admission::modes::WeightedPolicy;
+use autoplat_admission::simulation::{Scenario, ScenarioEvent};
+
+fn main() {
+    let critical = Application::critical(AppId(0), 0, 30); // 0.03 flit-pkts/cyc
+    let outcome = Scenario::new(WeightedPolicy::new(0.09, 8.0, 0.001), 4, 4)
+        .event(0, ScenarioEvent::Activate(critical))
+        .event(
+            10_000,
+            ScenarioEvent::Activate(Application::best_effort(AppId(1), 3)),
+        )
+        .event(
+            20_000,
+            ScenarioEvent::Activate(Application::best_effort(AppId(2), 12)),
+        )
+        .event(30_000, ScenarioEvent::Terminate(AppId(1)))
+        .event(
+            40_000,
+            ScenarioEvent::Activate(Application::best_effort(AppId(3), 5)),
+        )
+        .horizon(50_000)
+        .run();
+
+    println!("observed injection rates (flits/cycle) per mode interval:");
+    println!(
+        "{:<8} {:>12} {:>6} {:>8} {:>14}",
+        "app", "interval", "mode", "packets", "observed rate"
+    );
+    for o in &outcome.observations {
+        println!(
+            "{:<8} {:>5}..{:<6} {:>6} {:>8} {:>14.4}",
+            format!("app{}", o.app.0),
+            o.from_cycle,
+            o.to_cycle,
+            o.mode,
+            o.packets,
+            o.observed_rate
+        );
+    }
+    println!(
+        "\n{} packets injected, {} delivered, mean NoC latency {:.1} cycles",
+        outcome.injected, outcome.delivered, outcome.mean_latency_cycles
+    );
+    println!(
+        "{} protocol messages; rejected: {:?}",
+        outcome.protocol_messages, outcome.rejected
+    );
+
+    // The headline property: the critical app's observed rate is stable
+    // across every mode, while best-effort rates adapt.
+    let crit_rates: Vec<f64> = outcome
+        .observations
+        .iter()
+        .filter(|o| o.app == AppId(0))
+        .map(|o| o.observed_rate)
+        .collect();
+    let spread = crit_rates.iter().cloned().fold(f64::MIN, f64::max)
+        - crit_rates.iter().cloned().fold(f64::MAX, f64::min);
+    println!("\ncritical-rate spread across modes: {spread:.4} flits/cycle (≈0 expected)");
+}

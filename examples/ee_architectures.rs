@@ -1,0 +1,93 @@
+//! The three classes of centralized E/E architectures (Fig. 1) and why
+//! centralization creates the paper's predictability problem.
+//!
+//! Consolidates a catalogue of vehicle functions under each architecture
+//! class, reports platform counts and co-location pressure, and — for the
+//! vehicle-centralized case — demonstrates the mixed-criticality
+//! interference that results and the schedulability view of pinning the
+//! consolidated functions onto cores.
+//!
+//! Run with: `cargo run --example ee_architectures`
+
+use autoplat_core::architecture::{ConsolidationPlan, Domain, EeArchitecture, VehicleFunction};
+use autoplat_sched::partition::first_fit_decreasing;
+use autoplat_sched::rta::response_times;
+use autoplat_sched::task::Task;
+use autoplat_sim::SimDuration;
+
+fn main() {
+    let functions = vec![
+        VehicleFunction::new("brake-control", Domain::Chassis, true),
+        VehicleFunction::new("steering-assist", Domain::Chassis, true),
+        VehicleFunction::new("engine-mgmt", Domain::Powertrain, true),
+        VehicleFunction::new("battery-mgmt", Domain::Powertrain, true),
+        VehicleFunction::new("lane-keeping", Domain::Adas, true),
+        VehicleFunction::new("object-detection", Domain::Adas, true),
+        VehicleFunction::new("predictive-maintenance", Domain::Powertrain, false),
+        VehicleFunction::new("media-player", Domain::Infotainment, false),
+        VehicleFunction::new("navigation", Domain::Infotainment, false),
+        VehicleFunction::new("climate", Domain::Body, false),
+        VehicleFunction::new("seat-memory", Domain::Body, false),
+        VehicleFunction::new("app-store-apps", Domain::Infotainment, false),
+    ];
+
+    println!("{} vehicle functions to deploy\n", functions.len());
+    for arch in [
+        EeArchitecture::Decentralized,
+        EeArchitecture::DomainCentralized,
+        EeArchitecture::DomainFusion,
+        EeArchitecture::VehicleCentralized,
+    ] {
+        let plan = ConsolidationPlan::consolidate(arch, &functions);
+        println!(
+            "{arch:<22} {:>2} platforms, max co-location {:>2}, mixed criticality: {}",
+            plan.platform_count(),
+            plan.max_colocation(),
+            plan.has_mixed_criticality_platform()
+        );
+    }
+
+    // The vehicle-centralized case: all twelve functions as periodic
+    // tasks on one 4-core platform. Partitioned fixed-priority keeps the
+    // critical tasks analyzable with plain RTA.
+    println!("\nvehicle-centralized deployment on 4 cores (partitioned FP):");
+    let tasks: Vec<Task> = functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let (wcet_us, period_us) = if f.critical {
+                (1.0 + i as f64 * 0.2, 10.0)
+            } else {
+                (4.0 + i as f64 * 0.3, 40.0)
+            };
+            Task::new(
+                i as u32,
+                SimDuration::from_us(wcet_us),
+                SimDuration::from_us(period_us),
+            )
+        })
+        .collect();
+    match first_fit_decreasing(&tasks, 4) {
+        Ok(partition) => {
+            for (core, core_tasks) in partition.cores.iter().enumerate() {
+                let rt = response_times(core_tasks).expect("admitted by RTA");
+                let names: Vec<String> = core_tasks
+                    .iter()
+                    .zip(&rt)
+                    .map(|(t, r)| format!("{} (R={})", functions[t.id as usize].name, r))
+                    .collect();
+                println!("  core {core}: {}", names.join(", "));
+            }
+            let utils = partition.core_utilizations();
+            println!(
+                "  core utilizations: {}",
+                utils
+                    .iter()
+                    .map(|u| format!("{u:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        Err(e) => println!("  partitioning failed: {e}"),
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration test: every table and figure of the paper regenerates and
+//! matches the qualitative claims the paper makes about it.
+
+use autoplat_bench::{
+    ablation_cache, ablation_memguard, ablation_sched, fig2, fig3, fig5, fig6, fig7, interference,
+    table1, table2,
+};
+
+#[test]
+fn table1_is_the_paper_verbatim() {
+    let rows = table1();
+    let expect = [
+        ("tCK", 1.25),
+        ("tBurst", 5.0),
+        ("tRCD", 13.75),
+        ("tCL", 13.75),
+        ("tRP", 13.75),
+        ("tRAS", 35.0),
+        ("tRRD", 6.0),
+        ("tXAW", 30.0),
+        ("tRFC", 260.0),
+        ("tWR", 15.0),
+        ("tWTR", 7.5),
+        ("tRTP", 7.5),
+        ("tRTW", 2.5),
+        ("tCS", 2.5),
+        ("tREFI", 7800.0),
+        ("tXP", 6.0),
+        ("tXS", 270.0),
+    ];
+    assert_eq!(rows.len(), expect.len());
+    for ((name, ns), row) in expect.iter().zip(&rows) {
+        assert_eq!(*name, row.name);
+        assert_eq!(*ns, row.ns, "{name}");
+    }
+}
+
+#[test]
+fn table2_reproduces_the_papers_shape() {
+    // Paper values (ns): lower 1971.7/2958.0/3934.3/5886.8,
+    //                    upper 1977.5/2963.8/3950.1/6908.9.
+    // We verify the documented shape claims (see EXPERIMENTS.md):
+    let rows = table2();
+    assert_eq!(rows.len(), 4);
+    // (i) microsecond magnitudes matching the paper within ~25%.
+    let paper_upper = [1977.542, 2963.814, 3950.086, 6908.902];
+    for (row, paper) in rows.iter().zip(paper_upper) {
+        let rel = (row.upper_ns - paper).abs() / paper;
+        assert!(
+            rel < 0.25,
+            "{} Gbps: ours {:.0} vs paper {:.0} ({:.0}% off)",
+            row.write_rate_gbps,
+            row.upper_ns,
+            paper,
+            rel * 100.0
+        );
+    }
+    // (ii) lower <= upper everywhere; bounds tight at low rates.
+    for row in &rows {
+        assert!(row.lower_ns <= row.upper_ns);
+        if row.write_rate_gbps <= 6.0 {
+            let gap = row.upper_ns - row.lower_ns;
+            assert!(
+                gap / row.upper_ns < 0.10,
+                "gap must be null-to-negligible below saturation, got {gap:.1} ns"
+            );
+        }
+    }
+    // (iii) the last line (7 Gbps) shows the blow-up: largest step and
+    // largest gap.
+    let gaps: Vec<f64> = rows.iter().map(|r| r.upper_ns - r.lower_ns).collect();
+    assert!(
+        gaps[3]
+            >= *gaps[..3]
+                .iter()
+                .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .expect("non-empty")
+    );
+    assert!(rows[3].upper_ns - rows[2].upper_ns > rows[1].upper_ns - rows[0].upper_ns);
+}
+
+#[test]
+fn fig2_register_is_the_papers_value() {
+    let (bits, rows) = fig2();
+    assert_eq!(bits, 0x8000_4201, "the worked example register value");
+    // Hypervisor owns the top group, and the four groups cover all ways
+    // disjointly.
+    assert_eq!(rows[3].owner, Some(7));
+    let mut acc = 0u64;
+    for r in &rows {
+        assert_eq!(acc & r.way_mask, 0);
+        acc |= r.way_mask;
+    }
+    assert_eq!(acc, 0xFFFF);
+}
+
+#[test]
+fn fig3_portions_have_two_private_and_one_shared() {
+    let rows = fig3();
+    let private0 = rows.iter().filter(|r| r.partid0 && !r.partid1).count();
+    let private1 = rows.iter().filter(|r| !r.partid0 && r.partid1).count();
+    let shared = rows.iter().filter(|r| r.partid0 && r.partid1).count();
+    assert_eq!((private0, private1, shared), (2, 2, 1));
+}
+
+#[test]
+fn fig5_watermark_transitions_alternate() {
+    let events = fig5();
+    assert!(events.len() >= 2, "need observable switches");
+    for w in events.windows(2) {
+        assert_ne!(w[0].direction, w[1].direction, "switches must alternate");
+    }
+}
+
+#[test]
+fn fig6_end_to_end_view_beats_hop_by_hop() {
+    for row in fig6() {
+        assert!(row.e2e_bound_ns <= row.hop_by_hop_ns);
+    }
+}
+
+#[test]
+fn fig7_symmetric_and_weighted_series() {
+    let rows = fig7(8);
+    // Symmetric: capacity / n exactly.
+    for r in &rows {
+        assert!((r.symmetric_rate - 1.0 / r.mode as f64).abs() < 1e-12);
+    }
+    // Non-symmetric: critical flat, best effort squeezed.
+    assert!(rows.iter().all(|r| (r.critical_rate - 0.3).abs() < 1e-12));
+    assert!(rows[7].best_effort_rate < rows[1].best_effort_rate);
+}
+
+#[test]
+fn interference_shows_multiplicative_inflation() {
+    let rows = interference();
+    assert!(rows[3].slowdown > rows[1].slowdown, "more hogs, more pain");
+    assert!(rows[3].slowdown > 1.5);
+}
+
+#[test]
+fn cache_ablation_recovers_hit_rate() {
+    let rows = ablation_cache();
+    let unpartitioned = rows[0].critical_hit_rate;
+    let best = rows
+        .iter()
+        .skip(1)
+        .map(|r| r.critical_hit_rate)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best > unpartitioned + 0.3,
+        "partitioning must restore the working set"
+    );
+}
+
+#[test]
+fn memguard_ablation_has_monotone_cost() {
+    let rows = ablation_memguard();
+    // Tighter budget -> hog finishes no earlier.
+    for w in rows[1..].windows(2) {
+        assert!(w[1].hog_finish_us >= w[0].hog_finish_us - 1e-6);
+    }
+}
+
+#[test]
+fn sched_ablation_partitioned_never_loses() {
+    for util in [0.5, 0.6] {
+        let rows = ablation_sched(20, util);
+        let global = rows
+            .iter()
+            .find(|r| r.policy == "global-fp")
+            .expect("present");
+        let part = rows
+            .iter()
+            .find(|r| r.policy == "partitioned-fp")
+            .expect("present");
+        assert!(
+            part.schedulable_sets >= global.schedulable_sets,
+            "at {util}: partitioned {} < global {}",
+            part.schedulable_sets,
+            global.schedulable_sets
+        );
+    }
+}
