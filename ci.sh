@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints (warnings are errors), full test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, -D warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "ci: OK"

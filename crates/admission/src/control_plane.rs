@@ -1,0 +1,242 @@
+//! A lossy, latency-modelled control plane between the RM and clients.
+//!
+//! The instantaneous simulation path pretends control messages arrive the
+//! moment they are logged. Under fault injection this module carries each
+//! [`Envelope`] explicitly: every send is submitted to an
+//! `autoplat_sim::FaultInjector`, which may deliver it after the nominal
+//! latency, drop it, delay it further, or duplicate it. Deliveries come
+//! back out of [`ControlPlane::take_due`] in deterministic `(cycle, send
+//! order)` order, so a scenario with the same fault seed replays
+//! bit-identically.
+
+use std::collections::BTreeMap;
+
+use autoplat_sim::{FaultInjector, FaultPlan, MessageFault};
+
+use crate::protocol::Envelope;
+
+/// The in-flight control-message network.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::control_plane::ControlPlane;
+/// use autoplat_admission::protocol::{ControlMessage, Endpoint, Envelope};
+/// use autoplat_admission::AppId;
+/// use autoplat_sim::FaultPlan;
+///
+/// let mut cp = ControlPlane::new(FaultPlan::none(), 7, 100);
+/// cp.send(0, Envelope {
+///     from: Endpoint::Rm,
+///     to: Endpoint::Client(AppId(0)),
+///     seq: 0,
+///     sent_at_cycle: 0,
+///     message: ControlMessage::Stop { app: AppId(0) },
+/// });
+/// assert_eq!(cp.next_delivery_cycle(), Some(100));
+/// assert_eq!(cp.take_due(100).len(), 1);
+/// assert!(cp.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ControlPlane {
+    injector: FaultInjector,
+    latency_cycles: u64,
+    /// In-flight messages keyed by `(deliver_cycle, submission id)`: the
+    /// BTreeMap iteration order *is* the delivery order, deterministic for
+    /// a given seed.
+    in_flight: BTreeMap<(u64, u64), Envelope>,
+    next_uid: u64,
+    sent: u64,
+    dropped: u64,
+    delayed: u64,
+    duplicated: u64,
+}
+
+impl ControlPlane {
+    /// Creates a control plane with the given fault plan, fault seed and
+    /// nominal one-way latency in cycles.
+    pub fn new(plan: FaultPlan, seed: u64, latency_cycles: u64) -> Self {
+        ControlPlane {
+            injector: FaultInjector::new(plan, seed),
+            latency_cycles,
+            in_flight: BTreeMap::new(),
+            next_uid: 0,
+            sent: 0,
+            dropped: 0,
+            delayed: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// The fault injector (for its trace and fault bookkeeping).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Due client-level faults, delegated to the injector.
+    pub fn take_client_faults_due(&mut self, now_cycle: u64) -> Vec<autoplat_sim::ClientFault> {
+        self.injector.take_client_faults_due(now_cycle)
+    }
+
+    /// Submits `envelope` at `now_cycle`; the injector decides its fate.
+    pub fn send(&mut self, now_cycle: u64, envelope: Envelope) {
+        self.sent += 1;
+        match self.injector.on_message(now_cycle, envelope.message.name()) {
+            MessageFault::Deliver => {
+                self.enqueue(now_cycle + self.latency_cycles, envelope);
+            }
+            MessageFault::Drop => {
+                self.dropped += 1;
+            }
+            MessageFault::Delay(extra) => {
+                self.delayed += 1;
+                self.enqueue(now_cycle + self.latency_cycles + extra, envelope);
+            }
+            MessageFault::Duplicate(extra) => {
+                self.duplicated += 1;
+                self.enqueue(now_cycle + self.latency_cycles, envelope);
+                self.enqueue(now_cycle + self.latency_cycles + extra, envelope);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, deliver_cycle: u64, envelope: Envelope) {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.in_flight.insert((deliver_cycle, uid), envelope);
+    }
+
+    /// The earliest pending delivery, if any.
+    pub fn next_delivery_cycle(&self) -> Option<u64> {
+        self.in_flight.keys().next().map(|&(cycle, _)| cycle)
+    }
+
+    /// Removes and returns every envelope due at or before `now_cycle`,
+    /// in deterministic delivery order.
+    pub fn take_due(&mut self, now_cycle: u64) -> Vec<Envelope> {
+        let later = self.in_flight.split_off(&(now_cycle + 1, 0));
+        let due = std::mem::replace(&mut self.in_flight, later);
+        due.into_values().collect()
+    }
+
+    /// The next cycle at which a scripted client fault fires.
+    pub fn next_client_fault_cycle(&self) -> Option<u64> {
+        self.injector.next_client_fault_cycle()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Messages submitted.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages the injector destroyed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages delivered late.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Messages delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// The cycle of the most recent injected fault of any kind.
+    pub fn last_fault_cycle(&self) -> Option<u64> {
+        self.injector.last_fault_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppId;
+    use crate::protocol::{ControlMessage, Endpoint};
+
+    fn stop(app: u32) -> Envelope {
+        Envelope {
+            from: Endpoint::Rm,
+            to: Endpoint::Client(AppId(app)),
+            seq: 0,
+            sent_at_cycle: 0,
+            message: ControlMessage::Stop { app: AppId(app) },
+        }
+    }
+
+    #[test]
+    fn fifo_among_same_cycle_deliveries() {
+        let mut cp = ControlPlane::new(FaultPlan::none(), 1, 10);
+        cp.send(0, stop(0));
+        cp.send(0, stop(1));
+        cp.send(0, stop(2));
+        let due = cp.take_due(10);
+        let apps: Vec<u32> = due.iter().map(|e| e.message.app().0).collect();
+        assert_eq!(apps, vec![0, 1, 2]);
+        assert!(cp.take_due(10_000).is_empty());
+    }
+
+    #[test]
+    fn scripted_drop_loses_exactly_that_message() {
+        let plan = FaultPlan::new().drop_nth("stopMsg", 1);
+        let mut cp = ControlPlane::new(plan, 1, 10);
+        cp.send(0, stop(0));
+        cp.send(0, stop(1)); // dropped
+        cp.send(0, stop(2));
+        assert_eq!(cp.dropped(), 1);
+        let apps: Vec<u32> = cp.take_due(10).iter().map(|e| e.message.app().0).collect();
+        assert_eq!(apps, vec![0, 2]);
+        assert_eq!(cp.last_fault_cycle(), Some(0));
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let plan = FaultPlan::new().duplicate_nth("stopMsg", 0, 25);
+        let mut cp = ControlPlane::new(plan, 1, 10);
+        cp.send(0, stop(0));
+        assert_eq!(cp.duplicated(), 1);
+        assert_eq!(cp.take_due(10).len(), 1);
+        assert_eq!(cp.next_delivery_cycle(), Some(35));
+        assert_eq!(cp.take_due(35).len(), 1);
+        assert!(cp.is_empty());
+    }
+
+    #[test]
+    fn delay_shifts_delivery() {
+        let plan = FaultPlan::new().delay_nth("stopMsg", 0, 40);
+        let mut cp = ControlPlane::new(plan, 1, 10);
+        cp.send(0, stop(0));
+        assert_eq!(cp.delayed(), 1);
+        assert!(cp.take_due(49).is_empty());
+        assert_eq!(cp.take_due(50).len(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_fate() {
+        let run = |seed: u64| -> (u64, u64, Vec<(u64, u32)>) {
+            let plan = FaultPlan::new()
+                .drop_probability(0.3)
+                .delay_probability(0.2);
+            let mut cp = ControlPlane::new(plan, seed, 10);
+            for i in 0..50 {
+                cp.send(i, stop(i as u32));
+            }
+            let mut deliveries = Vec::new();
+            while let Some(next) = cp.next_delivery_cycle() {
+                for e in cp.take_due(next) {
+                    deliveries.push((next, e.message.app().0));
+                }
+            }
+            (cp.dropped(), cp.delayed(), deliveries)
+        };
+        assert_eq!(run(42), run(42), "same seed, same fate");
+        assert_ne!(run(42).2, run(43).2, "different seed, different fate");
+    }
+}

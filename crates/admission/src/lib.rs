@@ -19,9 +19,17 @@
 //!   best-effort traffic);
 //! * [`client`] — the per-node supervisor state machine;
 //! * [`rm`] — the Resource Manager: admission, termination, mode
-//!   transitions, reconfiguration rounds and their overhead accounting;
+//!   transitions, reconfiguration rounds and their overhead accounting,
+//!   plus the heartbeat watchdog that reclaims dead clients' bandwidth;
+//! * [`error`] — typed [`AdmissionError`]s replacing panicking validation;
 //! * [`e2e`] — end-to-end latency guarantees for admitted flows across a
 //!   NoC + DRAM resource chain via network calculus.
+//!
+//! The control plane is assumed *lossy*: [`protocol`] adds
+//! sequence-numbered envelopes, acknowledgements, heartbeats and refusals
+//! so a dropped `confMsg` degrades into a bounded retransmission instead
+//! of a deadlock, and [`simulation`] can inject seeded faults from
+//! `autoplat_sim::FaultPlan` to exercise the recovery paths.
 //!
 //! # Examples
 //!
@@ -42,13 +50,17 @@
 
 pub mod app;
 pub mod client;
+pub mod control_plane;
 pub mod e2e;
+pub mod error;
 pub mod modes;
 pub mod protocol;
 pub mod rm;
 pub mod simulation;
 
 pub use app::{AppId, Application, Importance};
+pub use client::{Liveness, RetryPolicy};
+pub use error::AdmissionError;
 pub use modes::{RatePolicy, SymmetricPolicy, SystemMode, WeightedPolicy};
-pub use protocol::ControlMessage;
-pub use rm::ResourceManager;
+pub use protocol::{ControlMessage, Endpoint, Envelope, ReceiveState};
+pub use rm::{ResourceManager, WatchdogConfig};

@@ -1,10 +1,25 @@
-//! The four-message control protocol of §V.
+//! The four-message control protocol of §V, plus its fault-tolerance
+//! extensions.
 //!
 //! "The protocol consists of four control messages: activation (actMsg),
 //! termination (terMsg), stop (stopMsg) and configuration (confMsg)."
 //! Clients inform the RM of application activation/termination; before
 //! changing rates the RM stops all active clients, then distributes the
 //! new configuration, after which clients adjust their rate and unblock.
+//!
+//! On a lossy control plane the four paper messages alone deadlock: a
+//! dropped `confMsg` leaves a client stopped forever. Three extension
+//! messages make the protocol fault-tolerant:
+//!
+//! * `ackMsg` — explicit acknowledgement of a sequence-numbered message,
+//!   enabling bounded retransmission;
+//! * `hbMsg` — periodic client heartbeat driving the RM watchdog;
+//! * `rejMsg` — explicit admission refusal, so a refused client stops
+//!   retransmitting its `actMsg`.
+//!
+//! Messages travel in sequence-numbered [`Envelope`]s; receivers run a
+//! [`ReceiveState`] per peer so duplicated deliveries (retransmission or
+//! fault injection) are processed exactly once.
 
 use autoplat_sim::SimTime;
 
@@ -40,6 +55,26 @@ pub enum ControlMessage {
         /// The new injection rate in items/cycle.
         rate: f64,
     },
+    /// `ackMsg` (extension): acknowledges receipt of the sequence-numbered
+    /// message `of_seq` from the peer identified by `app`.
+    Ack {
+        /// The application whose endpoint the ack concerns.
+        app: AppId,
+        /// The acknowledged sequence number.
+        of_seq: u64,
+    },
+    /// `hbMsg` (extension): periodic client liveness beacon; feeds the RM
+    /// watchdog.
+    Heartbeat {
+        /// The application whose client is alive.
+        app: AppId,
+    },
+    /// `rejMsg` (extension): the RM refuses an admission, releasing the
+    /// client from its activation retransmission loop.
+    Refusal {
+        /// The refused application.
+        app: AppId,
+    },
 }
 
 impl ControlMessage {
@@ -49,18 +84,37 @@ impl ControlMessage {
             ControlMessage::Activation { app }
             | ControlMessage::Termination { app }
             | ControlMessage::Stop { app }
-            | ControlMessage::Config { app, .. } => *app,
+            | ControlMessage::Config { app, .. }
+            | ControlMessage::Ack { app, .. }
+            | ControlMessage::Heartbeat { app }
+            | ControlMessage::Refusal { app } => *app,
         }
     }
 
-    /// Short protocol name (`actMsg`, `terMsg`, `stopMsg`, `confMsg`).
+    /// Short protocol name (`actMsg`, `terMsg`, `stopMsg`, `confMsg`, and
+    /// the extensions `ackMsg`, `hbMsg`, `rejMsg`).
     pub fn name(&self) -> &'static str {
         match self {
             ControlMessage::Activation { .. } => "actMsg",
             ControlMessage::Termination { .. } => "terMsg",
             ControlMessage::Stop { .. } => "stopMsg",
             ControlMessage::Config { .. } => "confMsg",
+            ControlMessage::Ack { .. } => "ackMsg",
+            ControlMessage::Heartbeat { .. } => "hbMsg",
+            ControlMessage::Refusal { .. } => "rejMsg",
         }
+    }
+
+    /// True for messages a receiver must acknowledge (`actMsg`, `terMsg`,
+    /// `confMsg`). `stopMsg` is covered by the `confMsg` that follows it,
+    /// and acks/heartbeats/refusals are fire-and-forget.
+    pub fn needs_ack(&self) -> bool {
+        matches!(
+            self,
+            ControlMessage::Activation { .. }
+                | ControlMessage::Termination { .. }
+                | ControlMessage::Config { .. }
+        )
     }
 }
 
@@ -120,6 +174,95 @@ impl MessageLog {
     }
 }
 
+/// A protocol endpoint: the RM or the client supervising one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// The central Resource Manager.
+    Rm,
+    /// The per-node client of the given application.
+    Client(AppId),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Rm => write!(f, "rm"),
+            Endpoint::Client(app) => write!(f, "client:{app}"),
+        }
+    }
+}
+
+/// A sequence-numbered control message in flight between two endpoints.
+///
+/// Sequence numbers are per *sender* endpoint and strictly increasing, so
+/// a receiver's [`ReceiveState`] can discard duplicated deliveries while
+/// tolerating reordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// Per-sender sequence number.
+    pub seq: u64,
+    /// Cycle at which the sender handed the message to the control plane.
+    pub sent_at_cycle: u64,
+    /// The payload.
+    pub message: ControlMessage,
+}
+
+/// Per-peer duplicate suppression for idempotent receive handling.
+///
+/// Tracks which sequence numbers have been accepted from each peer; a
+/// duplicated delivery (fault injection or retransmission racing an ack)
+/// is reported once and ignored afterwards. Reordered deliveries are
+/// accepted: the window is a set, not a high-water mark.
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::protocol::{Endpoint, ReceiveState};
+///
+/// let mut rx = ReceiveState::new();
+/// assert!(rx.accept(Endpoint::Rm, 0));
+/// assert!(rx.accept(Endpoint::Rm, 2)); // reordered: still accepted
+/// assert!(!rx.accept(Endpoint::Rm, 0)); // duplicate: suppressed
+/// assert_eq!(rx.duplicates_suppressed(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReceiveState {
+    seen: std::collections::BTreeMap<Endpoint, std::collections::BTreeSet<u64>>,
+    duplicates: u64,
+}
+
+impl ReceiveState {
+    /// Creates an empty receive window.
+    pub fn new() -> Self {
+        ReceiveState::default()
+    }
+
+    /// Returns true when `(peer, seq)` is fresh and records it; false for
+    /// an already-processed duplicate.
+    pub fn accept(&mut self, peer: Endpoint, seq: u64) -> bool {
+        let fresh = self.seen.entry(peer).or_default().insert(seq);
+        if !fresh {
+            self.duplicates += 1;
+        }
+        fresh
+    }
+
+    /// How many duplicated deliveries were suppressed.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Forgets everything heard from `peer` (e.g. after it crashes and a
+    /// fresh client re-registers with sequence numbers starting over).
+    pub fn forget(&mut self, peer: Endpoint) {
+        self.seen.remove(&peer);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +301,54 @@ mod tests {
         assert_eq!(log.count("terMsg"), 0);
         assert_eq!(log.len(), 3);
         assert_eq!(log.records().len(), 3);
+    }
+
+    #[test]
+    fn extension_names_and_ack_rules() {
+        let ack = ControlMessage::Ack {
+            app: AppId(1),
+            of_seq: 9,
+        };
+        let hb = ControlMessage::Heartbeat { app: AppId(2) };
+        let rej = ControlMessage::Refusal { app: AppId(3) };
+        assert_eq!(ack.name(), "ackMsg");
+        assert_eq!(hb.name(), "hbMsg");
+        assert_eq!(rej.name(), "rejMsg");
+        assert_eq!(ack.app(), AppId(1));
+        assert_eq!(hb.app(), AppId(2));
+        assert_eq!(rej.app(), AppId(3));
+        assert!(!ack.needs_ack(), "acking an ack would never terminate");
+        assert!(!hb.needs_ack());
+        assert!(!rej.needs_ack());
+        assert!(ControlMessage::Activation { app: AppId(0) }.needs_ack());
+        assert!(ControlMessage::Termination { app: AppId(0) }.needs_ack());
+        assert!(ControlMessage::Config {
+            app: AppId(0),
+            mode: SystemMode(1),
+            rate: 0.5
+        }
+        .needs_ack());
+        assert!(!ControlMessage::Stop { app: AppId(0) }.needs_ack());
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::Rm.to_string(), "rm");
+        assert_eq!(Endpoint::Client(AppId(4)).to_string(), "client:app4");
+    }
+
+    #[test]
+    fn receive_state_suppresses_duplicates_only() {
+        let mut rx = ReceiveState::new();
+        let peer = Endpoint::Client(AppId(0));
+        assert!(rx.accept(peer, 0));
+        assert!(rx.accept(peer, 1));
+        assert!(!rx.accept(peer, 1));
+        assert!(!rx.accept(peer, 0));
+        // Other peers have independent windows.
+        assert!(rx.accept(Endpoint::Client(AppId(1)), 0));
+        assert_eq!(rx.duplicates_suppressed(), 2);
+        rx.forget(peer);
+        assert!(rx.accept(peer, 0), "forgotten peers start fresh");
     }
 }

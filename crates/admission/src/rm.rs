@@ -6,12 +6,95 @@
 //! transition to a different system mode. Before changing rates, the RM
 //! sends every active client a `stopMsg`, then a `confMsg` carrying the
 //! new mode and rate, after which clients unblock.
+//!
+//! Two APIs coexist:
+//!
+//! * the **instantaneous** API ([`request_admission`], [`terminate`]) used
+//!   when the control plane is ideal — messages are only logged, never
+//!   lost, and rounds complete atomically;
+//! * the **message-driven** API ([`receive`], [`poll`]) used under fault
+//!   injection: every message travels in a sequence-numbered `Envelope`,
+//!   `confMsg`s are retransmitted with bounded backoff until acknowledged,
+//!   a heartbeat-driven [watchdog](WatchdogConfig) reclaims the bandwidth
+//!   of dead or hung clients via a forced mode transition, flapping
+//!   clients are quarantined, and an unreachable client mid-transition
+//!   degrades the RM into **safe mode** (previous rates retained, new
+//!   admissions refused) instead of deadlocking the platform.
+//!
+//! [`request_admission`]: ResourceManager::request_admission
+//! [`terminate`]: ResourceManager::terminate
+//! [`receive`]: ResourceManager::receive
+//! [`poll`]: ResourceManager::poll
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use autoplat_sim::{SimDuration, SimTime};
 
 use crate::app::{AppId, Application};
+use crate::client::RetryPolicy;
+use crate::error::{check_latency, AdmissionError};
 use crate::modes::{RatePolicy, SystemMode};
-use crate::protocol::{ControlMessage, MessageLog};
+use crate::protocol::{ControlMessage, Endpoint, Envelope, MessageLog, ReceiveState};
+
+/// Watchdog and degradation parameters for the message-driven RM.
+///
+/// A client whose heartbeat has not been heard for `timeout_cycles` is
+/// presumed dead: its application is forcibly terminated (a mode
+/// transition that redistributes its bandwidth to the survivors). A
+/// client reclaimed `quarantine_threshold` times is flapping and is
+/// refused re-admission for `quarantine_cooldown_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Heartbeat silence tolerated before reclamation.
+    pub timeout_cycles: u64,
+    /// Reclamations after which an application is quarantined.
+    pub quarantine_threshold: u32,
+    /// How long a quarantined application stays refused.
+    pub quarantine_cooldown_cycles: u64,
+}
+
+impl WatchdogConfig {
+    /// Validating constructor.
+    pub fn try_new(
+        timeout_cycles: u64,
+        quarantine_threshold: u32,
+        quarantine_cooldown_cycles: u64,
+    ) -> Result<Self, AdmissionError> {
+        if timeout_cycles == 0 {
+            return Err(AdmissionError::InvalidInterval {
+                what: "watchdog timeout",
+            });
+        }
+        if quarantine_threshold == 0 {
+            return Err(AdmissionError::InvalidInterval {
+                what: "quarantine threshold",
+            });
+        }
+        Ok(WatchdogConfig {
+            timeout_cycles,
+            quarantine_threshold,
+            quarantine_cooldown_cycles,
+        })
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            timeout_cycles: 2_000,
+            quarantine_threshold: 3,
+            quarantine_cooldown_cycles: 10_000,
+        }
+    }
+}
+
+/// An unacknowledged `confMsg` the RM keeps retransmitting.
+#[derive(Debug, Clone, Copy)]
+struct PendingConf {
+    envelope: Envelope,
+    attempts: u32,
+    next_retry_cycle: u64,
+}
 
 /// Result of an admission request.
 #[derive(Debug, Clone)]
@@ -50,6 +133,27 @@ pub struct ResourceManager<P> {
     message_latency_ns: f64,
     /// Accumulated reconfiguration overhead.
     overhead: SimDuration,
+    // --- fault-tolerance state (message-driven API) ---
+    watchdog: WatchdogConfig,
+    retry: RetryPolicy,
+    /// Application metadata known to the RM, keyed by id, so an `actMsg`
+    /// (which carries only the id) can be resolved to demands.
+    known: BTreeMap<AppId, Application>,
+    /// Last cycle each monitored client was heard from.
+    last_heartbeat: BTreeMap<AppId, u64>,
+    /// Reclamation counts feeding the quarantine decision.
+    reclaim_counts: BTreeMap<AppId, u32>,
+    /// Quarantined applications and the first cycle they may return.
+    quarantined: BTreeMap<AppId, u64>,
+    /// Applications whose `confMsg` exhausted its retry budget; non-empty
+    /// means safe mode.
+    degraded: BTreeSet<AppId>,
+    next_seq: u64,
+    rx: ReceiveState,
+    pending_confs: Vec<PendingConf>,
+    reclamations: u64,
+    safe_mode_entries: u64,
+    conf_retransmissions: u64,
 }
 
 impl<P: RatePolicy> ResourceManager<P> {
@@ -57,13 +161,16 @@ impl<P: RatePolicy> ResourceManager<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `message_latency_ns` is negative or not finite.
+    /// Panics if `message_latency_ns` is negative or not finite; use
+    /// [`ResourceManager::try_new`] for a typed error.
     pub fn new(policy: P, message_latency_ns: f64) -> Self {
-        assert!(
-            message_latency_ns.is_finite() && message_latency_ns >= 0.0,
-            "invalid message latency"
-        );
-        ResourceManager {
+        ResourceManager::try_new(policy, message_latency_ns).expect("invalid message latency")
+    }
+
+    /// Creates an RM, validating the latency.
+    pub fn try_new(policy: P, message_latency_ns: f64) -> Result<Self, AdmissionError> {
+        let message_latency_ns = check_latency(message_latency_ns)?;
+        Ok(ResourceManager {
             policy,
             active: Vec::new(),
             log: MessageLog::new(),
@@ -71,7 +178,32 @@ impl<P: RatePolicy> ResourceManager<P> {
             rejections: 0,
             message_latency_ns,
             overhead: SimDuration::ZERO,
-        }
+            watchdog: WatchdogConfig::default(),
+            retry: RetryPolicy::default(),
+            known: BTreeMap::new(),
+            last_heartbeat: BTreeMap::new(),
+            reclaim_counts: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            degraded: BTreeSet::new(),
+            next_seq: 0,
+            rx: ReceiveState::new(),
+            pending_confs: Vec::new(),
+            reclamations: 0,
+            safe_mode_entries: 0,
+            conf_retransmissions: 0,
+        })
+    }
+
+    /// Replaces the watchdog parameters.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Replaces the `confMsg` retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The current system mode.
@@ -199,6 +331,348 @@ impl<P: RatePolicy> ResourceManager<P> {
         }
         self.overhead += SimDuration::from_ns(2.0 * self.message_latency_ns);
     }
+
+    // ------------------------------------------------------------------
+    // Message-driven, fault-tolerant operation
+    // ------------------------------------------------------------------
+
+    /// Pre-registers application metadata so an `actMsg` (which carries
+    /// only the id) can be resolved to criticality and demand.
+    pub fn register(&mut self, app: Application) {
+        self.known.insert(app.id, app);
+    }
+
+    /// True while a `confMsg` retry budget is exhausted and the platform
+    /// is running degraded: previous rates retained, admissions refused.
+    pub fn is_safe_mode(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// Applications reclaimed by the watchdog so far.
+    pub fn reclamations(&self) -> u64 {
+        self.reclamations
+    }
+
+    /// Times the RM entered safe mode.
+    pub fn safe_mode_entries(&self) -> u64 {
+        self.safe_mode_entries
+    }
+
+    /// `confMsg`s retransmitted after a missing ack.
+    pub fn conf_retransmissions(&self) -> u64 {
+        self.conf_retransmissions
+    }
+
+    /// Duplicated deliveries the RM suppressed.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.rx.duplicates_suppressed()
+    }
+
+    /// `confMsg`s still awaiting acknowledgement.
+    pub fn pending_conf_count(&self) -> usize {
+        self.pending_confs.len()
+    }
+
+    /// The cycle until which `app` is quarantined, if it is.
+    pub fn quarantined_until(&self, app: AppId) -> Option<u64> {
+        self.quarantined.get(&app).copied()
+    }
+
+    /// Whether `app` could be admitted right now, with the refusal reason
+    /// when not. (The policy check still happens at admission proper; this
+    /// covers the fault-tolerance gates.)
+    pub fn check_admissible(&self, app: AppId, now_cycle: u64) -> Result<(), AdmissionError> {
+        if let Some(&until_cycle) = self.quarantined.get(&app) {
+            if now_cycle < until_cycle {
+                return Err(AdmissionError::Quarantined { app, until_cycle });
+            }
+        }
+        if self.is_safe_mode() {
+            return Err(AdmissionError::SafeMode);
+        }
+        Ok(())
+    }
+
+    fn envelope_to(&mut self, app: AppId, now_cycle: u64, message: ControlMessage) -> Envelope {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Envelope {
+            from: Endpoint::Rm,
+            to: Endpoint::Client(app),
+            seq,
+            sent_at_cycle: now_cycle,
+            message,
+        }
+    }
+
+    /// Emits the stop + config round as envelopes and arms retransmission
+    /// for every `confMsg`. Also logs the round like the instantaneous
+    /// path, so overhead accounting stays comparable.
+    fn reconfigure_envelopes(&mut self, now_cycle: u64) -> Vec<Envelope> {
+        let rates = self
+            .compute_rates(&self.active.clone())
+            .expect("active set was admitted, so rates exist");
+        let mode = self.mode();
+        let now = SimTime::from_ns(now_cycle as f64);
+        let mut out = Vec::new();
+        for (app, _) in &rates {
+            self.log.record(now, ControlMessage::Stop { app: *app });
+            out.push(self.envelope_to(*app, now_cycle, ControlMessage::Stop { app: *app }));
+        }
+        for (app, tb) in &rates {
+            let conf = ControlMessage::Config {
+                app: *app,
+                mode,
+                rate: tb.rate(),
+            };
+            self.log
+                .record(now + SimDuration::from_ns(self.message_latency_ns), conf);
+            let envelope = self.envelope_to(*app, now_cycle, conf);
+            // A newer round supersedes any conf still in flight to the
+            // same client.
+            self.pending_confs.retain(|p| p.envelope.to != envelope.to);
+            self.pending_confs.push(PendingConf {
+                envelope,
+                attempts: 1,
+                next_retry_cycle: now_cycle + self.retry.backoff_cycles(0),
+            });
+            out.push(envelope);
+        }
+        self.overhead += SimDuration::from_ns(2.0 * self.message_latency_ns);
+        out
+    }
+
+    /// Handles a delivered envelope idempotently, returning the envelopes
+    /// to send in response (acks, stop/config rounds, refusals).
+    pub fn receive(&mut self, envelope: Envelope, now_cycle: u64) -> Vec<Envelope> {
+        let app = envelope.message.app();
+        // Any message is proof of life for the watchdog.
+        if self.last_heartbeat.contains_key(&app) {
+            self.last_heartbeat.insert(app, now_cycle);
+        }
+        let fresh = self.rx.accept(envelope.from, envelope.seq);
+        if !fresh {
+            return self.respond_to_duplicate(envelope, now_cycle);
+        }
+        match envelope.message {
+            ControlMessage::Activation { app } => self.receive_activation(app, now_cycle),
+            ControlMessage::Termination { app } => {
+                let ack = self.envelope_to(
+                    app,
+                    now_cycle,
+                    ControlMessage::Ack {
+                        app,
+                        of_seq: envelope.seq,
+                    },
+                );
+                let mut out = vec![ack];
+                out.extend(self.receive_termination(app, now_cycle));
+                out
+            }
+            ControlMessage::Heartbeat { .. } => Vec::new(),
+            ControlMessage::Ack { app, of_seq } => {
+                self.pending_confs.retain(|p| {
+                    !(p.envelope.to == Endpoint::Client(app) && p.envelope.seq == of_seq)
+                });
+                Vec::new()
+            }
+            // RM-originated kinds arriving here are protocol noise.
+            ControlMessage::Stop { .. }
+            | ControlMessage::Config { .. }
+            | ControlMessage::Refusal { .. } => Vec::new(),
+        }
+    }
+
+    /// A duplicated delivery re-elicits the current decision: the previous
+    /// response may itself have been lost.
+    fn respond_to_duplicate(&mut self, envelope: Envelope, now_cycle: u64) -> Vec<Envelope> {
+        let app = envelope.message.app();
+        match envelope.message {
+            ControlMessage::Activation { .. } => {
+                if self.active.iter().any(|a| a.id == app) {
+                    // Already admitted: re-send this client's current conf.
+                    let rates = self
+                        .compute_rates(&self.active.clone())
+                        .expect("active set has rates");
+                    let mode = self.mode();
+                    rates
+                        .iter()
+                        .filter(|(id, _)| *id == app)
+                        .map(|(id, tb)| {
+                            let conf = ControlMessage::Config {
+                                app: *id,
+                                mode,
+                                rate: tb.rate(),
+                            };
+                            self.envelope_to(*id, now_cycle, conf)
+                        })
+                        .collect()
+                } else {
+                    vec![self.envelope_to(app, now_cycle, ControlMessage::Refusal { app })]
+                }
+            }
+            ControlMessage::Termination { .. } => {
+                vec![self.envelope_to(
+                    app,
+                    now_cycle,
+                    ControlMessage::Ack {
+                        app,
+                        of_seq: envelope.seq,
+                    },
+                )]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn receive_activation(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
+        let now = SimTime::from_ns(now_cycle as f64);
+        self.log.record(now, ControlMessage::Activation { app });
+        if self.active.iter().any(|a| a.id == app) {
+            // Already active (e.g. re-activation racing a reclamation):
+            // just re-confirm.
+            return self.respond_to_duplicate(
+                Envelope {
+                    from: Endpoint::Client(app),
+                    to: Endpoint::Rm,
+                    seq: 0,
+                    sent_at_cycle: now_cycle,
+                    message: ControlMessage::Activation { app },
+                },
+                now_cycle,
+            );
+        }
+        let refusal = |rm: &mut Self| {
+            rm.rejections += 1;
+            vec![rm.envelope_to(app, now_cycle, ControlMessage::Refusal { app })]
+        };
+        if self.check_admissible(app, now_cycle).is_err() {
+            return refusal(self);
+        }
+        self.quarantined.remove(&app); // cooldown served
+        let Some(&application) = self.known.get(&app) else {
+            return refusal(self);
+        };
+        let mut candidate = self.active.clone();
+        candidate.push(application);
+        if self.compute_rates(&candidate).is_none() {
+            return refusal(self);
+        }
+        self.active = candidate;
+        self.mode_changes += 1;
+        self.last_heartbeat.insert(app, now_cycle);
+        self.reconfigure_envelopes(now_cycle)
+    }
+
+    fn receive_termination(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
+        let now = SimTime::from_ns(now_cycle as f64);
+        self.log.record(now, ControlMessage::Termination { app });
+        let before = self.active.len();
+        self.active.retain(|a| a.id != app);
+        if self.active.len() == before {
+            return Vec::new();
+        }
+        self.mode_changes += 1;
+        self.release(app);
+        self.reconfigure_envelopes(now_cycle)
+    }
+
+    /// Drops every per-client obligation towards `app` after it leaves
+    /// (termination or reclamation).
+    fn release(&mut self, app: AppId) {
+        self.last_heartbeat.remove(&app);
+        self.pending_confs
+            .retain(|p| p.envelope.to != Endpoint::Client(app));
+        // The unreachable client is gone; degradation ends with it.
+        self.degraded.remove(&app);
+        // A future incarnation of the client starts its sequence numbers
+        // over.
+        self.rx.forget(Endpoint::Client(app));
+    }
+
+    /// The next cycle at which [`poll`](Self::poll) has work: a due
+    /// `confMsg` retransmission or a watchdog expiry.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let retry = self.pending_confs.iter().map(|p| p.next_retry_cycle).min();
+        let watchdog = self
+            .last_heartbeat
+            .values()
+            .map(|&h| h + self.watchdog.timeout_cycles)
+            .min();
+        match (retry, watchdog) {
+            (Some(r), Some(w)) => Some(r.min(w)),
+            (r, w) => r.or(w),
+        }
+    }
+
+    /// Advances the RM's timers to `now_cycle`: retransmits due `confMsg`s
+    /// with exponential backoff (entering safe mode when a budget is
+    /// exhausted) and runs the heartbeat watchdog, forcibly terminating
+    /// clients that have been silent past the timeout. Returns the
+    /// envelopes to hand to the control plane.
+    pub fn poll(&mut self, now_cycle: u64) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        // Retransmissions.
+        let mut gave_up: Vec<AppId> = Vec::new();
+        for p in &mut self.pending_confs {
+            if now_cycle < p.next_retry_cycle {
+                continue;
+            }
+            if p.attempts >= self.retry.max_attempts() {
+                gave_up.push(p.envelope.message.app());
+                continue;
+            }
+            let mut envelope = p.envelope;
+            envelope.sent_at_cycle = now_cycle;
+            p.attempts += 1;
+            p.next_retry_cycle = now_cycle + self.retry.backoff_cycles(p.attempts - 1);
+            self.conf_retransmissions += 1;
+            out.push(envelope);
+        }
+        for app in gave_up {
+            self.pending_confs
+                .retain(|p| p.envelope.message.app() != app);
+            if self.degraded.is_empty() {
+                self.safe_mode_entries += 1;
+            }
+            self.degraded.insert(app);
+        }
+        // Watchdog sweep.
+        let expired: Vec<AppId> = self
+            .last_heartbeat
+            .iter()
+            .filter(|(_, &heard)| now_cycle.saturating_sub(heard) >= self.watchdog.timeout_cycles)
+            .map(|(&app, _)| app)
+            .collect();
+        for app in expired {
+            out.extend(self.reclaim(app, now_cycle));
+        }
+        out
+    }
+
+    /// Forcibly terminates `app` (presumed dead), redistributing its
+    /// bandwidth to the survivors, and quarantines it when it flaps.
+    fn reclaim(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
+        let before = self.active.len();
+        self.active.retain(|a| a.id != app);
+        self.release(app);
+        if self.active.len() == before {
+            return Vec::new();
+        }
+        self.reclamations += 1;
+        self.mode_changes += 1;
+        let flaps = self.reclaim_counts.entry(app).or_insert(0);
+        *flaps += 1;
+        if *flaps >= self.watchdog.quarantine_threshold {
+            self.quarantined
+                .insert(app, now_cycle + self.watchdog.quarantine_cooldown_cycles);
+        }
+        self.log.record(
+            SimTime::from_ns(now_cycle as f64),
+            ControlMessage::Termination { app },
+        );
+        self.reconfigure_envelopes(now_cycle)
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +767,215 @@ mod tests {
             stops_before,
             "no stop round on reject"
         );
+    }
+
+    // --- message-driven, fault-tolerant operation ---
+
+    fn ft_rm() -> ResourceManager<SymmetricPolicy> {
+        let mut rm = ResourceManager::new(SymmetricPolicy::new(1.0, 8.0), 100.0)
+            .with_watchdog(WatchdogConfig {
+                timeout_cycles: 1_000,
+                quarantine_threshold: 2,
+                quarantine_cooldown_cycles: 5_000,
+            })
+            .with_retry(RetryPolicy::new(100, 3));
+        for n in 0..4u32 {
+            rm.register(be(n));
+        }
+        rm
+    }
+
+    fn act(app: u32, seq: u64, at: u64) -> Envelope {
+        Envelope {
+            from: Endpoint::Client(AppId(app)),
+            to: Endpoint::Rm,
+            seq,
+            sent_at_cycle: at,
+            message: ControlMessage::Activation { app: AppId(app) },
+        }
+    }
+
+    fn client_ack(app: u32, seq: u64, of_seq: u64, at: u64) -> Envelope {
+        Envelope {
+            from: Endpoint::Client(AppId(app)),
+            to: Endpoint::Rm,
+            seq,
+            sent_at_cycle: at,
+            message: ControlMessage::Ack {
+                app: AppId(app),
+                of_seq,
+            },
+        }
+    }
+
+    /// Ack every conf in `out` back into the RM so nothing stays pending.
+    fn settle_confs<P: RatePolicy>(rm: &mut ResourceManager<P>, out: &[Envelope], at: u64) {
+        let mut ack_seq = 1_000 + at; // distinct per call site in these tests
+        for e in out {
+            if e.message.name() == "confMsg" {
+                let app = e.message.app();
+                let ack = client_ack(app.0, ack_seq, e.seq, at);
+                ack_seq += 1;
+                let _ = rm.receive(ack, at);
+            }
+        }
+    }
+
+    #[test]
+    fn message_driven_admission_emits_stop_conf_round() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 10), 10);
+        assert_eq!(
+            out.iter().filter(|e| e.message.name() == "stopMsg").count(),
+            1
+        );
+        assert_eq!(
+            out.iter().filter(|e| e.message.name() == "confMsg").count(),
+            1
+        );
+        assert_eq!(rm.mode(), SystemMode(1));
+        // Second app: round covers both clients.
+        let out = rm.receive(act(1, 0, 20), 20);
+        assert_eq!(
+            out.iter().filter(|e| e.message.name() == "confMsg").count(),
+            2
+        );
+        assert_eq!(rm.mode(), SystemMode(2));
+    }
+
+    #[test]
+    fn duplicate_activation_resends_conf_without_readmission() {
+        let mut rm = ft_rm();
+        let _ = rm.receive(act(0, 0, 10), 10);
+        let changes = rm.mode_changes();
+        let out = rm.receive(act(0, 0, 300), 300); // retransmitted actMsg
+        assert_eq!(rm.mode_changes(), changes, "no second transition");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].message.name(), "confMsg");
+        assert_eq!(rm.duplicates_suppressed(), 1);
+    }
+
+    #[test]
+    fn unknown_app_is_refused() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(9, 0, 10), 10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].message.name(), "rejMsg");
+        assert_eq!(rm.rejections(), 1);
+        assert_eq!(rm.mode(), SystemMode(0));
+    }
+
+    #[test]
+    fn conf_retransmits_then_enters_safe_mode() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 0), 0);
+        let conf = out.iter().find(|e| e.message.name() == "confMsg").unwrap();
+        let first_deadline = rm.next_deadline().expect("conf pending");
+        assert_eq!(first_deadline, 100);
+        // Never ack: retries at 100, then 100+200.
+        assert_eq!(rm.poll(100).len(), 1);
+        assert_eq!(rm.poll(300).len(), 1);
+        assert_eq!(rm.conf_retransmissions(), 2);
+        assert!(!rm.is_safe_mode());
+        // Budget of 3 exhausted: next due poll degrades.
+        let next = rm.next_deadline().expect("still pending");
+        let _ = rm.poll(next);
+        assert!(rm.is_safe_mode());
+        assert_eq!(rm.safe_mode_entries(), 1);
+        // Safe mode refuses new admissions but keeps previous rates.
+        assert_eq!(
+            rm.check_admissible(AppId(1), next),
+            Err(AdmissionError::SafeMode)
+        );
+        let out = rm.receive(act(1, 0, next + 1), next + 1);
+        assert_eq!(out[0].message.name(), "rejMsg");
+        assert_eq!(rm.mode(), SystemMode(1), "previous allocation retained");
+        // The ack that finally clears things: watchdog reclaims the dead
+        // client, ending safe mode.
+        let _ = conf;
+        let reclaim_at = 2_000;
+        let _ = rm.poll(reclaim_at);
+        assert!(!rm.is_safe_mode(), "reclaiming the degraded app recovers");
+        assert_eq!(rm.reclamations(), 1);
+        assert_eq!(rm.mode(), SystemMode(0));
+    }
+
+    #[test]
+    fn watchdog_reclaims_silent_client_and_redistributes() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 0), 0);
+        settle_confs(&mut rm, &out, 1);
+        let out = rm.receive(act(1, 0, 5), 5);
+        settle_confs(&mut rm, &out, 6);
+        assert_eq!(rm.mode(), SystemMode(2));
+        // App 0 heartbeats; app 1 goes silent.
+        let hb = Envelope {
+            from: Endpoint::Client(AppId(0)),
+            to: Endpoint::Rm,
+            seq: 50,
+            sent_at_cycle: 800,
+            message: ControlMessage::Heartbeat { app: AppId(0) },
+        };
+        let _ = rm.receive(hb, 800);
+        // At cycle 1010 app 1 (last heard when acking its conf at cycle 6)
+        // is past the 1000-cycle timeout; app 0 (heard at 800) is not.
+        let out = rm.poll(1_010);
+        assert_eq!(rm.reclamations(), 1);
+        assert_eq!(rm.mode(), SystemMode(1));
+        assert!(rm.active().iter().all(|a| a.id != AppId(1)));
+        // Survivor gets the full capacity back via a fresh conf round.
+        let conf = out.iter().find(|e| e.message.name() == "confMsg").unwrap();
+        assert_eq!(conf.message.app(), AppId(0));
+        match conf.message {
+            ControlMessage::Config { rate, .. } => assert!((rate - 1.0).abs() < 1e-12),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn flapping_client_is_quarantined_then_served_after_cooldown() {
+        let mut rm = ft_rm();
+        // Two reclamations of app 0 trip the threshold of 2.
+        for round in 0..2u64 {
+            let at = round * 3_000;
+            let out = rm.receive(act(0, round * 10, at), at);
+            settle_confs(&mut rm, &out, at + 1);
+            let _ = rm.poll(at + 1_001 + 1); // silent past the timeout
+        }
+        assert_eq!(rm.reclamations(), 2);
+        let until = rm.quarantined_until(AppId(0)).expect("quarantined");
+        // Refused while quarantined.
+        let out = rm.receive(act(0, 100, until - 1), until - 1);
+        assert_eq!(out[0].message.name(), "rejMsg");
+        assert!(matches!(
+            rm.check_admissible(AppId(0), until - 1),
+            Err(AdmissionError::Quarantined { .. })
+        ));
+        // Served again once the cooldown expires.
+        let out = rm.receive(act(0, 101, until), until);
+        assert!(out.iter().any(|e| e.message.name() == "confMsg"));
+        assert_eq!(rm.mode(), SystemMode(1));
+    }
+
+    #[test]
+    fn acked_conf_stops_retransmitting() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 0), 0);
+        let conf = out.iter().find(|e| e.message.name() == "confMsg").unwrap();
+        let _ = rm.receive(client_ack(0, 1, conf.seq, 50), 50);
+        // Only the watchdog deadline remains.
+        assert_eq!(rm.next_deadline(), Some(50 + 1_000));
+        assert!(rm.poll(500).is_empty());
+        assert_eq!(rm.conf_retransmissions(), 0);
+    }
+
+    #[test]
+    fn try_new_validates_latency() {
+        assert!(ResourceManager::try_new(SymmetricPolicy::new(1.0, 8.0), -1.0).is_err());
+        assert!(ResourceManager::try_new(SymmetricPolicy::new(1.0, 8.0), f64::NAN).is_err());
+        assert!(ResourceManager::try_new(SymmetricPolicy::new(1.0, 8.0), 0.0).is_ok());
+        assert!(WatchdogConfig::try_new(0, 1, 10).is_err());
+        assert!(WatchdogConfig::try_new(10, 0, 10).is_err());
+        assert!(WatchdogConfig::try_new(10, 1, 0).is_ok());
     }
 }

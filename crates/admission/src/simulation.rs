@@ -8,16 +8,38 @@
 //! The outcome records, per application and per mode interval, the
 //! *observed* injection rate — the dynamic realization of Fig. 7 —
 //! together with NoC delivery statistics and the protocol cost.
+//!
+//! # Fault injection
+//!
+//! A scenario runs on one of two control planes:
+//!
+//! * **ideal** (the default): control messages take effect instantly and
+//!   are never lost; the original, fast path;
+//! * **lossy** ([`Scenario::faults`], or any scripted [`Crash`] /
+//!   [`Hang`] event): every message travels through a
+//!   [`ControlPlane`](crate::control_plane::ControlPlane) whose seeded
+//!   `autoplat_sim::FaultInjector` may drop, delay or duplicate it, and
+//!   clients themselves may crash or hang. The protocol then runs its
+//!   fault-tolerant machinery — retransmission, acknowledgements,
+//!   heartbeats, the RM watchdog, safe-mode degradation — and the outcome
+//!   carries [`RecoveryMetrics`]. A plan plus a seed determines the run
+//!   bit-exactly.
+//!
+//! [`Crash`]: ScenarioEvent::Crash
+//! [`Hang`]: ScenarioEvent::Hang
 
 use std::collections::BTreeMap;
 
 use autoplat_noc::{NocConfig, NocSim, NodeId, Packet};
-use autoplat_sim::SimTime;
+use autoplat_sim::{ClientFault, FaultPlan, SimTime};
 
 use crate::app::{AppId, Application};
-use crate::client::{Client, TransmitDecision};
+use crate::client::{Client, Liveness, RetryPolicy, TransmitDecision};
+use crate::control_plane::ControlPlane;
+use crate::error::AdmissionError;
 use crate::modes::RatePolicy;
-use crate::rm::ResourceManager;
+use crate::protocol::{ControlMessage, Endpoint};
+use crate::rm::{ResourceManager, WatchdogConfig};
 
 /// One scripted scenario event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +49,13 @@ pub enum ScenarioEvent {
     Activate(Application),
     /// An application terminates (its client reports `terMsg`).
     Terminate(AppId),
+    /// The application's *client* dies permanently (fault injection): no
+    /// more heartbeats, acks or transmissions. The RM watchdog reclaims
+    /// its bandwidth.
+    Crash(AppId),
+    /// The application's client freezes for the given number of cycles,
+    /// then resumes (fault injection).
+    Hang(AppId, u64),
 }
 
 /// Observed behaviour of one application within one mode interval.
@@ -46,6 +75,45 @@ pub struct IntervalObservation {
     pub observed_rate: f64,
 }
 
+/// Fault-tolerance bookkeeping of one scenario run.
+///
+/// All zeros/`None` when the scenario ran on the ideal control plane.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryMetrics {
+    /// Control messages submitted to the lossy control plane.
+    pub control_messages_sent: u64,
+    /// Messages the fault injector destroyed.
+    pub messages_dropped: u64,
+    /// Messages delivered late.
+    pub messages_delayed: u64,
+    /// Messages delivered twice.
+    pub messages_duplicated: u64,
+    /// Client-side retransmissions of `actMsg`/`terMsg`.
+    pub client_retransmissions: u64,
+    /// RM-side retransmissions of `confMsg`.
+    pub conf_retransmissions: u64,
+    /// Duplicated deliveries suppressed by idempotent receive handling.
+    pub duplicates_suppressed: u64,
+    /// Applications forcibly terminated by the watchdog.
+    pub reclamations: u64,
+    /// Times the RM degraded into safe mode.
+    pub safe_mode_entries: u64,
+    /// Faults of any kind the injector fired.
+    pub faults_injected: u64,
+    /// First cycle of the final quiescent stretch (no message in flight,
+    /// nothing awaiting an ack, no client hung).
+    pub reconverged_at_cycle: Option<u64>,
+    /// Cycles between the last injected fault and reconvergence.
+    pub time_to_reconverge_cycles: Option<u64>,
+}
+
+impl RecoveryMetrics {
+    /// Total retransmissions, both directions.
+    pub fn retransmissions(&self) -> u64 {
+        self.client_retransmissions + self.conf_retransmissions
+    }
+}
+
 /// Outcome of a scenario run.
 #[derive(Debug)]
 pub struct ScenarioOutcome {
@@ -61,6 +129,8 @@ pub struct ScenarioOutcome {
     pub rejected: Vec<AppId>,
     /// Total protocol messages exchanged.
     pub protocol_messages: usize,
+    /// Fault-tolerance metrics (all zero on the ideal control plane).
+    pub recovery: RecoveryMetrics,
 }
 
 /// The §V co-simulation driver.
@@ -88,6 +158,12 @@ pub struct Scenario<P> {
     horizon: u64,
     flits_per_packet: u32,
     sink: Option<NodeId>,
+    fault_plan: FaultPlan,
+    fault_seed: u64,
+    watchdog: WatchdogConfig,
+    retry: RetryPolicy,
+    heartbeat_interval_cycles: u64,
+    control_latency_cycles: u64,
 }
 
 impl<P: RatePolicy> Scenario<P> {
@@ -101,6 +177,12 @@ impl<P: RatePolicy> Scenario<P> {
             horizon: 10_000,
             flits_per_packet: 4,
             sink: None,
+            fault_plan: FaultPlan::none(),
+            fault_seed: 0,
+            watchdog: WatchdogConfig::default(),
+            retry: RetryPolicy::default(),
+            heartbeat_interval_cycles: 500,
+            control_latency_cycles: 100,
         }
     }
 
@@ -133,24 +215,98 @@ impl<P: RatePolicy> Scenario<P> {
         self
     }
 
+    /// Injects faults from `plan`, resolved deterministically from `seed`.
+    /// An active plan switches the run to the lossy control plane.
+    pub fn faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.fault_plan = plan;
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Replaces the RM watchdog parameters (lossy control plane only).
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Replaces the retransmission policy (lossy control plane only).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the client heartbeat period in cycles (lossy control plane
+    /// only; must be positive).
+    pub fn heartbeat_interval(mut self, cycles: u64) -> Self {
+        self.heartbeat_interval_cycles = cycles;
+        self
+    }
+
+    /// Sets the one-way control-message latency in cycles.
+    pub fn control_latency_cycles(mut self, cycles: u64) -> Self {
+        self.control_latency_cycles = cycles;
+        self
+    }
+
     /// Runs the scenario.
     ///
     /// # Panics
     ///
     /// Panics if events are not in non-decreasing cycle order, reference
-    /// nodes outside the mesh, or the horizon precedes the last event.
-    pub fn run(mut self) -> ScenarioOutcome {
+    /// nodes outside the mesh, or the horizon precedes the last event;
+    /// use [`Scenario::try_run`] for a typed error.
+    pub fn run(self) -> ScenarioOutcome {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the scenario, reporting configuration mistakes as
+    /// [`AdmissionError`]s instead of panicking.
+    pub fn try_run(self) -> Result<ScenarioOutcome, AdmissionError> {
         for w in self.events.windows(2) {
-            assert!(w[1].0 >= w[0].0, "events must be time-ordered");
+            if w[1].0 < w[0].0 {
+                return Err(AdmissionError::UnorderedEvents);
+            }
         }
         if let Some(&(last, _)) = self.events.last() {
-            assert!(self.horizon >= last, "horizon before the last event");
+            if self.horizon < last {
+                return Err(AdmissionError::HorizonBeforeLastEvent {
+                    last_event: last,
+                    horizon: self.horizon,
+                });
+            }
         }
-        let mut noc = NocSim::new(NocConfig::new(self.cols, self.rows));
+        let noc = NocSim::new(NocConfig::new(self.cols, self.rows));
         let sink = self.sink.unwrap_or(NodeId(self.cols * self.rows - 1));
-        assert!(noc.mesh().contains(sink), "sink outside mesh");
+        if !noc.mesh().contains(sink) {
+            return Err(AdmissionError::SinkOutsideMesh);
+        }
+        let lossy = self.fault_plan.is_active()
+            || self
+                .events
+                .iter()
+                .any(|(_, e)| matches!(e, ScenarioEvent::Crash(_) | ScenarioEvent::Hang(..)));
+        if lossy {
+            if self.control_latency_cycles == 0 {
+                return Err(AdmissionError::InvalidInterval {
+                    what: "control latency",
+                });
+            }
+            if self.heartbeat_interval_cycles == 0 {
+                return Err(AdmissionError::InvalidInterval {
+                    what: "heartbeat interval",
+                });
+            }
+            self.run_lossy(noc, sink)
+        } else {
+            Ok(self.run_ideal(noc, sink))
+        }
+    }
 
-        let mut rm = ResourceManager::new(self.policy, 100.0);
+    /// The original instantaneous path: control messages are logged and
+    /// take effect the same cycle. This is the hot path benchmarks and
+    /// non-fault scenarios use; it pays nothing for the fault machinery.
+    fn run_ideal(mut self, mut noc: NocSim, sink: NodeId) -> ScenarioOutcome {
+        let mut rm = ResourceManager::new(self.policy, self.control_latency_cycles as f64);
         let mut clients: BTreeMap<AppId, Client> = BTreeMap::new();
         let mut apps: BTreeMap<AppId, Application> = BTreeMap::new();
         let mut rejected = Vec::new();
@@ -173,7 +329,7 @@ impl<P: RatePolicy> Scenario<P> {
                     let mut cursor = now;
                     let mut packets = 0u64;
                     loop {
-                        match client.request_transmit(cursor, flits as f64) {
+                        match client.request_transmit_before(cursor, flits as f64, boundary) {
                             TransmitDecision::ReleaseAt(c) if c < boundary => {
                                 noc.inject(
                                     Packet::new(next_packet_id, NodeId(app.node), sink, flits),
@@ -244,6 +400,8 @@ impl<P: RatePolicy> Scenario<P> {
                             }
                         }
                     }
+                    // Unreachable: any Crash/Hang event routes to run_lossy.
+                    ScenarioEvent::Crash(_) | ScenarioEvent::Hang(..) => unreachable!(),
                 }
             }
         }
@@ -259,7 +417,281 @@ impl<P: RatePolicy> Scenario<P> {
             mean_latency_cycles: noc.latency_cycles().mean(),
             rejected,
             protocol_messages: rm.log().len(),
+            recovery: RecoveryMetrics::default(),
         }
+    }
+
+    /// The lossy path: every control message travels through the fault
+    /// injector; clients and RM run their full fault-tolerance machinery.
+    /// The loop advances in *epochs*: the data plane transmits greedily up
+    /// to the next control-plane deadline (delivery, retransmission,
+    /// heartbeat, watchdog expiry, scripted fault or event), which is then
+    /// processed, and so on.
+    fn run_lossy(
+        mut self,
+        mut noc: NocSim,
+        sink: NodeId,
+    ) -> Result<ScenarioOutcome, AdmissionError> {
+        let mut rm = ResourceManager::try_new(self.policy, self.control_latency_cycles as f64)?
+            .with_watchdog(self.watchdog)
+            .with_retry(self.retry);
+        let mut cp = ControlPlane::new(
+            std::mem::take(&mut self.fault_plan),
+            self.fault_seed,
+            self.control_latency_cycles,
+        );
+        let mut clients: BTreeMap<AppId, Client> = BTreeMap::new();
+        let mut apps: BTreeMap<AppId, Application> = BTreeMap::new();
+        let mut node_owner: BTreeMap<u32, AppId> = BTreeMap::new();
+        let mut rejected: Vec<AppId> = Vec::new();
+        let mut observations = Vec::new();
+        let mut next_packet_id = 0u64;
+        let mut injected = 0usize;
+        let mut reconverged_at: Option<u64> = None;
+        let flits = self.flits_per_packet;
+
+        let mut boundaries: Vec<u64> = self.events.iter().map(|&(c, _)| c).collect();
+        boundaries.push(self.horizon);
+        self.events.reverse(); // pop() from the front
+
+        let mut now = 0u64;
+        for &boundary in &boundaries {
+            let macro_start = now;
+            let mut packets_acc: BTreeMap<AppId, u64> = BTreeMap::new();
+            while now < boundary {
+                process_control(
+                    now,
+                    &mut rm,
+                    &mut cp,
+                    &mut clients,
+                    &node_owner,
+                    &mut rejected,
+                );
+                track_reconvergence(now, &rm, &cp, &clients, &mut reconverged_at);
+                // The next cycle anything happens on the control plane.
+                let mut next = boundary;
+                let deadlines = [
+                    cp.next_delivery_cycle(),
+                    cp.next_client_fault_cycle(),
+                    rm.next_deadline(),
+                    clients.values().filter_map(Client::next_timer_cycle).min(),
+                ];
+                for d in deadlines.into_iter().flatten() {
+                    if d > now && d < next {
+                        next = d;
+                    }
+                }
+                // Data plane: transmit greedily in [now, next).
+                for (app_id, client) in clients.iter_mut() {
+                    let app = apps[app_id];
+                    let mut cursor = now;
+                    loop {
+                        match client.request_transmit_before(cursor, 1.0, next) {
+                            TransmitDecision::ReleaseAt(c) if c < next => {
+                                noc.inject(
+                                    Packet::new(next_packet_id, NodeId(app.node), sink, flits),
+                                    c,
+                                );
+                                next_packet_id += 1;
+                                injected += 1;
+                                *packets_acc.entry(*app_id).or_insert(0) += 1;
+                                cursor = c;
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                now = next;
+            }
+            // Flush the interval observations.
+            if boundary > macro_start {
+                for app_id in clients.keys() {
+                    let packets = packets_acc.get(app_id).copied().unwrap_or(0);
+                    observations.push(IntervalObservation {
+                        app: *app_id,
+                        from_cycle: macro_start,
+                        to_cycle: boundary,
+                        mode: rm.mode().0,
+                        packets,
+                        observed_rate: packets as f64 * flits as f64
+                            / (boundary - macro_start) as f64,
+                    });
+                }
+            }
+
+            // Apply the event at this boundary, if any.
+            let due = matches!(self.events.last(), Some(&(c, _)) if c <= now);
+            if due {
+                let (cycle, event) = self.events.pop().expect("checked above");
+                match event {
+                    ScenarioEvent::Activate(app) => {
+                        rm.register(app);
+                        let mut client = Client::try_with_fault_tolerance(
+                            app.id,
+                            app.node,
+                            self.retry,
+                            self.heartbeat_interval_cycles,
+                        )?;
+                        // The conf carries only the rate; the burst is the
+                        // policy's, which is mode-independent.
+                        if let Some(tb) = rm.policy().contract(&app, std::slice::from_ref(&app)) {
+                            client.set_conf_burst(tb.burst());
+                        }
+                        // The first transmission is trapped -> actMsg.
+                        let _ = client.request_transmit(cycle, 1.0);
+                        if let Some(env) = client.send_activation(cycle) {
+                            cp.send(cycle, env);
+                        }
+                        apps.insert(app.id, app);
+                        node_owner.insert(app.node, app.id);
+                        clients.insert(app.id, client);
+                    }
+                    ScenarioEvent::Terminate(id) => {
+                        if let Some(client) = clients.get_mut(&id) {
+                            if let Some(env) = client.send_termination(cycle) {
+                                cp.send(cycle, env);
+                            }
+                        }
+                    }
+                    ScenarioEvent::Crash(id) => {
+                        if let Some(client) = clients.get_mut(&id) {
+                            client.crash();
+                        }
+                    }
+                    ScenarioEvent::Hang(id, for_cycles) => {
+                        if let Some(client) = clients.get_mut(&id) {
+                            client.hang(cycle + for_cycles);
+                        }
+                    }
+                }
+            }
+        }
+
+        assert!(
+            noc.run_until_idle(100_000_000),
+            "scenario traffic must drain"
+        );
+        let last_fault = cp.last_fault_cycle();
+        let recovery = RecoveryMetrics {
+            control_messages_sent: cp.sent(),
+            messages_dropped: cp.dropped(),
+            messages_delayed: cp.delayed(),
+            messages_duplicated: cp.duplicated(),
+            client_retransmissions: clients.values().map(Client::retransmissions).sum(),
+            conf_retransmissions: rm.conf_retransmissions(),
+            duplicates_suppressed: rm.duplicates_suppressed()
+                + clients
+                    .values()
+                    .map(Client::duplicates_suppressed)
+                    .sum::<u64>(),
+            reclamations: rm.reclamations(),
+            safe_mode_entries: rm.safe_mode_entries(),
+            faults_injected: cp.injector().injected(),
+            reconverged_at_cycle: reconverged_at,
+            time_to_reconverge_cycles: match (reconverged_at, last_fault) {
+                (Some(at), Some(fault)) => Some(at.saturating_sub(fault)),
+                (Some(_), None) => Some(0),
+                _ => None,
+            },
+        };
+        Ok(ScenarioOutcome {
+            observations,
+            delivered: noc.completed().len(),
+            injected,
+            mean_latency_cycles: noc.latency_cycles().mean(),
+            rejected,
+            protocol_messages: rm.log().len(),
+            recovery,
+        })
+    }
+}
+
+/// Drains every piece of control work due at `now` to a fixed point:
+/// scripted client faults, due deliveries (routed to the RM or a client,
+/// responses resubmitted), and the RM/client timers.
+fn process_control<P: RatePolicy>(
+    now: u64,
+    rm: &mut ResourceManager<P>,
+    cp: &mut ControlPlane,
+    clients: &mut BTreeMap<AppId, Client>,
+    node_owner: &BTreeMap<u32, AppId>,
+    rejected: &mut Vec<AppId>,
+) {
+    loop {
+        let mut progressed = false;
+        for fault in cp.take_client_faults_due(now) {
+            progressed = true;
+            let Some(app) = node_owner.get(&fault.node()) else {
+                continue; // fault targets a node no client occupies
+            };
+            let Some(client) = clients.get_mut(app) else {
+                continue;
+            };
+            match fault {
+                ClientFault::Crash { .. } => client.crash(),
+                ClientFault::Hang { for_cycles, .. } => client.hang(now + for_cycles),
+            }
+        }
+        for envelope in cp.take_due(now) {
+            progressed = true;
+            match envelope.to {
+                Endpoint::Rm => {
+                    for response in rm.receive(envelope, now) {
+                        cp.send(now, response);
+                    }
+                }
+                Endpoint::Client(app) => {
+                    if matches!(envelope.message, ControlMessage::Refusal { .. })
+                        && !rejected.contains(&app)
+                    {
+                        rejected.push(app);
+                    }
+                    if let Some(client) = clients.get_mut(&app) {
+                        for response in client.deliver(envelope, now) {
+                            cp.send(now, response);
+                        }
+                    }
+                }
+            }
+        }
+        for envelope in rm.poll(now) {
+            progressed = true;
+            cp.send(now, envelope);
+        }
+        for client in clients.values_mut() {
+            for envelope in client.poll(now) {
+                progressed = true;
+                cp.send(now, envelope);
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// Records the start of the current quiescent stretch: nothing in flight,
+/// nothing awaiting an ack, no client hung, no scripted fault still to
+/// fire. Any later disturbance resets it.
+fn track_reconvergence<P: RatePolicy>(
+    now: u64,
+    rm: &ResourceManager<P>,
+    cp: &ControlPlane,
+    clients: &BTreeMap<AppId, Client>,
+    reconverged_at: &mut Option<u64>,
+) {
+    let quiet = cp.is_empty()
+        && rm.pending_conf_count() == 0
+        && cp.next_client_fault_cycle().is_none()
+        && clients
+            .values()
+            .all(|c| !c.has_pending_send() && !matches!(c.liveness(), Liveness::Hung { .. }));
+    if quiet {
+        if reconverged_at.is_none() {
+            *reconverged_at = Some(now);
+        }
+    } else {
+        *reconverged_at = None;
     }
 }
 
@@ -296,6 +728,7 @@ mod tests {
         // but injection is serialized at 1 flit/cycle by the local port;
         // the client still spaces packets at the token-bucket rate.
         assert!(obs.observed_rate > 0.2, "rate {}", obs.observed_rate);
+        assert_eq!(out.recovery, RecoveryMetrics::default());
     }
 
     #[test]
@@ -392,5 +825,127 @@ mod tests {
             .event(100, ScenarioEvent::Activate(be(0, 0)))
             .event(50, ScenarioEvent::Activate(be(1, 1)))
             .run();
+    }
+
+    #[test]
+    fn try_run_reports_typed_errors() {
+        let err = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 2, 2)
+            .event(100, ScenarioEvent::Activate(be(0, 0)))
+            .event(50, ScenarioEvent::Activate(be(1, 1)))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::UnorderedEvents);
+        let err = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 2, 2)
+            .event(100, ScenarioEvent::Activate(be(0, 0)))
+            .horizon(50)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::HorizonBeforeLastEvent { .. }));
+        let err = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 2, 2)
+            .sink(NodeId(99))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::SinkOutsideMesh);
+    }
+
+    // --- lossy control plane ---
+
+    #[test]
+    fn lossless_fault_path_matches_admission_outcome() {
+        // An *empty but forced* fault path (a Hang of 1 cycle on a
+        // non-existent app routes to run_lossy) still admits and serves.
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .event(1, ScenarioEvent::Hang(AppId(9), 1))
+            .horizon(4_000)
+            .run();
+        assert!(out.rejected.is_empty());
+        assert!(out.injected > 0);
+        assert_eq!(out.injected, out.delivered);
+        assert!(out.recovery.control_messages_sent > 0);
+        assert_eq!(out.recovery.messages_dropped, 0);
+        assert!(out.recovery.reconverged_at_cycle.is_some());
+    }
+
+    #[test]
+    fn dropped_conf_is_retransmitted_not_deadlocked() {
+        let plan = FaultPlan::new().drop_nth("confMsg", 0);
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .horizon(8_000)
+            .faults(plan, 11)
+            .run();
+        assert_eq!(out.recovery.messages_dropped, 1);
+        assert!(
+            out.recovery.conf_retransmissions >= 1,
+            "the lost conf must be retried"
+        );
+        // The app still ends up transmitting.
+        assert!(out.injected > 0);
+        assert!(out.recovery.reconverged_at_cycle.is_some());
+    }
+
+    #[test]
+    fn crashed_client_is_reclaimed_within_watchdog_timeout() {
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .event(1_000, ScenarioEvent::Activate(be(1, 3)))
+            .event(3_000, ScenarioEvent::Crash(AppId(1)))
+            .horizon(12_000)
+            .watchdog(WatchdogConfig {
+                timeout_cycles: 2_000,
+                quarantine_threshold: 3,
+                quarantine_cooldown_cycles: 10_000,
+            })
+            .run();
+        assert_eq!(out.recovery.reclamations, 1);
+        // Survivor's final interval is back at full (mode-1) rate.
+        let last = out
+            .observations
+            .iter()
+            .rfind(|o| o.app == AppId(0))
+            .expect("observed");
+        assert_eq!(last.mode, 1, "watchdog forced the mode transition");
+    }
+
+    #[test]
+    fn same_fault_seed_is_bit_identical() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new()
+                .drop_probability(0.05)
+                .duplicate_probability(0.05)
+                .delay_probability(0.1)
+                .max_delay_cycles(300);
+            Scenario::new(SymmetricPolicy::new(0.2, 8.0), 4, 4)
+                .event(0, ScenarioEvent::Activate(be(0, 0)))
+                .event(2_000, ScenarioEvent::Activate(be(1, 3)))
+                .event(6_000, ScenarioEvent::Terminate(AppId(0)))
+                .horizon(10_000)
+                .faults(plan, seed)
+                .run()
+        };
+        let (a, b) = (run(77), run(77));
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn hang_blocks_then_recovers() {
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .event(2_000, ScenarioEvent::Hang(AppId(0), 1_000))
+            .horizon(8_000)
+            .heartbeat_interval(400)
+            .run();
+        // The hang window transmits nothing, but transmission resumes.
+        let obs: Vec<&IntervalObservation> = out
+            .observations
+            .iter()
+            .filter(|o| o.app == AppId(0))
+            .collect();
+        assert_eq!(obs.len(), 2);
+        assert!(obs[1].packets > 0, "client recovered after the hang");
+        assert!(out.recovery.reconverged_at_cycle.is_some());
     }
 }

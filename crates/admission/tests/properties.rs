@@ -1,11 +1,14 @@
 //! Property-based tests for the admission-control layer.
 
 use autoplat_admission::app::{AppId, Application};
+use autoplat_admission::client::RetryPolicy;
 use autoplat_admission::e2e::ResourceChain;
 use autoplat_admission::modes::{RatePolicy, SymmetricPolicy, WeightedPolicy};
-use autoplat_admission::rm::ResourceManager;
+use autoplat_admission::protocol::{ControlMessage, Endpoint, Envelope};
+use autoplat_admission::rm::{ResourceManager, WatchdogConfig};
+use autoplat_admission::simulation::{Scenario, ScenarioEvent};
 use autoplat_netcalc::{RateLatency, TokenBucket};
-use autoplat_sim::SimTime;
+use autoplat_sim::{FaultPlan, SimTime};
 use proptest::prelude::*;
 
 proptest! {
@@ -161,5 +164,160 @@ proptest! {
             prop_assert_eq!(first_violation(&contract, &trace), None);
             client.on_stop();
         }
+    }
+
+    /// Under an arbitrary storm of (possibly duplicated, reordered,
+    /// nonsensical) control messages, the RM never admits the same
+    /// application twice and the active set's rates never exceed the
+    /// capacity.
+    #[test]
+    fn rm_never_double_admits_or_overcommits_under_message_storms(
+        ops in proptest::collection::vec((0u8..5, 0u32..4, 0u64..6), 1..80),
+    ) {
+        let capacity = 1.0;
+        let mut rm = ResourceManager::try_new(SymmetricPolicy::new(capacity, 8.0), 100.0)
+            .expect("valid latency")
+            .with_retry(RetryPolicy::new(64, 3));
+        for n in 0..4u32 {
+            rm.register(Application::best_effort(AppId(n), n));
+        }
+        let mut now = 0u64;
+        for &(kind, app, seq) in &ops {
+            now += 50;
+            let message = match kind {
+                0 => ControlMessage::Activation { app: AppId(app) },
+                1 => ControlMessage::Termination { app: AppId(app) },
+                2 => ControlMessage::Heartbeat { app: AppId(app) },
+                3 => ControlMessage::Ack { app: AppId(app), of_seq: seq },
+                _ => {
+                    let _ = rm.poll(now);
+                    continue;
+                }
+            };
+            let envelope = Envelope {
+                from: Endpoint::Client(AppId(app)),
+                to: Endpoint::Rm,
+                seq, // deliberately reused -> duplicates and reordering
+                sent_at_cycle: now,
+                message,
+            };
+            let _ = rm.receive(envelope, now);
+            let ids: Vec<AppId> = rm.active().iter().map(|a| a.id).collect();
+            let unique: std::collections::BTreeSet<AppId> = ids.iter().copied().collect();
+            prop_assert_eq!(ids.len(), unique.len(), "double admission");
+            let total: f64 = rm
+                .active()
+                .iter()
+                .map(|a| {
+                    rm.policy()
+                        .contract(a, rm.active())
+                        .expect("symmetric policy always serves")
+                        .rate()
+                })
+                .sum();
+            prop_assert!(total <= capacity + 1e-9, "overcommitted: {total}");
+        }
+    }
+}
+
+proptest! {
+    // Full co-simulations are heavier than the pure-function properties
+    // above; fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any combination of scripted early-message faults ceases by
+    /// construction; the protocol must then reconverge: nothing left in
+    /// flight, nothing awaiting an ack, traffic flowing.
+    #[test]
+    fn scenario_reconverges_once_scripted_faults_cease(
+        seed in any::<u64>(),
+        drop_first_conf in any::<bool>(),
+        drop_first_act in any::<bool>(),
+        delay_act in any::<bool>(),
+        dup_conf in any::<bool>(),
+    ) {
+        let mut plan = FaultPlan::new();
+        if drop_first_conf {
+            plan = plan.drop_nth("confMsg", 0);
+        }
+        if drop_first_act {
+            plan = plan.drop_nth("actMsg", 0);
+        }
+        if delay_act {
+            plan = plan.delay_nth("actMsg", 1, 350);
+        }
+        if dup_conf {
+            plan = plan.duplicate_nth("confMsg", 1, 200);
+        }
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(Application::best_effort(AppId(0), 0)))
+            .event(3_000, ScenarioEvent::Activate(Application::best_effort(AppId(1), 3)))
+            .horizon(12_000)
+            .faults(plan, seed)
+            .retry(RetryPolicy::new(200, 6))
+            .try_run()
+            .expect("valid scenario");
+        let any_fault = drop_first_conf || drop_first_act || delay_act || dup_conf;
+        if any_fault {
+            // With no scripted fault the scenario takes the instantaneous
+            // path and recovery metrics stay at their defaults.
+            prop_assert!(
+                out.recovery.reconverged_at_cycle.is_some(),
+                "did not reconverge: {:?}",
+                out.recovery
+            );
+        }
+        prop_assert!(out.injected > 0, "no traffic after recovery");
+        prop_assert_eq!(out.injected, out.delivered);
+        // Aggregate observed rate in the final interval stays within the
+        // configured capacity (0.5 req/cycle x 4 flits), plus burst slack.
+        let last_from = out.observations.iter().map(|o| o.from_cycle).max().unwrap_or(0);
+        let total_rate: f64 = out
+            .observations
+            .iter()
+            .filter(|o| o.from_cycle == last_from)
+            .map(|o| o.observed_rate)
+            .sum();
+        prop_assert!(total_rate <= 0.5 * 4.0 + 0.1, "overcommitted: {total_rate}");
+    }
+
+    /// Probabilistic loss, duplication and delay never deadlock the
+    /// scenario or overcommit the platform, for any seed.
+    #[test]
+    fn scenario_survives_probabilistic_faults(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.25,
+        dup_p in 0.0f64..0.15,
+        delay_p in 0.0f64..0.25,
+    ) {
+        let plan = FaultPlan::new()
+            .drop_probability(drop_p)
+            .duplicate_probability(dup_p)
+            .delay_probability(delay_p)
+            .max_delay_cycles(400);
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(Application::best_effort(AppId(0), 0)))
+            .event(2_000, ScenarioEvent::Activate(Application::best_effort(AppId(1), 3)))
+            .event(5_000, ScenarioEvent::Terminate(AppId(0)))
+            .horizon(10_000)
+            .faults(plan, seed)
+            .watchdog(WatchdogConfig {
+                timeout_cycles: 3_000,
+                quarantine_threshold: 3,
+                quarantine_cooldown_cycles: 5_000,
+            })
+            .try_run()
+            .expect("valid scenario");
+        // Completion itself is the deadlock-freedom property; on top of
+        // it, everything injected must drain.
+        prop_assert_eq!(out.injected, out.delivered);
+        let last_from = out.observations.iter().map(|o| o.from_cycle).max().unwrap_or(0);
+        let total_rate: f64 = out
+            .observations
+            .iter()
+            .filter(|o| o.from_cycle == last_from)
+            .map(|o| o.observed_rate)
+            .sum();
+        prop_assert!(total_rate <= 0.5 * 4.0 + 0.1, "overcommitted: {total_rate}");
     }
 }

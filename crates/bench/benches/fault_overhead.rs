@@ -1,0 +1,68 @@
+//! Criterion bench for the fault-tolerance machinery's overhead.
+//!
+//! Compares the same admission scenario run three ways: the
+//! instantaneous legacy path (`FaultPlan::none()` with no client
+//! faults), the lossy control plane forced on with a fault-free plan
+//! (isolates the epoch/ack/heartbeat bookkeeping), and 1% probabilistic
+//! message loss (adds retransmission work on top).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use autoplat_admission::app::{AppId, Application};
+use autoplat_admission::modes::SymmetricPolicy;
+use autoplat_admission::simulation::{Scenario, ScenarioEvent, ScenarioOutcome};
+use autoplat_sim::FaultPlan;
+
+fn scenario(plan: FaultPlan, force_lossy: bool) -> ScenarioOutcome {
+    let mut s = Scenario::new(SymmetricPolicy::new(0.1, 8.0), 4, 4)
+        .event(
+            0,
+            ScenarioEvent::Activate(Application::best_effort(AppId(0), 0)),
+        )
+        .event(
+            2_000,
+            ScenarioEvent::Activate(Application::best_effort(AppId(1), 3)),
+        )
+        .event(
+            4_000,
+            ScenarioEvent::Activate(Application::best_effort(AppId(2), 12)),
+        )
+        .event(6_000, ScenarioEvent::Terminate(AppId(1)))
+        .horizon(8_000)
+        .faults(plan, 0xfa11);
+    if force_lossy {
+        // A hang scripted for a never-activated app routes the run
+        // through the lossy control plane without perturbing it.
+        s = s.event(7_000, ScenarioEvent::Hang(AppId(9), 1));
+    }
+    s.run()
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    group.bench_function("ideal_path", |b| {
+        b.iter(|| {
+            let out = scenario(FaultPlan::none(), false);
+            assert_eq!(out.injected, out.delivered);
+            out.delivered
+        });
+    });
+    group.bench_function("lossy_path_no_faults", |b| {
+        b.iter(|| {
+            let out = scenario(FaultPlan::none(), true);
+            assert_eq!(out.injected, out.delivered);
+            out.delivered
+        });
+    });
+    group.bench_function("lossy_path_1pct_loss", |b| {
+        b.iter(|| {
+            let out = scenario(FaultPlan::new().drop_probability(0.01), false);
+            assert_eq!(out.injected, out.delivered);
+            out.delivered
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

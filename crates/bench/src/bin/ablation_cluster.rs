@@ -17,6 +17,9 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(&["configuration", "probe L2 hit share", "probe mean (ns)"], &rows)
+        render_table(
+            &["configuration", "probe L2 hit share", "probe mean (ns)"],
+            &rows
+        )
     );
 }

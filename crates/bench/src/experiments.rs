@@ -724,8 +724,7 @@ pub fn ablation_cluster_l2() -> Vec<ClusterL2Row> {
         let report = platform.run(&load);
         rows.push(ClusterL2Row {
             config: label.to_string(),
-            probe_l2_hit_share: report.cores[0].l2_hits as f64
-                / report.cores[0].accesses as f64,
+            probe_l2_hit_share: report.cores[0].l2_hits as f64 / report.cores[0].accesses as f64,
             probe_mean_ns: report.cores[0].mean_read_latency(),
         });
     };

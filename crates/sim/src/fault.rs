@@ -1,0 +1,539 @@
+//! Seeded, deterministic fault injection for control-plane simulations.
+//!
+//! Automotive admission control is only viable if the §V protocol survives
+//! a lossy control plane and misbehaving clients. This module provides the
+//! *fault model*: a [`FaultPlan`] describes which faults occur — scripted
+//! ("drop the 1st `confMsg`") or probabilistic ("1% of messages are lost")
+//! — and a [`FaultInjector`] executes the plan reproducibly from a `u64`
+//! seed, emitting [`TraceEntry`] records with `source = "fault"` so tests
+//! can assert on exactly what was injected.
+//!
+//! Message faults are expressed as a verdict on each sent message
+//! ([`MessageFault`]): deliver, drop, delay by `n` cycles, or duplicate
+//! (deliver twice, the copy delayed). Reordering arises naturally from
+//! delaying some messages past their successors; a dedicated reorder
+//! probability applies a short randomized delay for exactly that purpose.
+//! Client faults ([`ClientFault`]) crash a node permanently or hang it for
+//! a window of cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use autoplat_sim::fault::{FaultInjector, FaultPlan, MessageFault};
+//!
+//! // Deterministic: same seed, same verdicts.
+//! let plan = FaultPlan::new().drop_probability(0.5);
+//! let verdicts = |seed| {
+//!     let mut inj = FaultInjector::new(FaultPlan::new().drop_probability(0.5), seed);
+//!     (0..16).map(|i| inj.on_message(i, "confMsg")).collect::<Vec<_>>()
+//! };
+//! assert_eq!(verdicts(7), verdicts(7));
+//! assert!(plan.is_active());
+//! assert!(!FaultPlan::none().is_active());
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::Trace;
+
+/// The verdict of the injector on one sent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message.
+    Drop,
+    /// Deliver late by the given number of cycles.
+    Delay(u64),
+    /// Deliver normally *and* deliver a copy late by the given number of
+    /// cycles (tests idempotent receive handling).
+    Duplicate(u64),
+}
+
+/// A scripted client-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// The client at `node` dies at `at_cycle` and never recovers: it stops
+    /// sending heartbeats, acknowledging, and transmitting.
+    Crash {
+        /// The faulted node.
+        node: u32,
+        /// When the crash happens.
+        at_cycle: u64,
+    },
+    /// The client at `node` freezes at `at_cycle` for `for_cycles`: incoming
+    /// messages queue unprocessed and no heartbeats are emitted until it
+    /// wakes.
+    Hang {
+        /// The faulted node.
+        node: u32,
+        /// When the hang starts.
+        at_cycle: u64,
+        /// How long it lasts.
+        for_cycles: u64,
+    },
+}
+
+impl ClientFault {
+    /// The cycle at which the fault takes effect.
+    pub fn at_cycle(&self) -> u64 {
+        match self {
+            ClientFault::Crash { at_cycle, .. } | ClientFault::Hang { at_cycle, .. } => *at_cycle,
+        }
+    }
+
+    /// The node the fault targets.
+    pub fn node(&self) -> u32 {
+        match self {
+            ClientFault::Crash { node, .. } | ClientFault::Hang { node, .. } => *node,
+        }
+    }
+}
+
+/// One scripted message fault: applies to the `occurrence`-th message
+/// (0-based) whose class matches `class` (e.g. `"confMsg"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptedMessageFault {
+    /// Message class the script matches (`actMsg`, `confMsg`, ...).
+    pub class: String,
+    /// Which occurrence of that class is faulted (0 = the first).
+    pub occurrence: u64,
+    /// What happens to it.
+    pub fault: MessageFault,
+}
+
+/// A complete, declarative fault plan: scripted message faults, scripted
+/// client faults, and background probabilistic noise.
+///
+/// All probabilities are per-message and resolved from the injector's seed,
+/// so a plan plus a seed fully determines every injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    scripted: Vec<ScriptedMessageFault>,
+    client_faults: Vec<ClientFault>,
+    drop_p: f64,
+    duplicate_p: f64,
+    delay_p: f64,
+    reorder_p: f64,
+    max_delay_cycles: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: every message is delivered, no client faults. The
+    /// injector's hot path for this plan is a single branch.
+    pub fn none() -> Self {
+        FaultPlan {
+            scripted: Vec::new(),
+            client_faults: Vec::new(),
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            reorder_p: 0.0,
+            max_delay_cycles: 64,
+        }
+    }
+
+    /// An empty plan to be populated with the builder methods.
+    pub fn new() -> Self {
+        FaultPlan::none()
+    }
+
+    /// True when the plan can inject anything.
+    pub fn is_active(&self) -> bool {
+        !self.scripted.is_empty()
+            || !self.client_faults.is_empty()
+            || self.drop_p > 0.0
+            || self.duplicate_p > 0.0
+            || self.delay_p > 0.0
+            || self.reorder_p > 0.0
+    }
+
+    /// Drops the `occurrence`-th (0-based) message of `class`.
+    pub fn drop_nth(mut self, class: impl Into<String>, occurrence: u64) -> Self {
+        self.scripted.push(ScriptedMessageFault {
+            class: class.into(),
+            occurrence,
+            fault: MessageFault::Drop,
+        });
+        self
+    }
+
+    /// Delays the `occurrence`-th (0-based) message of `class` by `cycles`.
+    pub fn delay_nth(mut self, class: impl Into<String>, occurrence: u64, cycles: u64) -> Self {
+        self.scripted.push(ScriptedMessageFault {
+            class: class.into(),
+            occurrence,
+            fault: MessageFault::Delay(cycles),
+        });
+        self
+    }
+
+    /// Duplicates the `occurrence`-th (0-based) message of `class`, the
+    /// copy arriving `cycles` late.
+    pub fn duplicate_nth(mut self, class: impl Into<String>, occurrence: u64, cycles: u64) -> Self {
+        self.scripted.push(ScriptedMessageFault {
+            class: class.into(),
+            occurrence,
+            fault: MessageFault::Duplicate(cycles),
+        });
+        self
+    }
+
+    /// Crashes the client at `node` at `at_cycle`, permanently.
+    pub fn crash_client(mut self, node: u32, at_cycle: u64) -> Self {
+        self.client_faults
+            .push(ClientFault::Crash { node, at_cycle });
+        self
+    }
+
+    /// Hangs the client at `node` for `for_cycles` starting at `at_cycle`.
+    pub fn hang_client(mut self, node: u32, at_cycle: u64, for_cycles: u64) -> Self {
+        self.client_faults.push(ClientFault::Hang {
+            node,
+            at_cycle,
+            for_cycles,
+        });
+        self
+    }
+
+    /// Every message is independently lost with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.drop_p = p;
+        self
+    }
+
+    /// Every message is independently duplicated with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Every message is independently delayed (by up to
+    /// [`max_delay_cycles`](Self::max_delay_cycles)) with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn delay_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.delay_p = p;
+        self
+    }
+
+    /// Every message is independently pushed behind its successors with
+    /// probability `p` (a short randomized delay; reordering is delay-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn reorder_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.reorder_p = p;
+        self
+    }
+
+    /// Upper bound (inclusive) on probabilistic delays, in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn max_delay_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "max delay must be positive");
+        self.max_delay_cycles = cycles;
+        self
+    }
+
+    /// The scripted client faults, in script order.
+    pub fn client_faults(&self) -> &[ClientFault] {
+        &self.client_faults
+    }
+}
+
+/// Executes a [`FaultPlan`] deterministically.
+///
+/// The injector owns a seeded [`SimRng`], per-class occurrence counters for
+/// the scripted faults, and a [`Trace`] of every injected fault
+/// (`source = "fault"`, tags `drop` / `delay` / `duplicate` / `crash` /
+/// `hang`, value = the affected cycle or delay).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Occurrence counters, keyed by position in an ordered class list so
+    /// behaviour does not depend on hash order.
+    seen: Vec<(String, u64)>,
+    trace: Trace,
+    injected: u64,
+    last_fault_cycle: Option<u64>,
+    /// Client faults not yet handed to the driver, sorted by cycle.
+    pending_client_faults: Vec<ClientFault>,
+}
+
+impl FaultInjector {
+    /// Creates an injector executing `plan` with randomness derived from
+    /// `seed` alone.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let mut pending = plan.client_faults.clone();
+        pending.sort_by_key(|f| (f.at_cycle(), f.node()));
+        FaultInjector {
+            rng: SimRng::seed_from(seed),
+            seen: Vec::new(),
+            trace: Trace::enabled(),
+            injected: 0,
+            last_fault_cycle: None,
+            pending_client_faults: pending,
+            plan,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of a message of `class` sent at `now_cycle`.
+    ///
+    /// Scripted faults take precedence over probabilistic ones; an inactive
+    /// plan returns [`MessageFault::Deliver`] after a single branch.
+    pub fn on_message(&mut self, now_cycle: u64, class: &str) -> MessageFault {
+        if !self.plan.is_active() {
+            return MessageFault::Deliver;
+        }
+        let occurrence = self.bump_occurrence(class);
+        if let Some(scripted) = self
+            .plan
+            .scripted
+            .iter()
+            .find(|s| s.class == class && s.occurrence == occurrence)
+        {
+            let fault = scripted.fault;
+            self.record_message_fault(now_cycle, class, fault);
+            return fault;
+        }
+        // Probabilistic noise. Draw order is fixed so verdicts depend only
+        // on the seed and the message sequence.
+        if self.plan.drop_p > 0.0 && self.rng.gen_bool(self.plan.drop_p) {
+            self.record_message_fault(now_cycle, class, MessageFault::Drop);
+            return MessageFault::Drop;
+        }
+        if self.plan.duplicate_p > 0.0 && self.rng.gen_bool(self.plan.duplicate_p) {
+            let lag = self.rng.gen_range(1..=self.plan.max_delay_cycles);
+            let fault = MessageFault::Duplicate(lag);
+            self.record_message_fault(now_cycle, class, fault);
+            return fault;
+        }
+        if self.plan.delay_p > 0.0 && self.rng.gen_bool(self.plan.delay_p) {
+            let lag = self.rng.gen_range(1..=self.plan.max_delay_cycles);
+            let fault = MessageFault::Delay(lag);
+            self.record_message_fault(now_cycle, class, fault);
+            return fault;
+        }
+        if self.plan.reorder_p > 0.0 && self.rng.gen_bool(self.plan.reorder_p) {
+            // Short delay: just enough to land behind the next few sends.
+            let lag = self
+                .rng
+                .gen_range(1..=self.plan.max_delay_cycles.clamp(1, 8));
+            let fault = MessageFault::Delay(lag);
+            self.record_message_fault(now_cycle, class, fault);
+            return fault;
+        }
+        MessageFault::Deliver
+    }
+
+    /// Client faults due at or before `now_cycle`, removed from the plan.
+    /// The driver applies them in the returned (cycle, node) order.
+    pub fn take_client_faults_due(&mut self, now_cycle: u64) -> Vec<ClientFault> {
+        let split = self
+            .pending_client_faults
+            .partition_point(|f| f.at_cycle() <= now_cycle);
+        let due: Vec<ClientFault> = self.pending_client_faults.drain(..split).collect();
+        for fault in &due {
+            let (tag, value) = match fault {
+                ClientFault::Crash { node, .. } => ("crash", *node as i64),
+                ClientFault::Hang { node, .. } => ("hang", *node as i64),
+            };
+            self.trace.record(
+                SimTime::from_ps(fault.at_cycle()),
+                "fault",
+                tag,
+                Some(value),
+            );
+            self.injected += 1;
+            self.last_fault_cycle = Some(self.last_fault_cycle.unwrap_or(0).max(fault.at_cycle()));
+        }
+        due
+    }
+
+    /// The cycle of the next pending client fault, if any.
+    pub fn next_client_fault_cycle(&self) -> Option<u64> {
+        self.pending_client_faults.first().map(|f| f.at_cycle())
+    }
+
+    /// The record of everything injected so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Total faults injected (messages + client events).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The cycle of the most recent injected fault, if any — the anchor
+    /// for time-to-reconverge measurements.
+    pub fn last_fault_cycle(&self) -> Option<u64> {
+        self.last_fault_cycle
+    }
+
+    fn bump_occurrence(&mut self, class: &str) -> u64 {
+        if let Some(entry) = self.seen.iter_mut().find(|(c, _)| c == class) {
+            let occurrence = entry.1;
+            entry.1 += 1;
+            occurrence
+        } else {
+            self.seen.push((class.to_string(), 1));
+            0
+        }
+    }
+
+    fn record_message_fault(&mut self, now_cycle: u64, class: &str, fault: MessageFault) {
+        let (tag, value) = match fault {
+            MessageFault::Deliver => return,
+            MessageFault::Drop => ("drop", None),
+            MessageFault::Delay(d) => ("delay", Some(d as i64)),
+            MessageFault::Duplicate(d) => ("duplicate", Some(d as i64)),
+        };
+        self.trace.record(
+            SimTime::from_ps(now_cycle),
+            "fault",
+            format!("{tag}:{class}"),
+            value,
+        );
+        self.injected += 1;
+        self.last_fault_cycle = Some(self.last_fault_cycle.unwrap_or(0).max(now_cycle));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_always_delivers() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 1);
+        for i in 0..100 {
+            assert_eq!(inj.on_message(i, "confMsg"), MessageFault::Deliver);
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(inj.trace().entries().is_empty());
+        assert_eq!(inj.last_fault_cycle(), None);
+    }
+
+    #[test]
+    fn scripted_drop_hits_exact_occurrence() {
+        let plan = FaultPlan::new().drop_nth("confMsg", 1);
+        let mut inj = FaultInjector::new(plan, 99);
+        assert_eq!(inj.on_message(10, "confMsg"), MessageFault::Deliver);
+        assert_eq!(inj.on_message(20, "actMsg"), MessageFault::Deliver);
+        assert_eq!(inj.on_message(30, "confMsg"), MessageFault::Drop);
+        assert_eq!(inj.on_message(40, "confMsg"), MessageFault::Deliver);
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(inj.trace().count_tag("drop:confMsg"), 1);
+        assert_eq!(inj.last_fault_cycle(), Some(30));
+    }
+
+    #[test]
+    fn scripted_delay_and_duplicate() {
+        let plan = FaultPlan::new()
+            .delay_nth("stopMsg", 0, 7)
+            .duplicate_nth("actMsg", 0, 3);
+        let mut inj = FaultInjector::new(plan, 5);
+        assert_eq!(inj.on_message(0, "stopMsg"), MessageFault::Delay(7));
+        assert_eq!(inj.on_message(0, "actMsg"), MessageFault::Duplicate(3));
+        assert_eq!(inj.trace().count_tag("delay:stopMsg"), 1);
+        assert_eq!(inj.trace().count_tag("duplicate:actMsg"), 1);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let plan = || {
+            FaultPlan::new()
+                .drop_probability(0.2)
+                .duplicate_probability(0.1)
+                .delay_probability(0.1)
+                .max_delay_cycles(16)
+        };
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan(), seed);
+            (0..256)
+                .map(|i| inj.on_message(i, "msg"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+        let verdicts = run(42);
+        assert!(verdicts.contains(&MessageFault::Drop));
+        assert!(verdicts.contains(&MessageFault::Deliver));
+    }
+
+    #[test]
+    fn drop_probability_roughly_respected() {
+        let mut inj = FaultInjector::new(FaultPlan::new().drop_probability(0.25), 7);
+        let drops = (0..4000)
+            .filter(|&i| inj.on_message(i, "m") == MessageFault::Drop)
+            .count();
+        assert!((800..1200).contains(&drops), "0.25 of 4000 gave {drops}");
+    }
+
+    #[test]
+    fn client_faults_drain_in_order() {
+        let plan = FaultPlan::new()
+            .crash_client(3, 500)
+            .hang_client(1, 200, 100);
+        let mut inj = FaultInjector::new(plan, 0);
+        assert_eq!(inj.next_client_fault_cycle(), Some(200));
+        assert_eq!(inj.take_client_faults_due(100), vec![]);
+        let due = inj.take_client_faults_due(1000);
+        assert_eq!(
+            due,
+            vec![
+                ClientFault::Hang {
+                    node: 1,
+                    at_cycle: 200,
+                    for_cycles: 100
+                },
+                ClientFault::Crash {
+                    node: 3,
+                    at_cycle: 500
+                },
+            ]
+        );
+        assert_eq!(inj.next_client_fault_cycle(), None);
+        assert_eq!(inj.trace().count_tag("crash"), 1);
+        assert_eq!(inj.trace().count_tag("hang"), 1);
+        assert_eq!(inj.last_fault_cycle(), Some(500));
+    }
+
+    #[test]
+    fn fault_trace_uses_fault_source() {
+        let mut inj = FaultInjector::new(FaultPlan::new().drop_nth("confMsg", 0), 0);
+        let _ = inj.on_message(5, "confMsg");
+        assert!(inj.trace().entries().iter().all(|e| e.source == "fault"));
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -36,6 +37,7 @@ pub mod trace;
 
 pub use engine::{Engine, Process};
 pub use event::EventQueue;
+pub use fault::{ClientFault, FaultInjector, FaultPlan, MessageFault};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

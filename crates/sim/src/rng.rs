@@ -2,11 +2,19 @@
 //!
 //! All stochastic workload generators in the workspace draw from a
 //! [`SimRng`] created from an explicit seed so every experiment is
-//! replayable bit-for-bit.
+//! replayable bit-for-bit. The generator is a self-contained
+//! splitmix64-seeded xoshiro256++ — no external crates, so the workspace
+//! builds without network access.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random source for simulations.
 ///
@@ -21,31 +29,69 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derives an independent child generator; children with different
     /// `stream` values produce uncorrelated sequences from the same parent.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `u64` below `bound` (> 0), rejection-sampled so the
+    /// distribution is exactly uniform.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % bound;
+            }
+        }
+    }
+
     /// Uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
-        R: SampleRange<T>,
+        R: UniformRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
     /// Bernoulli trial with probability `p`.
@@ -54,12 +100,13 @@ impl SimRng {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p)
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.gen_unit() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially distributed sample with the given mean (inverse-CDF
@@ -70,7 +117,7 @@ impl SimRng {
     /// Panics if `mean` is not strictly positive.
     pub fn gen_exp(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = (1.0 - self.gen_unit()).max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
@@ -80,11 +127,64 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.next_below(slice.len() as u64) as usize;
             Some(&slice[i])
         }
     }
 }
+
+/// Ranges [`SimRng::gen_range`] can sample from uniformly.
+pub trait UniformRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! uniform_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl UniformRange<$t> for Range<$t> {
+                fn sample(self, rng: &mut SimRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let offset = rng.next_below(span);
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+
+            impl UniformRange<$t> for RangeInclusive<$t> {
+                fn sample(self, rng: &mut SimRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    // A span of 2^64 means the full u64 domain.
+                    let offset = if span > u64::MAX as u128 {
+                        rng.next_u64()
+                    } else {
+                        rng.next_below(span as u64)
+                    };
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+uniform_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float_range {
+    ($($t:ty),*) => {
+        $(
+            impl UniformRange<$t> for Range<$t> {
+                fn sample(self, rng: &mut SimRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    self.start + (self.end - self.start) * rng.gen_unit() as $t
+                }
+            }
+        )*
+    };
+}
+
+uniform_float_range!(f32, f64);
 
 #[cfg(test)]
 mod tests {
@@ -145,5 +245,27 @@ mod tests {
             let x = rng.gen_unit();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SimRng::seed_from(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (2_000..3_000).contains(&hits),
+            "p=0.25 over 10k trials gave {hits}"
+        );
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn inclusive_range_covers_endpoints() {
+        let mut rng = SimRng::seed_from(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0u8..=3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=3 should appear");
     }
 }

@@ -1,0 +1,210 @@
+//! Offline mini `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, `Bencher::iter`) on plain
+//! `std::time::Instant` timing. Reports median time per iteration on
+//! stdout; no statistical analysis, plots or baselines. Passing
+//! `--bench`/`--test` style harness flags is tolerated and ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each measurement aims to run.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+/// How long warm-up runs.
+const TARGET_WARMUP: Duration = Duration::from_millis(50);
+/// Timing samples per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the timed closure.
+pub struct Bencher {
+    measured: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills a
+        // sample window, so per-sample clock overhead is amortized.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < TARGET_WARMUP {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let per_sample = TARGET_MEASURE.as_secs_f64() / DEFAULT_SAMPLES as f64;
+        self.iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.measured.clear();
+        for _ in 0..DEFAULT_SAMPLES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.measured.is_empty() {
+            println!("{name:<48} (not measured)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .measured
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        println!(
+            "{name:<48} median {:>12}  range [{} .. {}]",
+            format_time(median),
+            format_time(lo),
+            format_time(hi)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time here is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            measured: Vec::new(),
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmarks a no-input routine inside the group.
+    pub fn bench_function<R>(&mut self, id: impl std::fmt::Display, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measured: Vec::new(),
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<R>(&mut self, name: &str, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measured: Vec::new(),
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,197 @@
+//! Deterministic case runner and the small PRNG behind it.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for these inputs.
+    Fail(String),
+    /// The inputs do not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (skipped case) with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type for one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Splitmix64-seeded xoshiro256++ — small, fast and statistically solid;
+/// the canonical public-domain construction.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `u64` below `bound` (> 0), via rejection sampling so the
+    /// distribution is exactly uniform.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives the cases of one property test deterministically.
+#[derive(Debug)]
+pub struct TestRng64 {}
+
+/// Per-test state: deterministic RNG plus pass/reject bookkeeping.
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+    executed: u32,
+    rejected: u32,
+}
+
+/// FNV-1a over the fully qualified test name: a stable per-test seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test. The seed derives from the test
+    /// name only, so every run of the binary generates the same cases.
+    pub fn new(test_name: &str, config: ProptestConfig) -> Self {
+        TestRunner {
+            rng: TestRng::seed_from(fnv1a(test_name)),
+            cases: config.cases,
+            executed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// True while more cases should run.
+    pub fn next_case(&mut self) -> bool {
+        self.executed < self.cases
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Records the outcome of one case; panics (failing the `#[test]`) on a
+    /// property violation or a panic inside the case body, annotating both
+    /// with the generated inputs.
+    pub fn settle(&mut self, outcome: std::thread::Result<TestCaseResult>, described_inputs: &str) {
+        match outcome {
+            Ok(Ok(())) => self.executed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                self.rejected += 1;
+                // Rejections still consume the case budget so a test whose
+                // assumption always fails cannot loop forever.
+                self.executed += 1;
+            }
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!(
+                    "property failed at case #{}: {}\n  inputs:{}",
+                    self.executed, message, described_inputs
+                );
+            }
+            Err(panic_payload) => {
+                let message = panic_payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic_payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!(
+                    "case #{} panicked: {}\n  inputs:{}",
+                    self.executed, message, described_inputs
+                );
+            }
+        }
+    }
+}

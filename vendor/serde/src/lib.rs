@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `#[derive(serde::Serialize, serde::Deserialize)]` attributes across the
+//! workspace compile without network access to crates.io. No serialization
+//! traits are provided — nothing in the workspace serializes data yet.
+
+pub use serde_derive::{Deserialize, Serialize};

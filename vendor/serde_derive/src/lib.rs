@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! real serde stack cannot be fetched. Nothing in the workspace actually
+//! serializes data yet — the `#[derive(serde::Serialize, serde::Deserialize)]`
+//! attributes only reserve the capability — so the derives expand to
+//! nothing. Swap this crate for the real `serde`/`serde_derive` when a
+//! wire format is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the item, emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the item, emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
