@@ -12,4 +12,13 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== metrics export smoke (bench binary + schema gate) =="
+SMOKE_DIR="target/ci-smoke"
+mkdir -p "$SMOKE_DIR"
+cargo run -q -p autoplat-bench --bin validation -- --smoke \
+    --export-json "$SMOKE_DIR/metrics.json" \
+    --export-csv "$SMOKE_DIR/metrics.csv" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- \
+    "$SMOKE_DIR/metrics.json" "$SMOKE_DIR/metrics.csv"
+
 echo "ci: OK"

@@ -31,6 +31,7 @@
 use std::collections::BTreeMap;
 
 use autoplat_noc::{NocConfig, NocSim, NodeId, Packet};
+use autoplat_sim::metrics::MetricsRegistry;
 use autoplat_sim::{ClientFault, FaultPlan, SimTime};
 
 use crate::app::{AppId, Application};
@@ -112,6 +113,49 @@ impl RecoveryMetrics {
     pub fn retransmissions(&self) -> u64 {
         self.client_retransmissions + self.conf_retransmissions
     }
+
+    /// Folds these metrics into `metrics` under the
+    /// `admission.recovery.*` namespace (counters for every event class;
+    /// reconvergence, when reached, as gauges).
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add(
+            "admission.recovery.control_messages_sent",
+            self.control_messages_sent,
+        );
+        metrics.counter_add("admission.recovery.messages_dropped", self.messages_dropped);
+        metrics.counter_add("admission.recovery.messages_delayed", self.messages_delayed);
+        metrics.counter_add(
+            "admission.recovery.messages_duplicated",
+            self.messages_duplicated,
+        );
+        metrics.counter_add(
+            "admission.recovery.client_retransmissions",
+            self.client_retransmissions,
+        );
+        metrics.counter_add(
+            "admission.recovery.conf_retransmissions",
+            self.conf_retransmissions,
+        );
+        metrics.counter_add(
+            "admission.recovery.duplicates_suppressed",
+            self.duplicates_suppressed,
+        );
+        metrics.counter_add("admission.recovery.reclamations", self.reclamations);
+        metrics.counter_add(
+            "admission.recovery.safe_mode_entries",
+            self.safe_mode_entries,
+        );
+        metrics.counter_add("admission.recovery.faults_injected", self.faults_injected);
+        if let Some(at) = self.reconverged_at_cycle {
+            metrics.gauge_set("admission.recovery.reconverged_at_cycle", at as f64);
+        }
+        if let Some(cycles) = self.time_to_reconverge_cycles {
+            metrics.gauge_set(
+                "admission.recovery.time_to_reconverge_cycles",
+                cycles as f64,
+            );
+        }
+    }
 }
 
 /// Outcome of a scenario run.
@@ -131,6 +175,30 @@ pub struct ScenarioOutcome {
     pub protocol_messages: usize,
     /// Fault-tolerance metrics (all zero on the ideal control plane).
     pub recovery: RecoveryMetrics,
+}
+
+impl ScenarioOutcome {
+    /// Publishes the outcome into `metrics` under the `admission.*`
+    /// namespace:
+    ///
+    /// * counters — `admission.packets_injected`,
+    ///   `admission.packets_delivered`, `admission.protocol_messages`,
+    ///   `admission.apps_rejected`;
+    /// * gauge — `admission.mean_latency_cycles`;
+    /// * histogram — `admission.observed_rate_flits_per_cycle` over all
+    ///   interval observations;
+    /// * everything [`RecoveryMetrics::publish_metrics`] emits.
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add("admission.packets_injected", self.injected as u64);
+        metrics.counter_add("admission.packets_delivered", self.delivered as u64);
+        metrics.counter_add("admission.protocol_messages", self.protocol_messages as u64);
+        metrics.counter_add("admission.apps_rejected", self.rejected.len() as u64);
+        metrics.gauge_set("admission.mean_latency_cycles", self.mean_latency_cycles);
+        for obs in &self.observations {
+            metrics.observe("admission.observed_rate_flits_per_cycle", obs.observed_rate);
+        }
+        self.recovery.publish_metrics(metrics);
+    }
 }
 
 /// The §V co-simulation driver.
@@ -816,6 +884,39 @@ mod tests {
             .iter()
             .filter(|o| o.app == AppId(0))
             .all(|o| o.mode == 1));
+    }
+
+    #[test]
+    fn publish_metrics_exports_outcome_and_recovery() {
+        let out = Scenario::new(SymmetricPolicy::new(0.5, 8.0), 4, 4)
+            .event(0, ScenarioEvent::Activate(be(0, 0)))
+            .horizon(4_000)
+            .run();
+        let mut m = MetricsRegistry::new();
+        out.publish_metrics(&mut m);
+        assert_eq!(m.counter("admission.packets_injected"), out.injected as u64);
+        assert_eq!(
+            m.counter("admission.packets_delivered"),
+            out.delivered as u64
+        );
+        assert_eq!(
+            m.counter("admission.protocol_messages"),
+            out.protocol_messages as u64
+        );
+        assert_eq!(
+            m.gauge("admission.mean_latency_cycles"),
+            Some(out.mean_latency_cycles)
+        );
+        assert_eq!(
+            m.histogram("admission.observed_rate_flits_per_cycle")
+                .expect("observations")
+                .count(),
+            out.observations.len() as u64
+        );
+        // Ideal control plane: recovery counters exist and are zero.
+        assert_eq!(m.counter("admission.recovery.faults_injected"), 0);
+        assert_eq!(m.counter("admission.recovery.reclamations"), 0);
+        autoplat_sim::metrics::validate_json_export(&m.to_json()).expect("schema");
     }
 
     #[test]

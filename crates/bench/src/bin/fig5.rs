@@ -1,13 +1,30 @@
 //! Regenerates Fig. 5: the watermark read/write switching behaviour.
+//!
+//! Flags: `--smoke` (reduced output), `--export-json <path>`,
+//! `--export-csv <path>` — see [`autoplat_bench::ExportOptions`].
 
-use autoplat_bench::fig5;
+use autoplat_bench::fig5_with_metrics;
 use autoplat_bench::format::render_table;
+use autoplat_bench::ExportOptions;
+use autoplat_sim::MetricsRegistry;
 
 fn main() {
+    let opts = ExportOptions::from_args().unwrap_or_else(|e| {
+        eprintln!("fig5: {e}");
+        std::process::exit(2);
+    });
     println!("Fig. 5: watermark policy — observed read/write mode switches");
     println!("(controller: W_low=8, W_high=24, N_wd=16 on DDR3-1600)");
-    let rows: Vec<Vec<String>> = fig5()
+    let mut metrics = MetricsRegistry::new();
+    let events = fig5_with_metrics(&mut metrics);
+    let shown = if opts.smoke {
+        8.min(events.len())
+    } else {
+        events.len()
+    };
+    let rows: Vec<Vec<String>> = events
         .into_iter()
+        .take(shown)
         .map(|e| {
             vec![
                 format!("{:.1}", e.at_ns),
@@ -20,4 +37,8 @@ fn main() {
         "{}",
         render_table(&["time (ns)", "transition", "write queue depth"], &rows)
     );
+    if let Err(e) = opts.write(&metrics) {
+        eprintln!("fig5: {e}");
+        std::process::exit(1);
+    }
 }

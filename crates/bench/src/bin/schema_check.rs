@@ -1,0 +1,36 @@
+//! CI gate: validates exported metrics files against the
+//! `autoplat.metrics.v1` schema.
+//!
+//! Usage: `schema_check <file.json|file.csv>...` — the format is picked
+//! by extension (`.csv` → CSV, everything else → JSON). Exits non-zero
+//! on the first violation, so exporter drift fails CI at the producing
+//! commit.
+
+use autoplat_sim::metrics::{validate_csv_export, validate_json_export};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: schema_check <file.json|file.csv>...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("schema_check: reading {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let result = if path.ends_with(".csv") {
+            validate_csv_export(&contents)
+        } else {
+            validate_json_export(&contents)
+        };
+        if let Err(e) = result {
+            eprintln!("schema_check: {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("schema_check: {path}: ok");
+    }
+}

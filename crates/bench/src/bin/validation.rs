@@ -1,11 +1,22 @@
 //! Validation: simulated adversarial probe completion vs analytic bounds.
+//!
+//! Flags: `--smoke` (short sweep), `--export-json <path>`,
+//! `--export-csv <path>` — see [`autoplat_bench::ExportOptions`].
 
 use autoplat_bench::format::render_table;
-use autoplat_bench::validation_wcd;
+use autoplat_bench::validation_wcd_with_metrics;
+use autoplat_bench::ExportOptions;
+use autoplat_sim::MetricsRegistry;
 
 fn main() {
+    let opts = ExportOptions::from_args().unwrap_or_else(|e| {
+        eprintln!("validation: {e}");
+        std::process::exit(2);
+    });
+    let max_position = if opts.smoke { 6 } else { 24 };
     println!("WCD validation at 4 Gbps writes: simulator vs analytic bounds");
-    let rows: Vec<Vec<String>> = validation_wcd(24, 4.0)
+    let mut metrics = MetricsRegistry::new();
+    let rows: Vec<Vec<String>> = validation_wcd_with_metrics(max_position, 4.0, &mut metrics)
         .into_iter()
         .map(|r| {
             vec![
@@ -30,4 +41,8 @@ fn main() {
             &rows
         )
     );
+    if let Err(e) = opts.write(&metrics) {
+        eprintln!("validation: {e}");
+        std::process::exit(1);
+    }
 }

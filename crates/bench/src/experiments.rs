@@ -16,6 +16,7 @@ use autoplat_dram::{ControllerConfig, FrFcfsController, Request, RequestKind};
 use autoplat_mpam::control::CachePortionPartitioning;
 use autoplat_mpam::PartId;
 use autoplat_netcalc::arrival::gbps_bucket;
+use autoplat_sim::metrics::MetricsRegistry;
 use autoplat_sim::{SimDuration, SimTime};
 
 /// The read-queue position `N` calibrated so the 4 Gbps point of Table II
@@ -220,6 +221,13 @@ pub struct Fig5Event {
 /// Fig. 5: drives the FR-FCFS controller through watermark-triggered
 /// read/write switches and returns the observed transitions.
 pub fn fig5() -> Vec<Fig5Event> {
+    fig5_with_metrics(&mut MetricsRegistry::new())
+}
+
+/// [`fig5`] with the controller's `dram.*` observability published into
+/// `metrics` (the export path the `fig5` binary's `--export-json` /
+/// `--export-csv` flags use).
+pub fn fig5_with_metrics(metrics: &mut MetricsRegistry) -> Vec<Fig5Event> {
     let cfg = ControllerConfig::paper().with_watermarks(8, 24);
     let ctrl = FrFcfsController::new(ddr3_1600(), cfg, 8);
     let mut reqs = Vec::new();
@@ -250,14 +258,14 @@ pub fn fig5() -> Vec<Fig5Event> {
             id += 1;
         }
     }
-    let out = ctrl.simulate(reqs, true);
+    let out = ctrl.simulate_with_metrics(reqs, true, metrics);
     out.trace
         .entries()
         .iter()
         .filter(|e| e.tag.starts_with("switch"))
         .map(|e| Fig5Event {
             at_ns: e.at.as_ns(),
-            direction: e.tag.clone(),
+            direction: e.tag.to_string(),
             write_queue_depth: e.value.unwrap_or(0),
         })
         .collect()
@@ -513,11 +521,22 @@ pub struct ValidationRow {
 /// complete the probe within the analytic bounds of §IV-A, for every
 /// queue position.
 pub fn validation_wcd(max_position: u32, gbps: f64) -> Vec<ValidationRow> {
+    validation_wcd_with_metrics(max_position, gbps, &mut MetricsRegistry::new())
+}
+
+/// [`validation_wcd`] with the controller's `dram.*` observability
+/// (accumulated across all queue positions) plus sweep-level
+/// `wcd.validation.*` metrics published into `metrics`.
+pub fn validation_wcd_with_metrics(
+    max_position: u32,
+    gbps: f64,
+    metrics: &mut MetricsRegistry,
+) -> Vec<ValidationRow> {
     let cfg = ControllerConfig::paper();
     let timing = ddr3_1600();
     let writes = gbps_bucket(gbps, 8, 8);
     let write_gap_ns = 1.0 / writes.rate();
-    (1..=max_position)
+    let rows: Vec<ValidationRow> = (1..=max_position)
         .map(|n| {
             let params = WcdParams {
                 timing: timing.clone(),
@@ -566,7 +585,7 @@ pub fn validation_wcd(max_position: u32, gbps: f64) -> Vec<ValidationRow> {
                 ));
                 id += 1;
             }
-            let out = ctrl.simulate(reqs, false);
+            let out = ctrl.simulate_with_metrics(reqs, false, metrics);
             let simulated_ns = out
                 .completions
                 .iter()
@@ -581,7 +600,19 @@ pub fn validation_wcd(max_position: u32, gbps: f64) -> Vec<ValidationRow> {
                 upper_ns: upper.delay_ns,
             }
         })
-        .collect()
+        .collect();
+    metrics.counter_add("wcd.validation.rows", rows.len() as u64);
+    for row in &rows {
+        metrics.observe("wcd.validation.tightness", row.simulated_ns / row.upper_ns);
+    }
+    if let Some(last) = rows.last() {
+        metrics.gauge_set("wcd.validation.upper_ns_at_max_n", last.upper_ns);
+        metrics.gauge_set(
+            "wcd.validation.tightness_at_max_n",
+            last.simulated_ns / last.upper_ns,
+        );
+    }
+    rows
 }
 
 /// One row of the controller design-space ablation (X5).

@@ -1,0 +1,145 @@
+//! Shared metrics-export plumbing for the experiment binaries.
+//!
+//! Every binary that publishes into a [`MetricsRegistry`] accepts the
+//! same three flags, parsed by [`ExportOptions::from_args`]:
+//!
+//! * `--smoke` — shrink the workload to a seconds-scale run (the CI
+//!   gate uses this);
+//! * `--export-json <path>` — write the registry as schema-tagged JSON;
+//! * `--export-csv <path>` — write the registry as CSV.
+//!
+//! Exports are validated against the `autoplat.metrics.v1` schema
+//! before they touch the disk, so a drifting exporter fails the run
+//! that produced the file rather than some later consumer.
+
+use std::path::PathBuf;
+
+use autoplat_sim::metrics::{validate_csv_export, validate_json_export, MetricsRegistry};
+
+/// Parsed export-related command-line options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExportOptions {
+    /// Run a reduced workload (CI smoke mode).
+    pub smoke: bool,
+    /// Where to write the JSON export, if requested.
+    pub json: Option<PathBuf>,
+    /// Where to write the CSV export, if requested.
+    pub csv: Option<PathBuf>,
+}
+
+impl ExportOptions {
+    /// Parses `--smoke`, `--export-json <path>` and `--export-csv
+    /// <path>` from the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or a missing path
+    /// operand.
+    pub fn from_args() -> Result<ExportOptions, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (testable core of
+    /// [`from_args`](Self::from_args)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or a missing path
+    /// operand.
+    pub fn parse<I>(args: I) -> Result<ExportOptions, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut opts = ExportOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--export-json" => {
+                    let path = args.next().ok_or("--export-json needs a path")?;
+                    opts.json = Some(PathBuf::from(path));
+                }
+                "--export-csv" => {
+                    let path = args.next().ok_or("--export-csv needs a path")?;
+                    opts.csv = Some(PathBuf::from(path));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument {other:?} \
+                         (expected --smoke, --export-json <path>, --export-csv <path>)"
+                    ))
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Writes the requested exports, validating each against the shared
+    /// schema first. A no-op when neither path was given.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a schema violation or I/O failure.
+    pub fn write(&self, registry: &MetricsRegistry) -> Result<(), String> {
+        if let Some(path) = &self.json {
+            let json = registry.to_json();
+            validate_json_export(&json)
+                .map_err(|e| format!("refusing to write invalid JSON export: {e}"))?;
+            std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("metrics JSON written to {}", path.display());
+        }
+        if let Some(path) = &self.csv {
+            let csv = registry.to_csv();
+            validate_csv_export(&csv)
+                .map_err(|e| format!("refusing to write invalid CSV export: {e}"))?;
+            std::fs::write(path, csv).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("metrics CSV written to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|i| i.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let opts = ExportOptions::parse(s(&[
+            "--smoke",
+            "--export-json",
+            "m.json",
+            "--export-csv",
+            "m.csv",
+        ]))
+        .expect("valid args");
+        assert!(opts.smoke);
+        assert_eq!(opts.json, Some(PathBuf::from("m.json")));
+        assert_eq!(opts.csv, Some(PathBuf::from("m.csv")));
+    }
+
+    #[test]
+    fn empty_args_are_default() {
+        assert_eq!(
+            ExportOptions::parse(s(&[])).expect("empty ok"),
+            ExportOptions::default()
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_dangling_flags() {
+        assert!(ExportOptions::parse(s(&["--bogus"])).is_err());
+        assert!(ExportOptions::parse(s(&["--export-json"])).is_err());
+        assert!(ExportOptions::parse(s(&["--export-csv"])).is_err());
+    }
+
+    #[test]
+    fn write_without_paths_is_noop() {
+        let opts = ExportOptions::default();
+        opts.write(&MetricsRegistry::new()).expect("no-op");
+    }
+}

@@ -7,6 +7,8 @@
 //! record.
 
 pub mod experiments;
+pub mod export;
 pub mod format;
 
 pub use experiments::*;
+pub use export::ExportOptions;

@@ -23,6 +23,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use autoplat_sim::metrics::{MetricsRegistry, Span};
 use autoplat_sim::{SimDuration, SimTime, Summary, Trace};
 
 use crate::request::MasterId;
@@ -159,6 +160,39 @@ impl FrFcfsController {
     where
         I: IntoIterator<Item = Request>,
     {
+        self.run(workload, trace_enabled, None)
+    }
+
+    /// Like [`simulate`](FrFcfsController::simulate) but also publishes
+    /// observability data into `metrics` under the `dram.*` namespace:
+    ///
+    /// * counters — `dram.requests_served`, `dram.row_hits`,
+    ///   `dram.row_misses`, `dram.refreshes`, `dram.mode_switches`;
+    /// * histograms — `dram.read_latency_ns`, `dram.write_latency_ns`,
+    ///   `dram.read_queue_depth`, `dram.write_queue_depth` (sampled at
+    ///   every serve), `dram.refresh_stall_ns` (span over each refresh);
+    /// * gauges — `dram.hit_rate`, `dram.finished_at_ns`.
+    pub fn simulate_with_metrics<I>(
+        &self,
+        workload: I,
+        trace_enabled: bool,
+        metrics: &mut MetricsRegistry,
+    ) -> SimOutcome
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        self.run(workload, trace_enabled, Some(metrics))
+    }
+
+    fn run<I>(
+        &self,
+        workload: I,
+        trace_enabled: bool,
+        mut metrics: Option<&mut MetricsRegistry>,
+    ) -> SimOutcome
+    where
+        I: IntoIterator<Item = Request>,
+    {
         let mut pending: VecDeque<Request> = {
             let mut v: Vec<Request> = workload.into_iter().collect();
             for r in &v {
@@ -225,12 +259,16 @@ impl FrFcfsController {
                         // Idle: jump to the next arrival (serving refreshes
                         // that fall inside the idle gap).
                         while next_refresh <= next.arrival {
+                            let span = Span::begin("dram.refresh_stall_ns", next_refresh.max(now));
                             now = next_refresh.max(now) + SimDuration::from_ns(t.t_rfc);
                             for b in &mut banks {
                                 b.open_row = None;
                             }
                             refreshes += 1;
                             trace.record(now, "dram", "refresh", None);
+                            if let Some(m) = metrics.as_deref_mut() {
+                                span.end(m, now);
+                            }
                             next_refresh += SimDuration::from_ns(t.t_refi);
                         }
                         now = now.max(next.arrival);
@@ -242,12 +280,16 @@ impl FrFcfsController {
 
             // Refresh: highest priority once the timer has expired.
             if now >= next_refresh {
+                let span = Span::begin("dram.refresh_stall_ns", now);
                 now += SimDuration::from_ns(t.t_rfc);
                 for b in &mut banks {
                     b.open_row = None;
                 }
                 refreshes += 1;
                 trace.record(now, "dram", "refresh", None);
+                if let Some(m) = metrics.as_deref_mut() {
+                    span.end(m, now);
+                }
                 next_refresh += SimDuration::from_ns(t.t_refi);
                 continue;
             }
@@ -358,6 +400,11 @@ impl FrFcfsController {
                     done
                 };
                 now = finished;
+                if let Some(m) = metrics.as_deref_mut() {
+                    // Depth *after* dequeuing: what the next arrival sees.
+                    m.observe("dram.read_queue_depth", read_q.len() as f64);
+                    m.observe("dram.write_queue_depth", write_q.len() as f64);
+                }
                 match req.kind {
                     RequestKind::Read => {
                         let lat = finished.saturating_since(req.arrival).as_ns();
@@ -366,9 +413,16 @@ impl FrFcfsController {
                             .entry(req.master)
                             .or_default()
                             .record(lat);
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.observe("dram.read_latency_ns", lat);
+                        }
                     }
                     RequestKind::Write => {
-                        write_latency.record(finished.saturating_since(req.arrival).as_ns())
+                        let lat = finished.saturating_since(req.arrival).as_ns();
+                        write_latency.record(lat);
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.observe("dram.write_latency_ns", lat);
+                        }
                     }
                 }
                 completions.push(Completion {
@@ -379,7 +433,7 @@ impl FrFcfsController {
             }
         }
 
-        SimOutcome {
+        let outcome = SimOutcome {
             completions,
             read_latency,
             write_latency,
@@ -390,7 +444,17 @@ impl FrFcfsController {
             mode_switches,
             finished_at: now,
             trace,
+        };
+        if let Some(m) = metrics {
+            m.counter_add("dram.requests_served", outcome.completions.len() as u64);
+            m.counter_add("dram.row_hits", row_hits);
+            m.counter_add("dram.row_misses", row_misses);
+            m.counter_add("dram.refreshes", refreshes);
+            m.counter_add("dram.mode_switches", mode_switches);
+            m.gauge_set("dram.hit_rate", outcome.hit_rate());
+            m.gauge_set("dram.finished_at_ns", outcome.finished_at.as_ns());
         }
+        outcome
     }
 }
 
@@ -580,6 +644,54 @@ mod tests {
         let out = ctrl().simulate(reqs, false);
         assert_eq!(out.row_misses, 2); // one per bank
         assert_eq!(out.row_hits, 1);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_outcome() {
+        let mut m = MetricsRegistry::new();
+        let reqs: Vec<_> = (0..200)
+            .map(|i| read(i, 0, i % 3, i as f64 * 8.0))
+            .collect();
+        let out = ctrl().simulate_with_metrics(reqs, false, &mut m);
+        assert_eq!(m.counter("dram.requests_served"), 200);
+        assert_eq!(m.counter("dram.row_hits"), out.row_hits);
+        assert_eq!(m.counter("dram.row_misses"), out.row_misses);
+        assert_eq!(m.counter("dram.refreshes"), out.refreshes);
+        assert_eq!(m.counter("dram.mode_switches"), out.mode_switches);
+        assert_eq!(m.gauge("dram.hit_rate"), Some(out.hit_rate()));
+        assert_eq!(
+            m.gauge("dram.finished_at_ns"),
+            Some(out.finished_at.as_ns())
+        );
+        let lat = m.histogram("dram.read_latency_ns").expect("reads observed");
+        assert_eq!(lat.count(), 200);
+        assert_eq!(lat.max(), out.max_read_latency_ns());
+        assert_eq!(
+            m.histogram("dram.read_queue_depth")
+                .expect("sampled")
+                .count(),
+            200,
+            "queue depth is sampled at every serve"
+        );
+        if out.refreshes > 0 {
+            let stall = m.histogram("dram.refresh_stall_ns").expect("spans ended");
+            assert_eq!(stall.count(), out.refreshes);
+            let t = ddr3_1600();
+            assert!((stall.mean() - t.t_rfc).abs() < 1e-9, "each stall is tRFC");
+        }
+    }
+
+    #[test]
+    fn metrics_do_not_change_simulation() {
+        let reqs: Vec<_> = (0..100)
+            .map(|i| read(i, 0, i % 5, i as f64 * 12.0))
+            .collect();
+        let plain = ctrl().simulate(reqs.clone(), false);
+        let mut m = MetricsRegistry::new();
+        let instrumented = ctrl().simulate_with_metrics(reqs, false, &mut m);
+        assert_eq!(plain.finished_at, instrumented.finished_at);
+        assert_eq!(plain.row_hits, instrumented.row_hits);
+        assert_eq!(plain.completions.len(), instrumented.completions.len());
     }
 
     #[test]

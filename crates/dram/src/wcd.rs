@@ -73,10 +73,17 @@ pub enum WcdError {
         utilization: f64,
     },
     /// The iteration failed to converge within the internal step limit
-    /// (extremely close to saturation).
+    /// (extremely close to saturation). Carries the full state of the
+    /// last iteration so callers can see *how far* the fixpoint got.
     NotConverged {
         /// Last value of `T` reached, in nanoseconds.
         last_delay_ns: f64,
+        /// Fixpoint iterations performed before giving up.
+        iterations: u32,
+        /// Write batches accounted in the last iteration.
+        write_batches: u64,
+        /// Refresh operations accounted in the last iteration.
+        refreshes: u64,
     },
     /// Invalid parameters.
     Invalid(String),
@@ -89,9 +96,16 @@ impl std::fmt::Display for WcdError {
                 f,
                 "write rate saturates the device (batch utilization {utilization:.3} >= 1)"
             ),
-            WcdError::NotConverged { last_delay_ns } => write!(
+            WcdError::NotConverged {
+                last_delay_ns,
+                iterations,
+                write_batches,
+                refreshes,
+            } => write!(
                 f,
-                "fixpoint did not converge (last T = {last_delay_ns:.3} ns)"
+                "fixpoint did not converge after {iterations} iterations \
+                 (last T = {last_delay_ns:.3} ns, {write_batches} write batches, \
+                 {refreshes} refreshes)"
             ),
             WcdError::Invalid(msg) => write!(f, "invalid parameters: {msg}"),
         }
@@ -179,6 +193,9 @@ pub fn upper_bound(params: &WcdParams) -> Result<WcdBound, WcdError> {
         if !new_delay.is_finite() {
             return Err(WcdError::NotConverged {
                 last_delay_ns: delay,
+                iterations: iter,
+                write_batches: new_batches,
+                refreshes: new_refreshes,
             });
         }
         if new_batches == batches && new_refreshes == refreshes {
@@ -197,6 +214,9 @@ pub fn upper_bound(params: &WcdParams) -> Result<WcdBound, WcdError> {
     }
     Err(WcdError::NotConverged {
         last_delay_ns: delay,
+        iterations: MAX_ITER,
+        write_batches: batches,
+        refreshes,
     })
 }
 
@@ -478,8 +498,17 @@ mod tests {
     fn error_display() {
         let e = WcdError::Saturated { utilization: 1.2 };
         assert!(e.to_string().contains("saturates"));
-        let e = WcdError::NotConverged { last_delay_ns: 5.0 };
-        assert!(e.to_string().contains("converge"));
+        let e = WcdError::NotConverged {
+            last_delay_ns: 5.0,
+            iterations: 100_000,
+            write_batches: 42,
+            refreshes: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("converge"));
+        assert!(msg.contains("100000 iterations"), "{msg}");
+        assert!(msg.contains("42 write batches"), "{msg}");
+        assert!(msg.contains("7 refreshes"), "{msg}");
         let e = WcdError::Invalid("x".into());
         assert!(e.to_string().contains("x"));
     }

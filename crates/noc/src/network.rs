@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use autoplat_sim::metrics::MetricsRegistry;
 use autoplat_sim::{SimDuration, Summary};
 
 use crate::packet::{Flit, Packet};
@@ -405,6 +406,49 @@ impl NocSim {
         }
     }
 
+    /// Publishes the network's observability data into `metrics` under
+    /// the `noc.*` namespace:
+    ///
+    /// * counters — `noc.packets_delivered`, `noc.cycles`,
+    ///   `noc.flits_sent`;
+    /// * histogram — `noc.packet_latency_cycles` over completed packets;
+    /// * gauges — `noc.link.{node}.{dir}.utilization` for every directed
+    ///   link that carried at least one flit, plus
+    ///   `noc.hottest_link_utilization`.
+    ///
+    /// Links are walked in node/direction order, so exports are
+    /// deterministic regardless of `HashMap` iteration order.
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add("noc.packets_delivered", self.completed.len() as u64);
+        metrics.counter_add("noc.cycles", self.cycle);
+        metrics.counter_add("noc.flits_sent", self.link_flits.values().sum());
+        for rec in &self.completed {
+            metrics.observe("noc.packet_latency_cycles", rec.latency_cycles() as f64);
+        }
+        for node in 0..self.mesh.nodes() {
+            for dir in Direction::ALL {
+                let flits = self.link_flits(NodeId(node), dir);
+                if flits == 0 {
+                    continue;
+                }
+                let name = match dir {
+                    Direction::Local => "local",
+                    Direction::North => "north",
+                    Direction::South => "south",
+                    Direction::East => "east",
+                    Direction::West => "west",
+                };
+                metrics.gauge_set(
+                    format!("noc.link.{node}.{name}.utilization"),
+                    self.link_utilization(NodeId(node), dir),
+                );
+            }
+        }
+        if let Some((_, _, util)) = self.hottest_link() {
+            metrics.gauge_set("noc.hottest_link_utilization", util);
+        }
+    }
+
     /// The most-utilized directed link and its utilization, if any flit
     /// moved — the congestion hotspot report.
     pub fn hottest_link(&self) -> Option<(NodeId, Direction, f64)> {
@@ -725,6 +769,35 @@ mod tests {
                 assert!((0.0..=1.0).contains(&u), "util {u} at {node} {dir:?}");
             }
         }
+    }
+
+    #[test]
+    fn publish_metrics_exports_network_state() {
+        let mut n = noc(4, 1);
+        n.inject(Packet::new(0, NodeId(0), NodeId(3), 4), 0);
+        n.inject(Packet::new(1, NodeId(0), NodeId(3), 4), 0);
+        assert!(n.run_until_idle(1000));
+        let mut m = MetricsRegistry::new();
+        n.publish_metrics(&mut m);
+        assert_eq!(m.counter("noc.packets_delivered"), 2);
+        assert_eq!(m.counter("noc.cycles"), n.cycle());
+        assert!(m.counter("noc.flits_sent") >= 8, "2 packets x 4 flits");
+        let lat = m.histogram("noc.packet_latency_cycles").expect("delivered");
+        assert_eq!(lat.count(), 2);
+        // Every east hop carried flits, so its utilization gauge exists.
+        assert_eq!(
+            m.gauge("noc.link.0.east.utilization"),
+            Some(n.link_utilization(NodeId(0), Direction::East))
+        );
+        assert!(
+            m.gauge("noc.link.0.west.utilization").is_none(),
+            "idle link"
+        );
+        assert!(m.gauge("noc.hottest_link_utilization").is_some());
+        // Publishing twice accumulates counters but leaves gauges stable.
+        n.publish_metrics(&mut m);
+        assert_eq!(m.counter("noc.packets_delivered"), 4);
+        autoplat_sim::metrics::validate_json_export(&m.to_json()).expect("schema");
     }
 
     #[test]

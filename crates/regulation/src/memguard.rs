@@ -8,6 +8,7 @@
 //! replenish. The sum of guaranteed budgets must not exceed the
 //! guaranteed (worst-case) memory bandwidth for the reservation to hold.
 
+use autoplat_sim::metrics::{HistogramSketch, MetricsRegistry};
 use autoplat_sim::{SimDuration, SimTime};
 
 use crate::perf::PerfCounters;
@@ -47,6 +48,9 @@ pub struct MemGuard {
     used: Vec<u64>,
     period_index: u64,
     throttle_events: Vec<u64>,
+    /// Distribution of throttle wait times (ns): how long each throttled
+    /// access must stall until its period boundary.
+    throttle_wait: HistogramSketch,
     counters: PerfCounters,
 }
 
@@ -66,6 +70,7 @@ impl MemGuard {
             used: vec![0; cores],
             period_index: 0,
             throttle_events: vec![0; cores],
+            throttle_wait: HistogramSketch::new(),
             counters: PerfCounters::new(cores),
         }
     }
@@ -135,13 +140,12 @@ impl MemGuard {
     /// Panics if `core` is out of range.
     pub fn try_access(&mut self, core: usize, bytes: u64, now: SimTime) -> AccessDecision {
         self.roll(now);
-        if self.used[core] >= self.budgets[core] && self.budgets[core] > 0 {
+        if self.budgets[core] == 0 || self.used[core] >= self.budgets[core] {
             self.throttle_events[core] += 1;
-            return AccessDecision::ThrottledUntil(self.next_boundary(now));
-        }
-        if self.budgets[core] == 0 {
-            self.throttle_events[core] += 1;
-            return AccessDecision::ThrottledUntil(self.next_boundary(now));
+            let boundary = self.next_boundary(now);
+            self.throttle_wait
+                .record(boundary.saturating_since(now).as_ns());
+            return AccessDecision::ThrottledUntil(boundary);
         }
         self.used[core] += bytes;
         self.counters.record(core, bytes, now);
@@ -170,6 +174,43 @@ impl MemGuard {
     /// period rolls).
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Distribution of throttle wait times so far (ns per throttled
+    /// access).
+    pub fn throttle_wait(&self) -> &HistogramSketch {
+        &self.throttle_wait
+    }
+
+    /// Publishes the regulator's observability data into `metrics` under
+    /// the `memguard.*` namespace:
+    ///
+    /// * counters — `memguard.throttle_events` (total) and per-core
+    ///   `memguard.core.{i}.throttle_events` /
+    ///   `memguard.core.{i}.bytes_served`;
+    /// * gauges — per-core `memguard.core.{i}.budget_bytes`;
+    /// * histogram — `memguard.throttle_wait_ns`, the stall each
+    ///   throttled access pays until its period boundary.
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add(
+            "memguard.throttle_events",
+            self.throttle_events.iter().sum(),
+        );
+        for core in 0..self.cores() {
+            metrics.counter_add(
+                format!("memguard.core.{core}.throttle_events"),
+                self.throttle_events[core],
+            );
+            metrics.counter_add(
+                format!("memguard.core.{core}.bytes_served"),
+                self.counters.total(core).bytes,
+            );
+            metrics.gauge_set(
+                format!("memguard.core.{core}.budget_bytes"),
+                self.budgets[core] as f64,
+            );
+        }
+        metrics.merge_histogram("memguard.throttle_wait_ns", &self.throttle_wait);
     }
 }
 
@@ -283,5 +324,34 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_period_rejected() {
         let _ = MemGuard::new(SimDuration::ZERO, vec![1]);
+    }
+
+    #[test]
+    fn throttle_wait_histogram_measures_stall_to_boundary() {
+        let mut m = mg(vec![64]);
+        let _ = m.try_access(0, 64, SimTime::ZERO);
+        // Throttled 400 ns into a 1 µs period: 600 ns to the boundary.
+        let _ = m.try_access(0, 1, SimTime::from_ns(400.0));
+        assert_eq!(m.throttle_wait().count(), 1);
+        assert!((m.throttle_wait().max().expect("one stall") - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn publish_metrics_exports_per_core_state() {
+        let mut m = mg(vec![128, 0]);
+        let _ = m.try_access(0, 128, SimTime::ZERO);
+        let _ = m.try_access(0, 1, SimTime::from_ns(100.0)); // throttled
+        let _ = m.try_access(1, 1, SimTime::from_ns(200.0)); // zero budget
+        let mut reg = MetricsRegistry::new();
+        m.publish_metrics(&mut reg);
+        assert_eq!(reg.counter("memguard.throttle_events"), 2);
+        assert_eq!(reg.counter("memguard.core.0.throttle_events"), 1);
+        assert_eq!(reg.counter("memguard.core.1.throttle_events"), 1);
+        assert_eq!(reg.counter("memguard.core.0.bytes_served"), 128);
+        assert_eq!(reg.gauge("memguard.core.0.budget_bytes"), Some(128.0));
+        assert_eq!(reg.gauge("memguard.core.1.budget_bytes"), Some(0.0));
+        let wait = reg.histogram("memguard.throttle_wait_ns").expect("stalls");
+        assert_eq!(wait.count(), 2);
+        autoplat_sim::metrics::validate_csv_export(&reg.to_csv()).expect("schema");
     }
 }

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use autoplat_sim::metrics::MetricsRegistry;
 use autoplat_sim::{SimDuration, SimTime};
 
 use crate::partition::Partition;
@@ -37,6 +38,30 @@ impl SchedOutcome {
     /// schedule — they simply straddle the measurement window).
     pub fn all_deadlines_met(&self) -> bool {
         self.deadline_misses == 0
+    }
+
+    /// Publishes the outcome into `metrics` under the `sched.*`
+    /// namespace:
+    ///
+    /// * counters — `sched.completed_jobs`, `sched.incomplete_jobs`,
+    ///   `sched.deadline_misses`, `sched.preemptions`;
+    /// * histogram — `sched.worst_response_ns` over per-task worst
+    ///   response times;
+    /// * gauges — per-task `sched.task.{id}.worst_response_ns`.
+    ///
+    /// Tasks are walked in id order so exports stay deterministic.
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add("sched.completed_jobs", self.completed_jobs);
+        metrics.counter_add("sched.incomplete_jobs", self.incomplete_jobs);
+        metrics.counter_add("sched.deadline_misses", self.deadline_misses);
+        metrics.counter_add("sched.preemptions", self.preemptions);
+        let mut ids: Vec<u32> = self.worst_response.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let worst = self.worst_response[&id].as_ns();
+            metrics.observe("sched.worst_response_ns", worst);
+            metrics.gauge_set(format!("sched.task.{id}.worst_response_ns"), worst);
+        }
     }
 
     fn merge(&mut self, other: SchedOutcome) {
@@ -317,6 +342,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn publish_metrics_exports_outcome() {
+        let tasks = vec![t(0, 1.0, 4.0), t(1, 2.0, 6.0)];
+        let out = simulate_global_fp(&tasks, 1, SimDuration::from_us(48.0));
+        let mut m = MetricsRegistry::new();
+        out.publish_metrics(&mut m);
+        assert_eq!(m.counter("sched.completed_jobs"), out.completed_jobs);
+        assert_eq!(m.counter("sched.deadline_misses"), out.deadline_misses);
+        assert_eq!(m.counter("sched.preemptions"), out.preemptions);
+        assert_eq!(
+            m.gauge("sched.task.0.worst_response_ns"),
+            Some(out.worst_response[&0].as_ns())
+        );
+        assert_eq!(
+            m.histogram("sched.worst_response_ns")
+                .expect("tasks")
+                .count(),
+            2
+        );
+        autoplat_sim::metrics::validate_json_export(&m.to_json()).expect("schema");
     }
 
     #[test]

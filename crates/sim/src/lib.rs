@@ -30,6 +30,8 @@
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -38,6 +40,8 @@ pub mod trace;
 pub use engine::{Engine, Process};
 pub use event::EventQueue;
 pub use fault::{ClientFault, FaultInjector, FaultPlan, MessageFault};
+pub use json::JsonValue;
+pub use metrics::{HistogramSketch, MetricsRegistry, Span};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

@@ -27,6 +27,11 @@ pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
+    /// Exact running sum (Kahan-compensated). Kept separately from
+    /// `mean * count`, which loses precision after [`Summary::merge`].
+    sum: f64,
+    /// Kahan compensation term for `sum`.
+    sum_c: f64,
     min: Option<f64>,
     max: Option<f64>,
 }
@@ -46,6 +51,7 @@ impl Summary {
     pub fn record(&mut self, x: f64) {
         assert!(!x.is_nan(), "Summary::record: NaN sample");
         self.count += 1;
+        self.kahan_add(x);
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         let delta2 = x - self.mean;
@@ -88,9 +94,21 @@ impl Summary {
         self.max
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples, tracked exactly (Kahan-compensated) rather
+    /// than reconstructed as `mean * count` — reconstruction loses
+    /// precision once summaries have been [`merge`](Summary::merge)d.
     pub fn sum(&self) -> f64 {
-        self.mean * self.count as f64
+        self.sum + self.sum_c
+    }
+
+    /// Kahan-compensated accumulation of `x` into `sum`; `sum_c` carries
+    /// the low-order bits lost by each addition, so `sum + sum_c` is the
+    /// compensated total.
+    fn kahan_add(&mut self, x: f64) {
+        let y = x + self.sum_c;
+        let t = self.sum + y;
+        self.sum_c = y - (t - self.sum);
+        self.sum = t;
     }
 
     /// Merges another summary into this one (parallel-friendly combine).
@@ -102,6 +120,7 @@ impl Summary {
             *self = other.clone();
             return;
         }
+        self.kahan_add(other.sum());
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
@@ -302,6 +321,68 @@ mod tests {
         let mut b = Summary::new();
         b.merge(&before);
         assert_eq!(b, before);
+    }
+
+    #[test]
+    fn sum_is_exact_not_reconstructed() {
+        // Samples whose mean*count reconstruction drifts: large magnitude
+        // offsets with small increments.
+        let mut s = Summary::new();
+        let xs = [1e15, 3.0, -1e15, 4.0];
+        for x in xs {
+            s.record(x);
+        }
+        assert_eq!(s.sum(), 7.0, "Kahan sum must survive cancellation");
+    }
+
+    #[test]
+    fn merge_preserves_exact_sum() {
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        left.record(1e15);
+        left.record(3.0);
+        right.record(-1e15);
+        right.record(4.0);
+        left.merge(&right);
+        // The old mean*count reconstruction loses the 7.0 entirely at
+        // this magnitude (mean ≈ 1.75 rounded within 1e15-scale floats).
+        assert!((left.sum() - 7.0).abs() < 1e-3, "sum {}", left.sum());
+    }
+
+    #[test]
+    fn merge_is_associative_on_sum() {
+        let xs: Vec<f64> = (0..300)
+            .map(|i| (i as f64).cos() * 1e8 + i as f64 * 1e-6)
+            .collect();
+        let part = |range: std::ops::Range<usize>| {
+            let mut s = Summary::new();
+            for &x in &xs[range] {
+                s.record(x);
+            }
+            s
+        };
+        let (a, b, c) = (part(0..100), part(100..200), part(200..300));
+
+        // (a ⊕ b) ⊕ c
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        let scale = xs.iter().map(|x| x.abs()).sum::<f64>();
+        assert!(
+            (ab_c.sum() - a_bc.sum()).abs() <= scale * 1e-15,
+            "merge grouping changed the sum: {} vs {}",
+            ab_c.sum(),
+            a_bc.sum()
+        );
+        assert_eq!(ab_c.count(), a_bc.count());
+        assert!((ab_c.mean() - a_bc.mean()).abs() < 1e-6);
     }
 
     #[test]

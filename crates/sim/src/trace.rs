@@ -3,9 +3,20 @@
 //! Simulators push [`TraceEntry`] records into a [`Trace`] so tests and the
 //! figure-regeneration binaries can inspect *what happened when* (e.g. the
 //! DRAM controller's read/write mode switches for Fig. 5 of the paper).
+//!
+//! # Cost model
+//!
+//! `source`/`tag` are `Cow<'static, str>`: the overwhelmingly common case
+//! — a string literal at the call site — is `Cow::Borrowed` and performs
+//! **zero allocations**, so hot simulation loops (the DRAM controller's
+//! serve loop, the NoC's per-cycle step) can stay instrumented. Dynamic
+//! names still work (`String` converts to `Cow::Owned`). When tracing is
+//! disabled, [`Trace::record`] is a single branch.
 
+use std::borrow::Cow;
 use std::fmt;
 
+use crate::json::JsonValue;
 use crate::time::SimTime;
 
 /// One timestamped trace record.
@@ -14,9 +25,9 @@ pub struct TraceEntry {
     /// When the event occurred.
     pub at: SimTime,
     /// Component that emitted the record (e.g. `"dram"`, `"noc.router.3"`).
-    pub source: String,
+    pub source: Cow<'static, str>,
     /// Human-readable event tag (e.g. `"switch-to-write"`).
-    pub tag: String,
+    pub tag: Cow<'static, str>,
     /// Optional integer payload (queue depth, flit id, ...).
     pub value: Option<i64>,
 }
@@ -76,11 +87,14 @@ impl Trace {
     }
 
     /// Appends a record if tracing is enabled.
+    ///
+    /// With `&'static str` arguments (the interned fast path used by
+    /// every simulator) this allocates nothing beyond the entry slot.
     pub fn record(
         &mut self,
         at: SimTime,
-        source: impl Into<String>,
-        tag: impl Into<String>,
+        source: impl Into<Cow<'static, str>>,
+        tag: impl Into<Cow<'static, str>>,
         value: Option<i64>,
     ) {
         if self.enabled {
@@ -112,6 +126,76 @@ impl Trace {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Serializes the entries as JSON (the `enabled` flag is skipped: it
+    /// is runtime state, not data), so traces export alongside metrics.
+    ///
+    /// Layout: `[{"at_ps":u64,"source":s,"tag":s,"value":i64|null},...]`.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<JsonValue> = self
+            .entries
+            .iter()
+            .map(|e| {
+                JsonValue::Object(vec![
+                    ("at_ps".into(), JsonValue::UInt(e.at.as_ps())),
+                    ("source".into(), JsonValue::Str(e.source.to_string())),
+                    ("tag".into(), JsonValue::Str(e.tag.to_string())),
+                    (
+                        "value".into(),
+                        match e.value {
+                            Some(v) => JsonValue::Int(v),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Array(entries).to_string()
+    }
+
+    /// Rebuilds a trace from [`Trace::to_json`] output. The restored
+    /// trace is **disabled** (the flag is not serialized); call
+    /// [`set_enabled`](Trace::set_enabled) to resume recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn from_json(json: &str) -> Result<Trace, String> {
+        let doc = JsonValue::parse(json)?;
+        let items = doc.as_array().ok_or("trace JSON must be an array")?;
+        let mut entries = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let at_ps = item
+                .get("at_ps")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("entry {i}: missing \"at_ps\""))?;
+            let source = item
+                .get("source")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("entry {i}: missing \"source\""))?;
+            let tag = item
+                .get("tag")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("entry {i}: missing \"tag\""))?;
+            let value = match item.get("value") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(
+                    v.as_i64()
+                        .ok_or_else(|| format!("entry {i}: \"value\" not an integer"))?,
+                ),
+            };
+            entries.push(TraceEntry {
+                at: SimTime::from_ps(at_ps),
+                source: Cow::Owned(source.to_string()),
+                tag: Cow::Owned(tag.to_string()),
+                value,
+            });
+        }
+        Ok(Trace {
+            enabled: false,
+            entries,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +218,21 @@ mod tests {
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.entries()[0].tag, "first");
         assert_eq!(t.entries()[1].value, Some(7));
+    }
+
+    #[test]
+    fn static_tags_do_not_allocate_strings() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, "dram", "refresh", None);
+        assert!(
+            matches!(t.entries()[0].tag, Cow::Borrowed(_)),
+            "literal tags must stay borrowed"
+        );
+        assert!(matches!(t.entries()[0].source, Cow::Borrowed(_)));
+        // Dynamic names still work, as owned.
+        let dynamic = format!("router.{}", 3);
+        t.record(SimTime::ZERO, dynamic, "hop", None);
+        assert!(matches!(t.entries()[1].source, Cow::Owned(_)));
     }
 
     #[test]
@@ -172,5 +271,35 @@ mod tests {
             ..e
         };
         assert_eq!(e2.to_string(), "[3.000 ns] dram refresh = 4");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_ns(1.25), "dram", "switch-to-write", Some(55));
+        t.record(SimTime::from_ns(2.5), "noc.router.3", "hop", None);
+        t.record(SimTime::ZERO, "s", "negative", Some(-9));
+        let json = t.to_json();
+        let back = Trace::from_json(&json).expect("round trip");
+        assert_eq!(back.entries(), t.entries());
+        assert!(!back.is_enabled(), "enabled flag is not serialized");
+        // Re-export is byte-identical (no hidden state).
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::enabled();
+        assert_eq!(t.to_json(), "[]");
+        let back = Trace::from_json("[]").expect("empty");
+        assert!(back.entries().is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_entries() {
+        assert!(Trace::from_json("{}").is_err());
+        assert!(Trace::from_json(r#"[{"source":"s","tag":"t"}]"#).is_err());
+        assert!(Trace::from_json(r#"[{"at_ps":1,"source":"s"}]"#).is_err());
+        assert!(Trace::from_json(r#"[{"at_ps":1,"source":"s","tag":"t","value":"x"}]"#).is_err());
     }
 }
