@@ -21,4 +21,9 @@ cargo run -q -p autoplat-bench --bin validation -- --smoke \
 cargo run -q -p autoplat-bench --bin schema_check -- \
     "$SMOKE_DIR/metrics.json" "$SMOKE_DIR/metrics.csv"
 
+echo "== co-simulation smoke (composed platform + schema gate) =="
+cargo run -q -p autoplat-bench --bin cosim -- --smoke \
+    --export-json "$SMOKE_DIR/cosim.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/cosim.json"
+
 echo "ci: OK"

@@ -64,3 +64,4 @@ pub use error::AdmissionError;
 pub use modes::{RatePolicy, SymmetricPolicy, SystemMode, WeightedPolicy};
 pub use protocol::{ControlMessage, Endpoint, Envelope, ReceiveState};
 pub use rm::{ResourceManager, WatchdogConfig};
+pub use simulation::{AdmissionEvent, Scenario, ScenarioEvent, ScenarioOutcome};

@@ -31,8 +31,9 @@
 use std::collections::BTreeMap;
 
 use autoplat_noc::{NocConfig, NocSim, NodeId, Packet};
+use autoplat_sim::engine::{EventSink, Process};
 use autoplat_sim::metrics::MetricsRegistry;
-use autoplat_sim::{ClientFault, FaultPlan, SimTime};
+use autoplat_sim::{ClientFault, Engine, FaultPlan, SimTime};
 
 use crate::app::{AppId, Application};
 use crate::client::{Client, Liveness, RetryPolicy, TransmitDecision};
@@ -41,6 +42,21 @@ use crate::error::AdmissionError;
 use crate::modes::RatePolicy;
 use crate::protocol::{ControlMessage, Endpoint};
 use crate::rm::{ResourceManager, WatchdogConfig};
+
+/// Events driving the lossy admission control plane on the shared
+/// simulation kernel. One simulated nanosecond maps to one protocol
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionEvent {
+    /// Process all control work due now, transmit up to the next
+    /// control-plane deadline, then re-arm at that deadline.
+    Kick,
+}
+
+/// Kernel time of a protocol cycle (1 cycle = 1 ns).
+fn cycle_at(cycle: u64) -> SimTime {
+    SimTime::from_ns(cycle as f64)
+}
 
 /// One scripted scenario event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -523,53 +539,36 @@ impl<P: RatePolicy> Scenario<P> {
         self.events.reverse(); // pop() from the front
 
         let mut now = 0u64;
+        let mut engine: Engine<AdmissionEvent> = Engine::new();
         for &boundary in &boundaries {
             let macro_start = now;
             let mut packets_acc: BTreeMap<AppId, u64> = BTreeMap::new();
-            while now < boundary {
-                process_control(
-                    now,
-                    &mut rm,
-                    &mut cp,
-                    &mut clients,
-                    &node_owner,
-                    &mut rejected,
-                );
-                track_reconvergence(now, &rm, &cp, &clients, &mut reconverged_at);
-                // The next cycle anything happens on the control plane.
-                let mut next = boundary;
-                let deadlines = [
-                    cp.next_delivery_cycle(),
-                    cp.next_client_fault_cycle(),
-                    rm.next_deadline(),
-                    clients.values().filter_map(Client::next_timer_cycle).min(),
-                ];
-                for d in deadlines.into_iter().flatten() {
-                    if d > now && d < next {
-                        next = d;
-                    }
-                }
-                // Data plane: transmit greedily in [now, next).
-                for (app_id, client) in clients.iter_mut() {
-                    let app = apps[app_id];
-                    let mut cursor = now;
-                    loop {
-                        match client.request_transmit_before(cursor, 1.0, next) {
-                            TransmitDecision::ReleaseAt(c) if c < next => {
-                                noc.inject(
-                                    Packet::new(next_packet_id, NodeId(app.node), sink, flits),
-                                    c,
-                                );
-                                next_packet_id += 1;
-                                injected += 1;
-                                *packets_acc.entry(*app_id).or_insert(0) += 1;
-                                cursor = c;
-                            }
-                            _ => break,
-                        }
-                    }
-                }
-                now = next;
+            if boundary > now {
+                // Drive the segment [now, boundary) on the kernel: each
+                // `Kick` drains the control work due at its fire cycle,
+                // lets the data plane transmit up to the next deadline and
+                // re-arms there. Nothing is scheduled at the boundary
+                // itself; the next segment's opening `Kick` covers it,
+                // exactly like the classic epoch loop re-entering.
+                let mut epoch = LossyEpoch {
+                    boundary,
+                    flits,
+                    sink_node: sink,
+                    rm: &mut rm,
+                    cp: &mut cp,
+                    clients: &mut clients,
+                    apps: &apps,
+                    node_owner: &node_owner,
+                    rejected: &mut rejected,
+                    reconverged_at: &mut reconverged_at,
+                    noc: &mut noc,
+                    next_packet_id: &mut next_packet_id,
+                    injected: &mut injected,
+                    packets_acc: &mut packets_acc,
+                };
+                engine.schedule_at(cycle_at(now), AdmissionEvent::Kick);
+                engine.run_until(&mut epoch, cycle_at(boundary));
+                now = boundary;
             }
             // Flush the interval observations.
             if boundary > macro_start {
@@ -671,6 +670,95 @@ impl<P: RatePolicy> Scenario<P> {
             protocol_messages: rm.log().len(),
             recovery,
         })
+    }
+}
+
+/// One lossy segment `[·, boundary)` as a kernel [`Process`].
+///
+/// The fields borrow the scenario state for the duration of the segment;
+/// scripted events are applied between segments, when no borrow is live.
+struct LossyEpoch<'a, P> {
+    boundary: u64,
+    flits: u32,
+    sink_node: NodeId,
+    rm: &'a mut ResourceManager<P>,
+    cp: &'a mut ControlPlane,
+    clients: &'a mut BTreeMap<AppId, Client>,
+    apps: &'a BTreeMap<AppId, Application>,
+    node_owner: &'a BTreeMap<u32, AppId>,
+    rejected: &'a mut Vec<AppId>,
+    reconverged_at: &'a mut Option<u64>,
+    noc: &'a mut NocSim,
+    next_packet_id: &'a mut u64,
+    injected: &'a mut usize,
+    packets_acc: &'a mut BTreeMap<AppId, u64>,
+}
+
+impl<P: RatePolicy> Process for LossyEpoch<'_, P> {
+    type Event = AdmissionEvent;
+
+    fn handle(&mut self, _event: AdmissionEvent, sink: &mut dyn EventSink<AdmissionEvent>) {
+        let now = sink.now().as_ns() as u64;
+        if now >= self.boundary {
+            return;
+        }
+        process_control(
+            now,
+            self.rm,
+            self.cp,
+            self.clients,
+            self.node_owner,
+            self.rejected,
+        );
+        track_reconvergence(now, self.rm, self.cp, self.clients, self.reconverged_at);
+        // The next cycle anything happens on the control plane.
+        let mut next = self.boundary;
+        let deadlines = [
+            self.cp.next_delivery_cycle(),
+            self.cp.next_client_fault_cycle(),
+            self.rm.next_deadline(),
+            self.clients
+                .values()
+                .filter_map(Client::next_timer_cycle)
+                .min(),
+        ];
+        for d in deadlines.into_iter().flatten() {
+            if d > now && d < next {
+                next = d;
+            }
+        }
+        // Data plane: transmit greedily in [now, next).
+        for (app_id, client) in self.clients.iter_mut() {
+            let app = self.apps[app_id];
+            let mut cursor = now;
+            loop {
+                match client.request_transmit_before(cursor, 1.0, next) {
+                    TransmitDecision::ReleaseAt(c) if c < next => {
+                        self.noc.inject(
+                            Packet::new(
+                                *self.next_packet_id,
+                                NodeId(app.node),
+                                self.sink_node,
+                                self.flits,
+                            ),
+                            c,
+                        );
+                        *self.next_packet_id += 1;
+                        *self.injected += 1;
+                        *self.packets_acc.entry(*app_id).or_insert(0) += 1;
+                        cursor = c;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if next < self.boundary {
+            sink.schedule_at(cycle_at(next), AdmissionEvent::Kick);
+        }
+    }
+
+    fn tag(&self, _event: &AdmissionEvent) -> &'static str {
+        "admission.kick"
     }
 }
 

@@ -1,0 +1,816 @@
+//! Full-platform co-simulation on the shared discrete-event kernel.
+//!
+//! The paper's admission-control vision (§V) only pays off when DRAM,
+//! interconnect, regulation, and scheduling are evaluated *together* on
+//! one timeline. [`CoSim`] is that composition: one
+//! [`Engine`](autoplat_sim::Engine), one clock, one seeded RNG, one fault
+//! plan, and one metrics registry drive
+//!
+//! * **sched** — periodic tasks released on their cores; each job computes
+//!   for its WCET (jobs on one core serialize), then issues its memory
+//!   traffic; response time and deadline misses are tracked per task;
+//! * **regulation** — every memory packet is charged against the core's
+//!   MemGuard budget before it may enter the network; throttled jobs
+//!   resume at the next replenishment boundary, and an eager
+//!   [`MemGuardProcess`] rolls budgets on the same clock;
+//! * **NoC** — granted packets traverse the wormhole mesh to the memory
+//!   node as kernel-driven ticks (event-driven, so sparse traffic skips
+//!   idle cycles);
+//! * **DRAM** — ejected requests are serviced by a [`DramChannel`] with
+//!   per-bank row buffers and refresh, and the response packet travels
+//!   back through the mesh to the issuing core;
+//! * **admission** — scripted control commands (budget reconfigurations,
+//!   task stops) are delivered through the shared [`FaultInjector`], so a
+//!   fault plan can drop, delay, or duplicate them; infeasible budget
+//!   requests are refused, the runtime counterpart of §V's `refMsg`.
+//!
+//! A configuration plus a seed determines the run bit-exactly: the
+//! kernel's `(time, seq)` FIFO ordering, `BTreeMap` state, and forked
+//! [`SimRng`] streams leave no nondeterminism, which the cross-layer
+//! determinism test pins by comparing metric exports byte for byte.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use autoplat_dram::{DramChannel, DramTiming};
+use autoplat_noc::{NocConfig, NocEvent, NocSim, NodeId, Packet};
+use autoplat_regulation::memguard::{AccessDecision, MemGuard};
+use autoplat_regulation::{MemGuardProcess, RegulationEvent};
+use autoplat_sim::engine::{EventSink, MapSink, Process};
+use autoplat_sim::metrics::MetricsRegistry;
+use autoplat_sim::{
+    Engine, FaultInjector, FaultPlan, MessageFault, SimDuration, SimRng, SimTime, Summary,
+};
+
+/// One periodic traffic task of the co-simulation.
+#[derive(Debug, Clone)]
+pub struct CoSimTask {
+    /// The core the task runs on (indexes the MemGuard budgets; tasks on
+    /// the same core serialize their compute phases).
+    pub core: usize,
+    /// The mesh node the task injects from and receives responses at.
+    pub node: NodeId,
+    /// Activation period.
+    pub period: SimDuration,
+    /// Compute time per job, before the memory phase starts.
+    pub wcet: SimDuration,
+    /// Relative deadline for the *whole* job (compute + memory round
+    /// trips).
+    pub deadline: SimDuration,
+    /// Memory packets issued per job.
+    pub packets_per_job: u32,
+    /// Packet length in flits (both request and response).
+    pub flits_per_packet: u32,
+    /// Bytes charged against the MemGuard budget per packet.
+    pub bytes_per_packet: u64,
+    /// Size of the address window the task's accesses fall into; smaller
+    /// windows produce more DRAM row hits.
+    pub address_space: u64,
+}
+
+impl CoSimTask {
+    /// A task with implicit deadline and cache-line-sized packets.
+    pub fn new(core: usize, node: NodeId, period: SimDuration, wcet: SimDuration) -> Self {
+        CoSimTask {
+            core,
+            node,
+            period,
+            wcet,
+            deadline: period,
+            packets_per_job: 8,
+            flits_per_packet: 4,
+            bytes_per_packet: 64,
+            address_space: 1 << 20,
+        }
+    }
+
+    /// Builder-style packet count per job.
+    pub fn with_packets(mut self, packets: u32) -> Self {
+        self.packets_per_job = packets;
+        self
+    }
+
+    /// Builder-style constrained deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Builder-style address window.
+    pub fn with_address_space(mut self, bytes: u64) -> Self {
+        self.address_space = bytes;
+        self
+    }
+}
+
+/// A scripted control-plane command (the §V admission RM's output side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlCommand {
+    /// Reconfigure one core's MemGuard budget. Refused when the budget
+    /// could not admit the core's largest packet or would violate the
+    /// guaranteed-bandwidth invariant.
+    SetBudget {
+        /// The regulated core.
+        core: usize,
+        /// New budget in bytes per regulation period.
+        bytes_per_period: u64,
+    },
+    /// Terminate a task: no further jobs are released.
+    StopTask {
+        /// Index into [`CoSimConfig::tasks`].
+        task: usize,
+    },
+}
+
+fn control_class(cmd: &ControlCommand) -> &'static str {
+    match cmd {
+        ControlCommand::SetBudget { .. } => "cosim.set_budget",
+        ControlCommand::StopTask { .. } => "cosim.stop_task",
+    }
+}
+
+/// Configuration of one co-simulation run.
+#[derive(Debug, Clone)]
+pub struct CoSimConfig {
+    /// Mesh geometry and link timing.
+    pub noc: NocConfig,
+    /// The node the memory controller sits at (default: the last node).
+    pub memory_node: Option<NodeId>,
+    /// DRAM device timing.
+    pub dram_timing: DramTiming,
+    /// Number of DRAM banks.
+    pub dram_banks: usize,
+    /// DRAM row size in bytes.
+    pub row_bytes: u64,
+    /// MemGuard regulation period.
+    pub memguard_period: SimDuration,
+    /// Per-core MemGuard budgets (bytes per period).
+    pub budgets: Vec<u64>,
+    /// The periodic tasks.
+    pub tasks: Vec<CoSimTask>,
+    /// End of the release window: jobs release in `[0, horizon)` and the
+    /// run continues until in-flight work drains.
+    pub horizon: SimTime,
+    /// Scripted control commands, delivered through the fault injector.
+    pub controls: Vec<(SimTime, ControlCommand)>,
+    /// Fault plan applied to control commands (classes `cosim.set_budget`
+    /// and `cosim.stop_task`).
+    pub fault_plan: FaultPlan,
+    /// Master seed for the RNG streams and the fault injector.
+    pub seed: u64,
+    /// Guaranteed memory bandwidth (bytes/s) budget reconfigurations must
+    /// respect; `0.0` disables the feasibility check.
+    pub guaranteed_bytes_per_sec: f64,
+}
+
+impl CoSimConfig {
+    /// A small demonstration platform: 4×4 mesh, DDR3-1600, three tasks
+    /// on cores 0–2 with a deliberately tight budget on core 2.
+    pub fn small() -> Self {
+        let us = SimDuration::from_us;
+        CoSimConfig {
+            noc: NocConfig::new(4, 4),
+            memory_node: None,
+            dram_timing: autoplat_dram::timing::presets::ddr3_1600(),
+            dram_banks: 8,
+            row_bytes: 8192,
+            memguard_period: us(1.0),
+            budgets: vec![4096, 4096, 192, 4096],
+            tasks: vec![
+                CoSimTask::new(0, NodeId(0), us(2.0), SimDuration::from_ns(200.0)),
+                CoSimTask::new(1, NodeId(1), us(2.0), SimDuration::from_ns(200.0)),
+                CoSimTask::new(2, NodeId(4), us(2.0), SimDuration::from_ns(200.0)),
+            ],
+            horizon: SimTime::from_us(40.0),
+            controls: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            seed: 0,
+            guaranteed_bytes_per_sec: 0.0,
+        }
+    }
+}
+
+/// Umbrella event type of the composed platform: each variant belongs to
+/// one layer, adapted through [`MapSink`] where a sub-process has its own
+/// native event type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoSimEvent {
+    /// A network tick (delegated to [`NocSim`]).
+    Noc(NocEvent),
+    /// A regulation-period boundary (delegated to [`MemGuardProcess`]).
+    Regulation(RegulationEvent),
+    /// Job release of task *i*.
+    Release(usize),
+    /// Compute phase of job *j* of task *i* finished.
+    ComputeDone(usize, u64),
+    /// Task *i* retries issuing after a MemGuard stall.
+    Resume(usize),
+    /// A control-plane command arrives.
+    Control(ControlCommand),
+}
+
+#[derive(Debug)]
+enum PacketInfo {
+    Request { task: usize, job: u64, addr: u64 },
+    Response { task: usize, job: u64 },
+}
+
+#[derive(Debug)]
+struct JobState {
+    released_at: SimTime,
+    to_issue: u32,
+    outstanding: u32,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    spec: CoSimTask,
+    rng: SimRng,
+    stopped: bool,
+    core_free_at: SimTime,
+    issue_queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobState>,
+    released: u64,
+    completed: u64,
+    misses: u64,
+    throttle_stalls: u64,
+    response: Summary,
+}
+
+/// Per-task results of a co-simulation run.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Jobs released.
+    pub released: u64,
+    /// Jobs fully completed (all responses received).
+    pub completed: u64,
+    /// Completed jobs whose response time exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Times the task stalled on an exhausted MemGuard budget.
+    pub throttle_stalls: u64,
+    /// End-to-end response time statistics (ns).
+    pub response: Summary,
+}
+
+/// The outcome of one co-simulation run.
+#[derive(Debug)]
+pub struct CoSimReport {
+    /// Per-task results, indexed like [`CoSimConfig::tasks`].
+    pub tasks: Vec<TaskReport>,
+    /// Packets the mesh delivered (requests plus responses).
+    pub packets_delivered: usize,
+    /// Mean NoC packet latency in cycles.
+    pub mean_noc_latency_cycles: f64,
+    /// DRAM channel busy time.
+    pub dram_busy: SimDuration,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses.
+    pub dram_row_misses: u64,
+    /// DRAM refreshes served.
+    pub dram_refreshes: u64,
+    /// Eager replenishment boundaries executed.
+    pub replenishments: u64,
+    /// Control commands applied.
+    pub controls_applied: u64,
+    /// Control commands refused by admission.
+    pub controls_refused: u64,
+    /// Control commands the fault injector destroyed.
+    pub controls_dropped: u64,
+    /// Instant the last event fired.
+    pub finished_at: SimTime,
+    /// Total events the kernel delivered.
+    pub events_delivered: u64,
+    /// The unified metrics registry (NoC, MemGuard, kernel, and
+    /// co-simulation counters), ready for deterministic export.
+    pub metrics: MetricsRegistry,
+}
+
+impl CoSimReport {
+    /// Total deadline misses across tasks.
+    pub fn deadline_misses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// Total jobs completed across tasks.
+    pub fn jobs_completed(&self) -> u64 {
+        self.tasks.iter().map(|t| t.completed).sum()
+    }
+}
+
+/// The composed full-platform co-simulation (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_core::platform::{CoSim, CoSimConfig};
+///
+/// let report = CoSim::new(CoSimConfig::small()).run();
+/// assert!(report.jobs_completed() > 0);
+/// assert_eq!(report.tasks[0].released, report.tasks[0].completed);
+/// ```
+#[derive(Debug)]
+pub struct CoSim {
+    noc: NocSim,
+    memguard: MemGuardProcess,
+    dram: DramChannel,
+    injector: FaultInjector,
+    memory_node: NodeId,
+    tasks: Vec<TaskState>,
+    controls: Vec<(SimTime, ControlCommand)>,
+    packet_map: BTreeMap<u64, PacketInfo>,
+    next_packet_id: u64,
+    next_job_id: u64,
+    noc_cursor: usize,
+    horizon: SimTime,
+    guaranteed: f64,
+    dram_row_hits: u64,
+    dram_row_misses: u64,
+    controls_applied: u64,
+    controls_refused: u64,
+    controls_dropped: u64,
+}
+
+impl CoSim {
+    /// Builds the composed platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration: a task core without a budget,
+    /// a budget too small to ever admit the core's packets (which would
+    /// stall the task forever), task or memory nodes outside the mesh, a
+    /// task colocated with the memory node, or a zero horizon.
+    pub fn new(cfg: CoSimConfig) -> Self {
+        assert!(cfg.horizon > SimTime::ZERO, "need a positive horizon");
+        let noc = NocSim::new(cfg.noc);
+        let memory_node = cfg
+            .memory_node
+            .unwrap_or(NodeId(cfg.noc.cols * cfg.noc.rows - 1));
+        assert!(
+            noc.mesh().contains(memory_node),
+            "memory node outside the mesh"
+        );
+        for (i, t) in cfg.tasks.iter().enumerate() {
+            assert!(
+                noc.mesh().contains(t.node),
+                "task {i} node outside the mesh"
+            );
+            assert!(
+                t.node != memory_node,
+                "task {i} colocated with the memory node"
+            );
+            assert!(t.core < cfg.budgets.len(), "task {i} core has no budget");
+            assert!(
+                cfg.budgets[t.core] >= t.bytes_per_packet,
+                "core {} budget can never admit task {i}'s packets",
+                t.core
+            );
+            assert!(
+                t.packets_per_job > 0 || t.wcet > SimDuration::ZERO,
+                "empty task {i}"
+            );
+            assert!(t.address_space > 0, "task {i} needs an address window");
+        }
+        let mut master = SimRng::seed_from(cfg.seed);
+        let tasks = cfg
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TaskState {
+                spec: spec.clone(),
+                rng: master.fork(i as u64),
+                stopped: false,
+                core_free_at: SimTime::ZERO,
+                issue_queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                released: 0,
+                completed: 0,
+                misses: 0,
+                throttle_stalls: 0,
+                response: Summary::new(),
+            })
+            .collect();
+        let memguard = MemGuardProcess::new(
+            MemGuard::new(cfg.memguard_period, cfg.budgets.clone()),
+            cfg.horizon,
+        );
+        let dram = DramChannel::new(cfg.dram_timing.clone(), cfg.dram_banks, cfg.row_bytes);
+        CoSim {
+            noc,
+            memguard,
+            dram,
+            injector: FaultInjector::new(cfg.fault_plan.clone(), cfg.seed),
+            memory_node,
+            tasks,
+            controls: cfg.controls.clone(),
+            packet_map: BTreeMap::new(),
+            next_packet_id: 0,
+            next_job_id: 0,
+            noc_cursor: 0,
+            horizon: cfg.horizon,
+            guaranteed: cfg.guaranteed_bytes_per_sec,
+            dram_row_hits: 0,
+            dram_row_misses: 0,
+            controls_applied: 0,
+            controls_refused: 0,
+            controls_dropped: 0,
+        }
+    }
+
+    /// Runs the co-simulation to completion: releases stop at the horizon
+    /// and the run drains all in-flight compute and traffic.
+    pub fn run(mut self) -> CoSimReport {
+        let mut engine: Engine<CoSimEvent> = Engine::new();
+        for i in 0..self.tasks.len() {
+            engine.schedule_at(SimTime::ZERO, CoSimEvent::Release(i));
+        }
+        engine.schedule_at(
+            self.memguard.first_boundary(),
+            CoSimEvent::Regulation(RegulationEvent::Replenish),
+        );
+        for (at, cmd) in std::mem::take(&mut self.controls) {
+            engine.schedule_at(at, CoSimEvent::Control(cmd));
+        }
+        engine.run(&mut self);
+
+        let mut metrics = MetricsRegistry::new();
+        self.noc.publish_metrics(&mut metrics);
+        self.memguard.memguard().publish_metrics(&mut metrics);
+        engine.publish_metrics(&mut metrics);
+        let task_reports: Vec<TaskReport> = self
+            .tasks
+            .iter()
+            .map(|t| TaskReport {
+                released: t.released,
+                completed: t.completed,
+                deadline_misses: t.misses,
+                throttle_stalls: t.throttle_stalls,
+                response: t.response.clone(),
+            })
+            .collect();
+        for (i, t) in task_reports.iter().enumerate() {
+            metrics.counter_add(format!("cosim.task{i}.jobs_released"), t.released);
+            metrics.counter_add(format!("cosim.task{i}.jobs_completed"), t.completed);
+            metrics.counter_add(format!("cosim.task{i}.deadline_misses"), t.deadline_misses);
+            metrics.counter_add(format!("cosim.task{i}.throttle_stalls"), t.throttle_stalls);
+            metrics.gauge_set(format!("cosim.task{i}.mean_response_ns"), t.response.mean());
+            metrics.gauge_set(
+                format!("cosim.task{i}.max_response_ns"),
+                t.response.max().unwrap_or(0.0),
+            );
+        }
+        metrics.counter_add("cosim.dram.row_hits", self.dram_row_hits);
+        metrics.counter_add("cosim.dram.row_misses", self.dram_row_misses);
+        metrics.counter_add("cosim.dram.refreshes", self.dram.refreshes());
+        metrics.gauge_set("cosim.dram.busy_ns", self.dram.busy().as_ns());
+        metrics.counter_add("cosim.controls.applied", self.controls_applied);
+        metrics.counter_add("cosim.controls.refused", self.controls_refused);
+        metrics.counter_add("cosim.controls.dropped", self.controls_dropped);
+        metrics.counter_add("cosim.replenishments", self.memguard.replenishments());
+        metrics.gauge_set("cosim.finished_at_ns", engine.now().as_ns());
+
+        CoSimReport {
+            packets_delivered: self.noc.completed().len(),
+            mean_noc_latency_cycles: self.noc.latency_cycles().mean(),
+            dram_busy: self.dram.busy(),
+            dram_row_hits: self.dram_row_hits,
+            dram_row_misses: self.dram_row_misses,
+            dram_refreshes: self.dram.refreshes(),
+            replenishments: self.memguard.replenishments(),
+            controls_applied: self.controls_applied,
+            controls_refused: self.controls_refused,
+            controls_dropped: self.controls_dropped,
+            finished_at: engine.now(),
+            events_delivered: engine.delivered(),
+            tasks: task_reports,
+            metrics,
+        }
+    }
+
+    /// Issues as many packets of task `i`'s pending jobs as the MemGuard
+    /// budget admits; a throttled issue re-arms at the stall end.
+    fn issue(&mut self, i: usize, sink: &mut dyn EventSink<CoSimEvent>) {
+        let now = sink.now();
+        while let Some(&job_id) = self.tasks[i].issue_queue.front() {
+            let (core, bytes) = {
+                let spec = &self.tasks[i].spec;
+                (spec.core, spec.bytes_per_packet)
+            };
+            match self.memguard.memguard_mut().try_access(core, bytes, now) {
+                AccessDecision::Granted => {
+                    let (addr, node, flits) = {
+                        let t = &mut self.tasks[i];
+                        let addr = (t.rng.next_u64() % t.spec.address_space) & !63;
+                        (addr, t.spec.node, t.spec.flits_per_packet)
+                    };
+                    let pid = self.next_packet_id;
+                    self.next_packet_id += 1;
+                    self.packet_map.insert(
+                        pid,
+                        PacketInfo::Request {
+                            task: i,
+                            job: job_id,
+                            addr,
+                        },
+                    );
+                    self.noc
+                        .inject_at(Packet::new(pid, node, self.memory_node, flits), now);
+                    let t = &mut self.tasks[i];
+                    let job = t.jobs.get_mut(&job_id).expect("issuing job exists");
+                    job.to_issue -= 1;
+                    job.outstanding += 1;
+                    if job.to_issue == 0 {
+                        t.issue_queue.pop_front();
+                    }
+                }
+                AccessDecision::ThrottledUntil(at) => {
+                    self.tasks[i].throttle_stalls += 1;
+                    sink.schedule_at(at, CoSimEvent::Resume(i));
+                    break;
+                }
+            }
+        }
+        self.noc.pump(&mut MapSink::new(sink, CoSimEvent::Noc));
+    }
+
+    /// Routes newly ejected packets: requests to the DRAM channel (whose
+    /// completion releases the response packet back into the mesh),
+    /// responses to their issuing job.
+    fn drain_noc(&mut self, sink: &mut dyn EventSink<CoSimEvent>) {
+        let completed = self.noc.completed();
+        let arrivals: Vec<(u64, SimTime)> = completed[self.noc_cursor..]
+            .iter()
+            .map(|r| (r.packet.id, r.ejected_at))
+            .collect();
+        self.noc_cursor = completed.len();
+        for (pid, at) in arrivals {
+            match self.packet_map.remove(&pid) {
+                Some(PacketInfo::Request { task, job, addr }) => {
+                    let served = self.dram.service(addr, at);
+                    if served.row_hit {
+                        self.dram_row_hits += 1;
+                    } else {
+                        self.dram_row_misses += 1;
+                    }
+                    let rid = self.next_packet_id;
+                    self.next_packet_id += 1;
+                    self.packet_map
+                        .insert(rid, PacketInfo::Response { task, job });
+                    let (node, flits) = {
+                        let spec = &self.tasks[task].spec;
+                        (spec.node, spec.flits_per_packet)
+                    };
+                    self.noc
+                        .inject_at(Packet::new(rid, self.memory_node, node, flits), served.done);
+                }
+                Some(PacketInfo::Response { task, job }) => {
+                    let done = {
+                        let t = &mut self.tasks[task];
+                        let state = t.jobs.get_mut(&job).expect("responding job exists");
+                        state.outstanding -= 1;
+                        state.outstanding == 0 && state.to_issue == 0
+                    };
+                    if done {
+                        self.finish_job(task, job, at);
+                    }
+                }
+                None => unreachable!("ejected packet {pid} was never mapped"),
+            }
+        }
+        self.noc.pump(&mut MapSink::new(sink, CoSimEvent::Noc));
+    }
+
+    fn finish_job(&mut self, task: usize, job: u64, at: SimTime) {
+        let t = &mut self.tasks[task];
+        let state = t.jobs.remove(&job).expect("finished job exists");
+        let response = at.saturating_since(state.released_at);
+        t.response.record(response.as_ns());
+        t.completed += 1;
+        if response > t.spec.deadline {
+            t.misses += 1;
+        }
+    }
+
+    fn apply(&mut self, cmd: ControlCommand) {
+        match cmd {
+            ControlCommand::SetBudget {
+                core,
+                bytes_per_period,
+            } => {
+                let min_packet = self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.spec.core == core)
+                    .map(|t| t.spec.bytes_per_packet)
+                    .max()
+                    .unwrap_or(0);
+                let guaranteed = self.guaranteed;
+                let mg = self.memguard.memguard_mut();
+                if core >= mg.cores() || bytes_per_period < min_packet {
+                    self.controls_refused += 1;
+                    return;
+                }
+                let old = mg.budget(core);
+                mg.set_budget(core, bytes_per_period);
+                if guaranteed > 0.0 && !mg.is_feasible(guaranteed) {
+                    mg.set_budget(core, old);
+                    self.controls_refused += 1;
+                } else {
+                    self.controls_applied += 1;
+                }
+            }
+            ControlCommand::StopTask { task } => {
+                if let Some(t) = self.tasks.get_mut(task) {
+                    t.stopped = true;
+                    self.controls_applied += 1;
+                } else {
+                    self.controls_refused += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Process for CoSim {
+    type Event = CoSimEvent;
+
+    fn handle(&mut self, event: CoSimEvent, sink: &mut dyn EventSink<CoSimEvent>) {
+        match event {
+            CoSimEvent::Noc(ev) => {
+                self.noc
+                    .handle(ev, &mut MapSink::new(sink, CoSimEvent::Noc));
+                self.drain_noc(sink);
+            }
+            CoSimEvent::Regulation(ev) => {
+                self.memguard
+                    .handle(ev, &mut MapSink::new(sink, CoSimEvent::Regulation));
+            }
+            CoSimEvent::Release(i) => {
+                let now = sink.now();
+                if self.tasks[i].stopped {
+                    return;
+                }
+                let job_id = self.next_job_id;
+                self.next_job_id += 1;
+                let t = &mut self.tasks[i];
+                t.released += 1;
+                t.jobs.insert(
+                    job_id,
+                    JobState {
+                        released_at: now,
+                        to_issue: t.spec.packets_per_job,
+                        outstanding: 0,
+                    },
+                );
+                let start = now.max(t.core_free_at);
+                let done = start + t.spec.wcet;
+                t.core_free_at = done;
+                sink.schedule_at(done, CoSimEvent::ComputeDone(i, job_id));
+                let next = now + t.spec.period;
+                if next < self.horizon {
+                    sink.schedule_at(next, CoSimEvent::Release(i));
+                }
+            }
+            CoSimEvent::ComputeDone(i, job_id) => {
+                let pure_compute = {
+                    let t = &mut self.tasks[i];
+                    let job = t.jobs.get_mut(&job_id).expect("computed job exists");
+                    if job.to_issue == 0 && job.outstanding == 0 {
+                        true
+                    } else {
+                        t.issue_queue.push_back(job_id);
+                        false
+                    }
+                };
+                if pure_compute {
+                    self.finish_job(i, job_id, sink.now());
+                } else {
+                    self.issue(i, sink);
+                }
+            }
+            CoSimEvent::Resume(i) => {
+                self.issue(i, sink);
+            }
+            CoSimEvent::Control(cmd) => {
+                let now = sink.now();
+                let cycle = now.as_ns() as u64;
+                match self.injector.on_message(cycle, control_class(&cmd)) {
+                    MessageFault::Deliver => self.apply(cmd),
+                    MessageFault::Drop => self.controls_dropped += 1,
+                    MessageFault::Delay(cycles) => {
+                        sink.schedule_at(
+                            now + SimDuration::from_ns(cycles as f64),
+                            CoSimEvent::Control(cmd),
+                        );
+                    }
+                    MessageFault::Duplicate(cycles) => {
+                        sink.schedule_at(
+                            now + SimDuration::from_ns(cycles as f64),
+                            CoSimEvent::Control(cmd.clone()),
+                        );
+                        self.apply(cmd);
+                    }
+                }
+            }
+        }
+    }
+
+    fn tag(&self, event: &CoSimEvent) -> &'static str {
+        match event {
+            CoSimEvent::Noc(_) => "noc.tick",
+            CoSimEvent::Regulation(_) => "memguard.replenish",
+            CoSimEvent::Release(_) => "sched.release",
+            CoSimEvent::ComputeDone(..) => "sched.compute_done",
+            CoSimEvent::Resume(_) => "regulation.resume",
+            CoSimEvent::Control(_) => "cosim.control",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_platform_completes_all_jobs() {
+        let report = CoSim::new(CoSimConfig::small()).run();
+        for (i, t) in report.tasks.iter().enumerate() {
+            assert!(t.released > 0, "task {i} never released");
+            assert_eq!(t.released, t.completed, "task {i} lost jobs");
+        }
+        // Requests and their responses both traverse the mesh.
+        assert_eq!(
+            report.packets_delivered as u64,
+            2 * report
+                .tasks
+                .iter()
+                .map(|t| t.completed * CoSimConfig::small().tasks[0].packets_per_job as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            report.dram_row_hits + report.dram_row_misses,
+            report.packets_delivered as u64 / 2
+        );
+        assert!(report.replenishments > 0, "regulation clock ran");
+    }
+
+    #[test]
+    fn tight_budget_throttles_and_inflates_response() {
+        let report = CoSim::new(CoSimConfig::small()).run();
+        let generous = &report.tasks[0];
+        let tight = &report.tasks[2];
+        assert_eq!(generous.throttle_stalls, 0);
+        assert!(tight.throttle_stalls > 0, "192 B / period must throttle");
+        let tight_max = tight.response.max().unwrap_or(0.0);
+        let generous_max = generous.response.max().unwrap_or(0.0);
+        assert!(
+            tight_max > generous_max,
+            "throttling must inflate the tail: {tight_max} vs {generous_max}"
+        );
+    }
+
+    #[test]
+    fn stop_command_halts_releases() {
+        let mut cfg = CoSimConfig::small();
+        cfg.controls
+            .push((SimTime::from_us(10.0), ControlCommand::StopTask { task: 1 }));
+        let report = CoSim::new(cfg).run();
+        assert!(report.tasks[1].released < report.tasks[0].released);
+        assert_eq!(report.controls_applied, 1);
+    }
+
+    #[test]
+    fn infeasible_budget_is_refused() {
+        let mut cfg = CoSimConfig::small();
+        // Guarantee exactly the configured sum; any raise is infeasible.
+        let sum: u64 = cfg.budgets.iter().sum();
+        cfg.guaranteed_bytes_per_sec = sum as f64 / cfg.memguard_period.as_secs();
+        cfg.controls.push((
+            SimTime::from_us(4.0),
+            ControlCommand::SetBudget {
+                core: 2,
+                bytes_per_period: 1 << 20,
+            },
+        ));
+        let report = CoSim::new(cfg).run();
+        assert_eq!(report.controls_refused, 1);
+        assert_eq!(report.controls_applied, 0);
+    }
+
+    #[test]
+    fn dropped_reconfig_leaves_budget_alone() {
+        let mut cfg = CoSimConfig::small();
+        cfg.fault_plan = FaultPlan::new().drop_nth("cosim.set_budget", 0);
+        cfg.controls.push((
+            SimTime::from_us(4.0),
+            ControlCommand::SetBudget {
+                core: 2,
+                bytes_per_period: 1 << 20,
+            },
+        ));
+        let report = CoSim::new(cfg).run();
+        assert_eq!(report.controls_dropped, 1);
+        assert_eq!(report.controls_applied, 0);
+        // The tight budget stayed in force, so the throttling persists.
+        assert!(report.tasks[2].throttle_stalls > 0);
+    }
+}

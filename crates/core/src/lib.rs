@@ -40,6 +40,7 @@
 
 pub mod architecture;
 pub mod config_search;
+pub mod cosim;
 pub mod hypervisor;
 pub mod mpam_bridge;
 pub mod platform;
@@ -47,6 +48,7 @@ pub mod profiling;
 pub mod qos;
 pub mod workload;
 
+pub use cosim::{CoSim, CoSimConfig, CoSimReport, CoSimTask, ControlCommand};
 pub use platform::{Platform, PlatformConfig, PlatformReport};
 pub use qos::QosContract;
 pub use workload::Workload;

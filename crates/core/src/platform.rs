@@ -12,11 +12,15 @@
 
 use autoplat_cache::{CacheConfig, FlowId, SetAssocCache};
 use autoplat_dram::timing::presets::ddr3_1600;
-use autoplat_dram::DramTiming;
+use autoplat_dram::{DramChannel, DramTiming};
 use autoplat_regulation::memguard::{AccessDecision, MemGuard};
 use autoplat_sim::{SimDuration, SimTime, Summary};
 
 use crate::workload::{AccessKind, Workload};
+
+pub use crate::cosim::{
+    CoSim, CoSimConfig, CoSimEvent, CoSimReport, CoSimTask, ControlCommand, TaskReport,
+};
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -194,14 +198,6 @@ pub struct Platform {
     memguard: Option<MemGuard>,
 }
 
-#[derive(Debug, Clone)]
-struct DramChannel {
-    free_at: SimTime,
-    next_refresh: SimTime,
-    banks: Vec<Option<u64>>,
-    busy: SimDuration,
-}
-
 impl Platform {
     /// Creates a platform.
     ///
@@ -302,13 +298,11 @@ impl Platform {
             self.memguard = Some(MemGuard::new(period, budgets));
         }
 
-        let t = self.config.dram_timing.clone();
-        let mut dram = DramChannel {
-            free_at: SimTime::ZERO,
-            next_refresh: SimTime::ZERO + SimDuration::from_ns(t.t_refi),
-            banks: vec![None; self.config.dram_banks as usize],
-            busy: SimDuration::ZERO,
-        };
+        let mut dram = DramChannel::new(
+            self.config.dram_timing.clone(),
+            self.config.dram_banks as usize,
+            self.config.row_bytes,
+        );
 
         struct CoreState {
             accesses: Vec<crate::workload::Access>,
@@ -395,36 +389,13 @@ impl Platform {
                 state.report.l3_misses += 1;
                 // DRAM transaction.
                 let arrive = now + interconnect;
-                let mut begin = arrive.max(dram.free_at);
-                // Serve every refresh due before this transaction starts;
-                // refreshes falling into idle gaps occupy those gaps
-                // rather than being charged serially to this request.
-                while dram.next_refresh <= begin {
-                    let start = dram.next_refresh.max(dram.free_at);
-                    dram.free_at = start + SimDuration::from_ns(t.t_rfc);
-                    dram.busy += SimDuration::from_ns(t.t_rfc);
-                    dram.next_refresh += SimDuration::from_ns(t.t_refi);
-                    for b in &mut dram.banks {
-                        *b = None;
-                    }
-                    begin = arrive.max(dram.free_at);
-                }
-                let bank =
-                    ((access.addr / self.config.row_bytes) % dram.banks.len() as u64) as usize;
-                let row = access.addr / self.config.row_bytes / dram.banks.len() as u64;
-                let row_hit = dram.banks[bank] == Some(row);
-                let cost = if row_hit {
+                let served = dram.service(access.addr, arrive);
+                if served.row_hit {
                     state.report.row_hits += 1;
-                    SimDuration::from_ns(t.t_burst)
-                } else {
-                    dram.banks[bank] = Some(row);
-                    SimDuration::from_ns(t.t_rp + t.t_rcd + t.t_cl + t.t_burst)
-                };
-                dram.free_at = begin + cost;
-                dram.busy += cost;
+                }
                 match access.kind {
                     // Reads block until the response returns.
-                    AccessKind::Read => begin + cost + interconnect,
+                    AccessKind::Read => served.done + interconnect,
                     // Posted writes release the core after the request is
                     // handed to the interconnect.
                     AccessKind::Write => now + interconnect,
@@ -451,7 +422,7 @@ impl Platform {
         }
         PlatformReport {
             cores,
-            dram_busy: dram.busy,
+            dram_busy: dram.busy(),
             finished_at,
         }
     }

@@ -23,6 +23,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use autoplat_sim::engine::{Engine, EventSink, Process};
 use autoplat_sim::metrics::{MetricsRegistry, Span};
 use autoplat_sim::{SimDuration, SimTime, Summary, Trace};
 
@@ -37,6 +38,13 @@ use crate::timing::DramTiming;
 enum Mode {
     Read,
     Write,
+}
+
+/// Events driving the controller on the shared kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramEvent {
+    /// Re-evaluate the controller state machine at the fire time.
+    Kick,
 }
 
 #[derive(Debug, Clone)]
@@ -188,12 +196,12 @@ impl FrFcfsController {
         &self,
         workload: I,
         trace_enabled: bool,
-        mut metrics: Option<&mut MetricsRegistry>,
+        metrics: Option<&mut MetricsRegistry>,
     ) -> SimOutcome
     where
         I: IntoIterator<Item = Request>,
     {
-        let mut pending: VecDeque<Request> = {
+        let pending: VecDeque<Request> = {
             let mut v: Vec<Request> = workload.into_iter().collect();
             for r in &v {
                 assert!(
@@ -206,232 +214,62 @@ impl FrFcfsController {
             v.sort_by_key(|r| (r.arrival, r.id));
             v.into()
         };
-        let t = &self.timing;
-        let cfg = &self.config;
-        let mut trace = if trace_enabled {
+        let trace = if trace_enabled {
             Trace::enabled()
         } else {
             Trace::new()
         };
 
-        let mut now = SimTime::ZERO;
-        let mut mode = Mode::Read;
-        let mut banks: Vec<Bank> = (0..self.banks)
-            .map(|_| Bank {
-                open_row: None,
-                ready_at: SimTime::ZERO,
-            })
-            .collect();
-        let mut read_q: VecDeque<Request> = VecDeque::new();
-        let mut write_q: VecDeque<Request> = VecDeque::new();
-        let mut promoted_hits: u32 = 0;
-        let mut batch_served: u32 = 0;
-        let mut next_refresh = SimTime::ZERO + SimDuration::from_ns(t.t_refi);
+        let mut state = Run {
+            timing: &self.timing,
+            cfg: &self.config,
+            trace,
+            metrics,
+            pending,
+            mode: Mode::Read,
+            banks: (0..self.banks)
+                .map(|_| Bank {
+                    open_row: None,
+                    ready_at: SimTime::ZERO,
+                })
+                .collect(),
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            promoted_hits: 0,
+            batch_served: 0,
+            next_refresh: SimTime::ZERO + SimDuration::from_ns(self.timing.t_refi),
+            completions: Vec::new(),
+            read_latency: Summary::new(),
+            write_latency: Summary::new(),
+            read_latency_by_master: BTreeMap::new(),
+            row_hits: 0,
+            row_misses: 0,
+            refreshes: 0,
+            mode_switches: 0,
+            finished_at: SimTime::ZERO,
+        };
 
-        let mut completions = Vec::new();
-        let mut read_latency = Summary::new();
-        let mut write_latency = Summary::new();
-        let mut read_latency_by_master: BTreeMap<MasterId, Summary> = BTreeMap::new();
-        let mut row_hits = 0u64;
-        let mut row_misses = 0u64;
-        let mut refreshes = 0u64;
-        let mut mode_switches = 0u64;
+        // Drive the state machine on the shared kernel: every `Kick`
+        // executes one decision (admit / refresh / mode switch / serve) and
+        // re-arms itself at the instant the controller next makes progress.
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, DramEvent::Kick);
+        engine.run(&mut state);
 
-        loop {
-            // Admit arrivals up to `now`, respecting queue capacities.
-            while let Some(front) = pending.front() {
-                if front.arrival > now {
-                    break;
-                }
-                let (queue, cap) = match front.kind {
-                    RequestKind::Read => (&mut read_q, cfg.read_queue_capacity),
-                    RequestKind::Write => (&mut write_q, cfg.write_queue_capacity),
-                };
-                if queue.len() >= cap {
-                    break; // back-pressure: retry after progress
-                }
-                queue.push_back(pending.pop_front().expect("front exists"));
-            }
-
-            if read_q.is_empty() && write_q.is_empty() {
-                match pending.front() {
-                    Some(next) => {
-                        // Idle: jump to the next arrival (serving refreshes
-                        // that fall inside the idle gap).
-                        while next_refresh <= next.arrival {
-                            let span = Span::begin("dram.refresh_stall_ns", next_refresh.max(now));
-                            now = next_refresh.max(now) + SimDuration::from_ns(t.t_rfc);
-                            for b in &mut banks {
-                                b.open_row = None;
-                            }
-                            refreshes += 1;
-                            trace.record(now, "dram", "refresh", None);
-                            if let Some(m) = metrics.as_deref_mut() {
-                                span.end(m, now);
-                            }
-                            next_refresh += SimDuration::from_ns(t.t_refi);
-                        }
-                        now = now.max(next.arrival);
-                        continue;
-                    }
-                    None => break,
-                }
-            }
-
-            // Refresh: highest priority once the timer has expired.
-            if now >= next_refresh {
-                let span = Span::begin("dram.refresh_stall_ns", now);
-                now += SimDuration::from_ns(t.t_rfc);
-                for b in &mut banks {
-                    b.open_row = None;
-                }
-                refreshes += 1;
-                trace.record(now, "dram", "refresh", None);
-                if let Some(m) = metrics.as_deref_mut() {
-                    span.end(m, now);
-                }
-                next_refresh += SimDuration::from_ns(t.t_refi);
-                continue;
-            }
-
-            // Watermark policy (Fig. 5).
-            match mode {
-                Mode::Read => {
-                    let go_write = write_q.len() >= cfg.w_high as usize
-                        || (read_q.is_empty() && write_q.len() >= cfg.w_low as usize);
-                    if go_write && !write_q.is_empty() {
-                        mode = Mode::Write;
-                        mode_switches += 1;
-                        batch_served = 0;
-                        now += SimDuration::from_ns(t.t_rtw);
-                        trace.record(now, "dram", "switch-to-write", Some(write_q.len() as i64));
-                        continue;
-                    }
-                }
-                Mode::Write => {
-                    let drained = write_q.len() <= cfg.w_low.saturating_sub(cfg.n_wd) as usize;
-                    let go_read = write_q.is_empty()
-                        || (!read_q.is_empty() && batch_served >= cfg.n_wd)
-                        || (read_q.is_empty() && drained && !read_q.is_empty());
-                    if go_read {
-                        mode = Mode::Read;
-                        mode_switches += 1;
-                        promoted_hits = 0;
-                        now += SimDuration::from_ns(t.t_wr + t.t_wtr + t.t_cl);
-                        trace.record(now, "dram", "switch-to-read", Some(write_q.len() as i64));
-                        continue;
-                    }
-                }
-            }
-
-            // Serve one request in the current mode.
-            let served = match mode {
-                Mode::Read => {
-                    if read_q.is_empty() {
-                        // Nothing to read and the watermark keeps us out of
-                        // write mode: wait for the next arrival or refresh.
-                        let wake = pending
-                            .front()
-                            .map(|r| r.arrival)
-                            .unwrap_or(SimTime::MAX)
-                            .min(next_refresh);
-                        // If only writes remain below the watermark, drain
-                        // them rather than deadlock.
-                        if pending.is_empty() && !write_q.is_empty() {
-                            mode = Mode::Write;
-                            mode_switches += 1;
-                            batch_served = 0;
-                            now += SimDuration::from_ns(t.t_rtw);
-                            trace.record(
-                                now,
-                                "dram",
-                                "switch-to-write",
-                                Some(write_q.len() as i64),
-                            );
-                            continue;
-                        }
-                        now = wake;
-                        continue;
-                    }
-                    // First-ready: prefer the oldest row hit while under the
-                    // promotion cap.
-                    let hit_idx = read_q
-                        .iter()
-                        .position(|r| banks[r.bank as usize].open_row == Some(r.row));
-                    let idx = match hit_idx {
-                        Some(i) if promoted_hits < cfg.n_cap || i == 0 => i,
-                        _ => 0,
-                    };
-                    let req = read_q.remove(idx).expect("index in range");
-                    let is_promotion = idx > 0;
-                    let was_hit = banks[req.bank as usize].open_row == Some(req.row);
-                    if is_promotion && was_hit {
-                        promoted_hits += 1;
-                    } else if !was_hit {
-                        promoted_hits = 0;
-                    }
-                    Some((req, was_hit))
-                }
-                Mode::Write => {
-                    let req = write_q.pop_front().expect("write mode implies writes");
-                    let was_hit = banks[req.bank as usize].open_row == Some(req.row);
-                    batch_served += 1;
-                    Some((req, was_hit))
-                }
-            };
-
-            if let Some((req, was_hit)) = served {
-                let bank = &mut banks[req.bank as usize];
-                let finished = if was_hit {
-                    row_hits += 1;
-                    now + SimDuration::from_ns(t.t_burst)
-                } else {
-                    row_misses += 1;
-                    // Activate cannot start before the bank's tRC window
-                    // elapses; the precharge+activate+CAS pipeline follows.
-                    let begin = now.max(bank.ready_at);
-                    let cas = match req.kind {
-                        RequestKind::Read => t.t_cl,
-                        RequestKind::Write => t.t_cl, // CWL approximated by CL
-                    };
-                    let done = begin + SimDuration::from_ns(t.t_rp + t.t_rcd + cas + t.t_burst);
-                    bank.ready_at = begin + SimDuration::from_ns(t.t_rp + t.t_rc());
-                    bank.open_row = Some(req.row);
-                    done
-                };
-                now = finished;
-                if let Some(m) = metrics.as_deref_mut() {
-                    // Depth *after* dequeuing: what the next arrival sees.
-                    m.observe("dram.read_queue_depth", read_q.len() as f64);
-                    m.observe("dram.write_queue_depth", write_q.len() as f64);
-                }
-                match req.kind {
-                    RequestKind::Read => {
-                        let lat = finished.saturating_since(req.arrival).as_ns();
-                        read_latency.record(lat);
-                        read_latency_by_master
-                            .entry(req.master)
-                            .or_default()
-                            .record(lat);
-                        if let Some(m) = metrics.as_deref_mut() {
-                            m.observe("dram.read_latency_ns", lat);
-                        }
-                    }
-                    RequestKind::Write => {
-                        let lat = finished.saturating_since(req.arrival).as_ns();
-                        write_latency.record(lat);
-                        if let Some(m) = metrics.as_deref_mut() {
-                            m.observe("dram.write_latency_ns", lat);
-                        }
-                    }
-                }
-                completions.push(Completion {
-                    request: req,
-                    finished,
-                    row_hit: was_hit,
-                });
-            }
-        }
+        let Run {
+            trace,
+            metrics,
+            completions,
+            read_latency,
+            write_latency,
+            read_latency_by_master,
+            row_hits,
+            row_misses,
+            refreshes,
+            mode_switches,
+            finished_at,
+            ..
+        } = state;
 
         let outcome = SimOutcome {
             completions,
@@ -442,7 +280,7 @@ impl FrFcfsController {
             row_misses,
             refreshes,
             mode_switches,
-            finished_at: now,
+            finished_at,
             trace,
         };
         if let Some(m) = metrics {
@@ -455,6 +293,260 @@ impl FrFcfsController {
             m.gauge_set("dram.finished_at_ns", outcome.finished_at.as_ns());
         }
         outcome
+    }
+}
+
+/// One in-flight controller simulation as a kernel [`Process`].
+///
+/// Each delivered [`DramEvent::Kick`] runs one decision of the FR-FCFS
+/// state machine at the fire time. Every path that advances time in the
+/// classic formulation (refresh, mode-switch penalty, serve, idle wait)
+/// instead schedules the follow-up `Kick` at that instant and returns, so
+/// exactly one event is ever pending and the run drains when the workload
+/// completes.
+struct Run<'a> {
+    timing: &'a DramTiming,
+    cfg: &'a ControllerConfig,
+    trace: Trace,
+    metrics: Option<&'a mut MetricsRegistry>,
+    pending: VecDeque<Request>,
+    mode: Mode,
+    banks: Vec<Bank>,
+    read_q: VecDeque<Request>,
+    write_q: VecDeque<Request>,
+    promoted_hits: u32,
+    batch_served: u32,
+    next_refresh: SimTime,
+    completions: Vec<Completion>,
+    read_latency: Summary,
+    write_latency: Summary,
+    read_latency_by_master: BTreeMap<MasterId, Summary>,
+    row_hits: u64,
+    row_misses: u64,
+    refreshes: u64,
+    mode_switches: u64,
+    finished_at: SimTime,
+}
+
+impl Process for Run<'_> {
+    type Event = DramEvent;
+
+    fn handle(&mut self, _event: DramEvent, sink: &mut dyn EventSink<DramEvent>) {
+        let mut now = sink.now();
+        self.finished_at = now;
+        let t = self.timing;
+        let cfg = self.cfg;
+
+        // Admit arrivals up to `now`, respecting queue capacities.
+        while let Some(front) = self.pending.front() {
+            if front.arrival > now {
+                break;
+            }
+            let (queue, cap) = match front.kind {
+                RequestKind::Read => (&mut self.read_q, cfg.read_queue_capacity),
+                RequestKind::Write => (&mut self.write_q, cfg.write_queue_capacity),
+            };
+            if queue.len() >= cap {
+                break; // back-pressure: retry after progress
+            }
+            queue.push_back(self.pending.pop_front().expect("front exists"));
+        }
+
+        if self.read_q.is_empty() && self.write_q.is_empty() {
+            let Some(next) = self.pending.front() else {
+                return; // workload complete: let the engine drain
+            };
+            let next_arrival = next.arrival;
+            // Idle: jump to the next arrival (serving refreshes that fall
+            // inside the idle gap).
+            while self.next_refresh <= next_arrival {
+                let span = Span::begin("dram.refresh_stall_ns", self.next_refresh.max(now));
+                now = self.next_refresh.max(now) + SimDuration::from_ns(t.t_rfc);
+                for b in &mut self.banks {
+                    b.open_row = None;
+                }
+                self.refreshes += 1;
+                self.trace.record(now, "dram", "refresh", None);
+                if let Some(m) = self.metrics.as_deref_mut() {
+                    span.end(m, now);
+                }
+                self.next_refresh += SimDuration::from_ns(t.t_refi);
+            }
+            sink.schedule_at(now.max(next_arrival), DramEvent::Kick);
+            return;
+        }
+
+        // Refresh: highest priority once the timer has expired.
+        if now >= self.next_refresh {
+            let span = Span::begin("dram.refresh_stall_ns", now);
+            now += SimDuration::from_ns(t.t_rfc);
+            for b in &mut self.banks {
+                b.open_row = None;
+            }
+            self.refreshes += 1;
+            self.trace.record(now, "dram", "refresh", None);
+            if let Some(m) = self.metrics.as_deref_mut() {
+                span.end(m, now);
+            }
+            self.next_refresh += SimDuration::from_ns(t.t_refi);
+            sink.schedule_at(now, DramEvent::Kick);
+            return;
+        }
+
+        // Watermark policy (Fig. 5).
+        match self.mode {
+            Mode::Read => {
+                let go_write = self.write_q.len() >= cfg.w_high as usize
+                    || (self.read_q.is_empty() && self.write_q.len() >= cfg.w_low as usize);
+                if go_write && !self.write_q.is_empty() {
+                    self.mode = Mode::Write;
+                    self.mode_switches += 1;
+                    self.batch_served = 0;
+                    now += SimDuration::from_ns(t.t_rtw);
+                    self.trace.record(
+                        now,
+                        "dram",
+                        "switch-to-write",
+                        Some(self.write_q.len() as i64),
+                    );
+                    sink.schedule_at(now, DramEvent::Kick);
+                    return;
+                }
+            }
+            Mode::Write => {
+                let drained = self.write_q.len() <= cfg.w_low.saturating_sub(cfg.n_wd) as usize;
+                let go_read = self.write_q.is_empty()
+                    || (!self.read_q.is_empty() && self.batch_served >= cfg.n_wd)
+                    || (self.read_q.is_empty() && drained && !self.read_q.is_empty());
+                if go_read {
+                    self.mode = Mode::Read;
+                    self.mode_switches += 1;
+                    self.promoted_hits = 0;
+                    now += SimDuration::from_ns(t.t_wr + t.t_wtr + t.t_cl);
+                    self.trace.record(
+                        now,
+                        "dram",
+                        "switch-to-read",
+                        Some(self.write_q.len() as i64),
+                    );
+                    sink.schedule_at(now, DramEvent::Kick);
+                    return;
+                }
+            }
+        }
+
+        // Serve one request in the current mode.
+        let (req, was_hit) = match self.mode {
+            Mode::Read => {
+                if self.read_q.is_empty() {
+                    // Nothing to read and the watermark keeps us out of
+                    // write mode: wait for the next arrival or refresh.
+                    let wake = self
+                        .pending
+                        .front()
+                        .map(|r| r.arrival)
+                        .unwrap_or(SimTime::MAX)
+                        .min(self.next_refresh);
+                    // If only writes remain below the watermark, drain
+                    // them rather than deadlock.
+                    if self.pending.is_empty() && !self.write_q.is_empty() {
+                        self.mode = Mode::Write;
+                        self.mode_switches += 1;
+                        self.batch_served = 0;
+                        now += SimDuration::from_ns(t.t_rtw);
+                        self.trace.record(
+                            now,
+                            "dram",
+                            "switch-to-write",
+                            Some(self.write_q.len() as i64),
+                        );
+                        sink.schedule_at(now, DramEvent::Kick);
+                        return;
+                    }
+                    sink.schedule_at(wake, DramEvent::Kick);
+                    return;
+                }
+                // First-ready: prefer the oldest row hit while under the
+                // promotion cap.
+                let hit_idx = self
+                    .read_q
+                    .iter()
+                    .position(|r| self.banks[r.bank as usize].open_row == Some(r.row));
+                let idx = match hit_idx {
+                    Some(i) if self.promoted_hits < cfg.n_cap || i == 0 => i,
+                    _ => 0,
+                };
+                let req = self.read_q.remove(idx).expect("index in range");
+                let is_promotion = idx > 0;
+                let was_hit = self.banks[req.bank as usize].open_row == Some(req.row);
+                if is_promotion && was_hit {
+                    self.promoted_hits += 1;
+                } else if !was_hit {
+                    self.promoted_hits = 0;
+                }
+                (req, was_hit)
+            }
+            Mode::Write => {
+                let req = self.write_q.pop_front().expect("write mode implies writes");
+                let was_hit = self.banks[req.bank as usize].open_row == Some(req.row);
+                self.batch_served += 1;
+                (req, was_hit)
+            }
+        };
+
+        let bank = &mut self.banks[req.bank as usize];
+        let finished = if was_hit {
+            self.row_hits += 1;
+            now + SimDuration::from_ns(t.t_burst)
+        } else {
+            self.row_misses += 1;
+            // Activate cannot start before the bank's tRC window
+            // elapses; the precharge+activate+CAS pipeline follows.
+            let begin = now.max(bank.ready_at);
+            let cas = match req.kind {
+                RequestKind::Read => t.t_cl,
+                RequestKind::Write => t.t_cl, // CWL approximated by CL
+            };
+            let done = begin + SimDuration::from_ns(t.t_rp + t.t_rcd + cas + t.t_burst);
+            bank.ready_at = begin + SimDuration::from_ns(t.t_rp + t.t_rc());
+            bank.open_row = Some(req.row);
+            done
+        };
+        if let Some(m) = self.metrics.as_deref_mut() {
+            // Depth *after* dequeuing: what the next arrival sees.
+            m.observe("dram.read_queue_depth", self.read_q.len() as f64);
+            m.observe("dram.write_queue_depth", self.write_q.len() as f64);
+        }
+        match req.kind {
+            RequestKind::Read => {
+                let lat = finished.saturating_since(req.arrival).as_ns();
+                self.read_latency.record(lat);
+                self.read_latency_by_master
+                    .entry(req.master)
+                    .or_default()
+                    .record(lat);
+                if let Some(m) = self.metrics.as_deref_mut() {
+                    m.observe("dram.read_latency_ns", lat);
+                }
+            }
+            RequestKind::Write => {
+                let lat = finished.saturating_since(req.arrival).as_ns();
+                self.write_latency.record(lat);
+                if let Some(m) = self.metrics.as_deref_mut() {
+                    m.observe("dram.write_latency_ns", lat);
+                }
+            }
+        }
+        self.completions.push(Completion {
+            request: req,
+            finished,
+            row_hit: was_hit,
+        });
+        sink.schedule_at(finished, DramEvent::Kick);
+    }
+
+    fn tag(&self, _event: &DramEvent) -> &'static str {
+        "dram.kick"
     }
 }
 

@@ -47,6 +47,7 @@
 //! assert!(upper.delay_ns > 1000.0 && upper.delay_ns < 4000.0);
 //! ```
 
+pub mod channel;
 pub mod config;
 pub mod controller;
 pub mod design;
@@ -55,7 +56,8 @@ pub mod service_curve;
 pub mod timing;
 pub mod wcd;
 
+pub use channel::{ChannelAccess, DramChannel};
 pub use config::ControllerConfig;
-pub use controller::FrFcfsController;
+pub use controller::{DramEvent, FrFcfsController};
 pub use request::{Request, RequestKind};
 pub use timing::DramTiming;

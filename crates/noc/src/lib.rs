@@ -39,6 +39,6 @@ pub mod router;
 pub mod topology;
 pub mod traffic;
 
-pub use network::{NocConfig, NocSim, PacketRecord};
+pub use network::{NocConfig, NocEvent, NocSim, PacketRecord};
 pub use packet::{Flit, FlitKind, Packet};
 pub use topology::{Direction, Mesh, NodeId};

@@ -1,15 +1,23 @@
-//! The synchronous cycle-driven NoC simulator.
+//! The synchronous NoC simulator, driven by the shared event kernel.
 //!
 //! Every cycle, each router moves at most one flit per output port:
 //! locked outputs continue their wormhole, free outputs run round-robin
 //! arbitration among the head flits that route to them. Movements are
 //! decided against a snapshot of buffer occupancy and applied atomically,
 //! so the simulation is order-independent and deterministic.
+//!
+//! Time advances through [`autoplat_sim::Engine`]: [`NocSim`] implements
+//! [`Process`] and activates itself with [`NocEvent::Tick`] events only
+//! while flits are queued or buffered, jumping over idle gaps between
+//! release times instead of stepping through them cycle by cycle — a real
+//! win on sparse traffic. [`NocSim::step`] remains the tick-stepped
+//! primitive (one cycle of movement) that each delivered tick executes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
+use autoplat_sim::engine::{Engine, EventSink, Process};
 use autoplat_sim::metrics::MetricsRegistry;
-use autoplat_sim::{SimDuration, Summary};
+use autoplat_sim::{SimDuration, SimTime, Summary};
 
 use crate::packet::{Flit, Packet};
 use crate::router::{Lock, Router};
@@ -52,22 +60,47 @@ impl NocConfig {
     }
 }
 
-/// Completion record of one packet.
+/// Completion record of one packet, timestamped in [`SimTime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketRecord {
     /// The packet.
     pub packet: Packet,
-    /// Cycle the packet was handed to [`NocSim::inject`].
-    pub injected_cycle: u64,
-    /// Cycle the tail flit was ejected at the destination.
-    pub ejected_cycle: u64,
+    /// Instant the packet was released for injection.
+    pub injected_at: SimTime,
+    /// Instant the tail flit was ejected at the destination.
+    pub ejected_at: SimTime,
+    /// Cycle duration of the network that delivered the packet, for
+    /// cycle-domain views of the timestamps.
+    cycle_time: SimDuration,
 }
 
 impl PacketRecord {
+    /// End-to-end latency (injection to tail ejection).
+    pub fn latency(&self) -> SimDuration {
+        self.ejected_at.saturating_since(self.injected_at)
+    }
+
     /// End-to-end latency in cycles (injection to tail ejection).
     pub fn latency_cycles(&self) -> u64 {
-        self.ejected_cycle - self.injected_cycle
+        self.latency().div_duration(self.cycle_time)
     }
+
+    /// Cycle the packet was handed to [`NocSim::inject`].
+    pub fn injected_cycle(&self) -> u64 {
+        self.injected_at.as_ps() / self.cycle_time.as_ps()
+    }
+
+    /// Cycle the tail flit was ejected at the destination.
+    pub fn ejected_cycle(&self) -> u64 {
+        self.ejected_at.as_ps() / self.cycle_time.as_ps()
+    }
+}
+
+/// Events driving [`NocSim`] on the shared kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocEvent {
+    /// Simulate one cycle of flit movement at the fire time.
+    Tick,
 }
 
 /// A decided flit movement (phase A result).
@@ -104,15 +137,22 @@ pub struct NocSim {
     mesh: Mesh,
     routers: Vec<Router>,
     /// Per-node source queues: flits awaiting entry at the local port,
-    /// with their release cycle.
-    sources: Vec<VecDeque<(Flit, u64)>>,
-    /// Packet bookkeeping: id → (packet, injected_cycle).
-    in_flight: HashMap<u64, (Packet, u64)>,
+    /// with their release instant.
+    sources: Vec<VecDeque<(Flit, SimTime)>>,
+    /// Packet bookkeeping: id → (packet, release instant). Ordered so
+    /// every walk over in-flight packets is deterministic.
+    in_flight: BTreeMap<u64, (Packet, SimTime)>,
     completed: Vec<PacketRecord>,
-    cycle: u64,
+    /// The front of simulated time: the start of the next cycle to run.
+    now: SimTime,
+    cycle_time: SimDuration,
+    /// Fire time of the tick currently scheduled on a driving engine, if
+    /// any; stale (superseded) ticks are recognised and ignored.
+    scheduled: Option<SimTime>,
     latency: Summary,
     /// Flit traversals per directed link, keyed by (router, output port).
-    link_flits: HashMap<(u32, usize), u64>,
+    /// Ordered so hotspot reports are deterministic.
+    link_flits: BTreeMap<(u32, usize), u64>,
 }
 
 impl NocSim {
@@ -127,16 +167,23 @@ impl NocSim {
             .map(|n| Router::new(NodeId(n), config.buffer_flits))
             .collect();
         let sources = (0..mesh.nodes()).map(|_| VecDeque::new()).collect();
+        let cycle_time = SimDuration::from_ns(config.cycle_ns);
+        assert!(
+            cycle_time > SimDuration::ZERO,
+            "cycle time must be non-zero"
+        );
         NocSim {
             config,
             mesh,
             routers,
             sources,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             completed: Vec::new(),
-            cycle: 0,
+            now: SimTime::ZERO,
+            cycle_time,
+            scheduled: None,
             latency: Summary::new(),
-            link_flits: HashMap::new(),
+            link_flits: BTreeMap::new(),
         }
     }
 
@@ -145,19 +192,39 @@ impl NocSim {
         &self.mesh
     }
 
-    /// The current cycle.
+    /// The current time: the start of the next cycle to simulate.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Duration of one cycle.
+    pub fn cycle_time(&self) -> SimDuration {
+        self.cycle_time
+    }
+
+    /// The current cycle (elapsed time divided by the cycle duration).
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.now.as_ps() / self.cycle_time.as_ps()
     }
 
     /// Queues `packet` for injection at its source, released no earlier
-    /// than `release_cycle`.
+    /// than `release_cycle` (cycle-domain convenience for
+    /// [`NocSim::inject_at`]).
+    pub fn inject(&mut self, packet: Packet, release_cycle: u64) {
+        self.inject_at(
+            packet,
+            SimTime::from_ps(0) + self.cycle_time * release_cycle,
+        );
+    }
+
+    /// Queues `packet` for injection at its source, released no earlier
+    /// than `release`.
     ///
     /// # Panics
     ///
     /// Panics if source or destination lie outside the mesh, or if the
     /// packet id is already in flight.
-    pub fn inject(&mut self, packet: Packet, release_cycle: u64) {
+    pub fn inject_at(&mut self, packet: Packet, release: SimTime) {
         assert!(
             self.mesh.contains(packet.src) && self.mesh.contains(packet.dest),
             "packet endpoints outside mesh"
@@ -167,21 +234,22 @@ impl NocSim {
             "packet id {} already in flight",
             packet.id
         );
-        self.in_flight.insert(packet.id, (packet, release_cycle));
+        self.in_flight.insert(packet.id, (packet, release));
         let queue = &mut self.sources[packet.src.0 as usize];
         for flit in packet.to_flits() {
-            queue.push_back((flit, release_cycle));
+            queue.push_back((flit, release));
         }
     }
 
-    /// Advances the simulation by one cycle.
+    /// Advances the simulation by one cycle (the tick-stepped primitive:
+    /// each [`NocEvent::Tick`] delivered by the kernel executes one step).
     pub fn step(&mut self) {
         // Source injection: one flit per node per cycle into the local
         // input port, respecting release times and buffer space.
         for n in 0..self.routers.len() {
             let can_release = matches!(
                 self.sources[n].front(),
-                Some(&(_, release)) if release <= self.cycle
+                Some(&(_, release)) if release <= self.now
             );
             if can_release && self.routers[n].has_space(Direction::Local) {
                 let (flit, _) = self.sources[n].pop_front().expect("front exists");
@@ -224,14 +292,15 @@ impl NocSim {
                 Move::Eject { from, in_port } => {
                     let flit = self.routers[from].pop(in_port).expect("decided flit");
                     if flit.kind.is_tail() {
-                        let (packet, injected) = self
+                        let (packet, injected_at) = self
                             .in_flight
                             .remove(&flit.packet)
                             .expect("tail of a tracked packet");
                         let rec = PacketRecord {
                             packet,
-                            injected_cycle: injected,
-                            ejected_cycle: self.cycle + 1,
+                            injected_at,
+                            ejected_at: self.now + self.cycle_time,
+                            cycle_time: self.cycle_time,
                         };
                         self.latency.record(rec.latency_cycles() as f64);
                         self.completed.push(rec);
@@ -239,7 +308,7 @@ impl NocSim {
                 }
             }
         }
-        self.cycle += 1;
+        self.now += self.cycle_time;
     }
 
     /// Decides the movement for output port `out` of router `r`.
@@ -334,23 +403,85 @@ impl NocSim {
         })
     }
 
-    /// Steps until every queue and buffer drains or `max_cycles` elapse;
-    /// returns whether the network drained.
-    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            if self.is_idle() {
-                return true;
-            }
-            self.step();
+    /// The earliest instant the network needs a cycle tick: immediately
+    /// when flits are buffered in routers, at the (cycle-aligned) earliest
+    /// source release when only queued traffic remains, or never when idle.
+    pub fn next_activation(&self) -> Option<SimTime> {
+        if self.routers.iter().any(|r| r.total_buffered() > 0) {
+            return Some(self.now);
         }
+        self.sources
+            .iter()
+            .filter_map(|q| q.front().map(|&(_, release)| release))
+            .min()
+            .map(|release| self.grid_ceil(release).max(self.now))
+    }
+
+    /// Rounds `t` up to the cycle grid.
+    fn grid_ceil(&self, t: SimTime) -> SimTime {
+        let c = self.cycle_time.as_ps();
+        SimTime::from_ps(t.as_ps().div_ceil(c).saturating_mul(c))
+    }
+
+    /// Schedules the next tick on `sink` if the network needs one earlier
+    /// than whatever is already scheduled. Call after injecting packets
+    /// while the network is driven by an external engine.
+    pub fn pump(&mut self, sink: &mut dyn EventSink<NocEvent>) {
+        if let Some(at) = self.next_activation() {
+            if self.scheduled.is_none_or(|s| at < s) {
+                sink.schedule_at(at, NocEvent::Tick);
+                self.scheduled = Some(at);
+            }
+        }
+    }
+
+    /// Runs on a private engine until every queue and buffer drains or
+    /// `max_cycles` elapse past the current time; returns whether the
+    /// network drained. Idle gaps before future releases are skipped in
+    /// O(1) rather than stepped through.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        let deadline = self.now + self.cycle_time * max_cycles;
+        let mut engine = Engine::starting_at(self.now);
+        self.scheduled = None;
+        if let Some(at) = self.next_activation() {
+            engine.schedule_at(at, NocEvent::Tick);
+            self.scheduled = Some(at);
+        }
+        engine.run_until(self, deadline);
+        self.scheduled = None;
         self.is_idle()
     }
 
-    /// Steps exactly `cycles` cycles.
-    pub fn run_cycles(&mut self, cycles: u64) {
+    /// Tick-stepped reference: advances exactly `cycles` cycles,
+    /// executing every one of them — idle or not — the way the
+    /// pre-kernel per-cycle loop did.
+    ///
+    /// [`run_cycles`](NocSim::run_cycles) is behaviorally identical but
+    /// skips idle gaps; this dense variant is kept as the equivalence
+    /// oracle and the baseline the event-driven path is benchmarked
+    /// against.
+    pub fn run_cycles_dense(&mut self, cycles: u64) {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// Advances time by exactly `cycles` cycles, simulating only the
+    /// cycles that have work and letting the clock jump over the rest.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        let end = self.now + self.cycle_time * cycles;
+        let mut engine = Engine::starting_at(self.now);
+        self.scheduled = None;
+        if let Some(at) = self.next_activation() {
+            if at < end {
+                engine.schedule_at(at, NocEvent::Tick);
+                self.scheduled = Some(at);
+            }
+        }
+        // The cycle starting at `end` is outside the window.
+        engine.run_until(self, end - SimDuration::from_ps(1));
+        self.scheduled = None;
+        self.now = end;
     }
 
     /// True when no flit is queued or buffered anywhere.
@@ -399,10 +530,10 @@ impl NocSim {
     /// Utilization of the directed link leaving `node` towards `dir`:
     /// flits sent divided by elapsed cycles (0 when no cycle has run).
     pub fn link_utilization(&self, node: NodeId, dir: Direction) -> f64 {
-        if self.cycle == 0 {
+        if self.cycle() == 0 {
             0.0
         } else {
-            self.link_flits(node, dir) as f64 / self.cycle as f64
+            self.link_flits(node, dir) as f64 / self.cycle() as f64
         }
     }
 
@@ -420,7 +551,7 @@ impl NocSim {
     /// deterministic regardless of `HashMap` iteration order.
     pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
         metrics.counter_add("noc.packets_delivered", self.completed.len() as u64);
-        metrics.counter_add("noc.cycles", self.cycle);
+        metrics.counter_add("noc.cycles", self.cycle());
         metrics.counter_add("noc.flits_sent", self.link_flits.values().sum());
         for rec in &self.completed {
             metrics.observe("noc.packet_latency_cycles", rec.latency_cycles() as f64);
@@ -450,20 +581,48 @@ impl NocSim {
     }
 
     /// The most-utilized directed link and its utilization, if any flit
-    /// moved — the congestion hotspot report.
+    /// moved — the congestion hotspot report. Ties resolve to the highest
+    /// (node, direction) key: `link_flits` is ordered, so the answer is
+    /// deterministic run to run.
     pub fn hottest_link(&self) -> Option<(NodeId, Direction, f64)> {
         self.link_flits
             .iter()
             .max_by_key(|(_, &count)| count)
             .map(|(&(node, dir_idx), &count)| {
                 let dir = Direction::ALL[dir_idx];
-                let util = if self.cycle == 0 {
+                let util = if self.cycle() == 0 {
                     0.0
                 } else {
-                    count as f64 / self.cycle as f64
+                    count as f64 / self.cycle() as f64
                 };
                 (NodeId(node), dir, util)
             })
+    }
+}
+
+impl Process for NocSim {
+    type Event = NocEvent;
+
+    /// One delivered tick simulates one cycle of flit movement and, while
+    /// traffic remains, schedules the next activation — the immediately
+    /// following cycle under load, or the next source release when the
+    /// network would otherwise sit idle.
+    fn handle(&mut self, _event: NocEvent, sink: &mut dyn EventSink<NocEvent>) {
+        let at = sink.now();
+        // A superseded (stale) tick: a later `pump` scheduled an earlier
+        // activation which already ran this cycle's work.
+        if self.scheduled != Some(at) {
+            return;
+        }
+        self.scheduled = None;
+        debug_assert!(at >= self.now, "tick delivered in the network's past");
+        self.now = at;
+        self.step();
+        self.pump(sink);
+    }
+
+    fn tag(&self, _event: &NocEvent) -> &'static str {
+        "noc.tick"
     }
 }
 
@@ -473,6 +632,29 @@ mod tests {
 
     fn noc(cols: u32, rows: u32) -> NocSim {
         NocSim::new(NocConfig::new(cols, rows))
+    }
+
+    #[test]
+    fn event_driven_matches_dense_reference_on_sparse_traffic() {
+        let sparse = |n: &mut NocSim| {
+            // A packet every 500 cycles: almost all cycles are idle, so
+            // the event-driven path jumps most of the window.
+            for i in 0..10u64 {
+                n.inject(Packet::new(i, NodeId(i as u32 % 4), NodeId(15), 4), i * 500);
+            }
+        };
+        let mut dense = noc(4, 4);
+        sparse(&mut dense);
+        dense.run_cycles_dense(6_000);
+        let mut event = noc(4, 4);
+        sparse(&mut event);
+        event.run_cycles(6_000);
+        assert_eq!(dense.now(), event.now());
+        assert_eq!(dense.completed().len(), event.completed().len());
+        for (d, e) in dense.completed().iter().zip(event.completed()) {
+            assert_eq!(d, e, "per-packet records must agree");
+        }
+        assert_eq!(dense.latency_cycles().mean(), event.latency_cycles().mean());
     }
 
     #[test]
@@ -542,10 +724,10 @@ mod tests {
         // Ejection takes 1 flit/cycle: if they interleaved, both tails
         // would land within < 8 cycles of each other.
         assert!(
-            (a.ejected_cycle as i64 - b.ejected_cycle as i64).unsigned_abs() >= 8,
+            (a.ejected_cycle() as i64 - b.ejected_cycle() as i64).unsigned_abs() >= 8,
             "tails at {} and {} imply interleaving",
-            a.ejected_cycle,
-            b.ejected_cycle
+            a.ejected_cycle(),
+            b.ejected_cycle()
         );
     }
 
@@ -570,7 +752,7 @@ mod tests {
         n.run_cycles(10);
         assert_eq!(n.completed().len(), 0);
         assert!(n.run_until_idle(1000));
-        assert!(n.completed()[0].ejected_cycle > 50);
+        assert!(n.completed()[0].ejected_cycle() > 50);
         // Latency is measured from the release cycle.
         assert!(n.completed()[0].latency_cycles() < 10);
     }

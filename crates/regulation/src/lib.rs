@@ -38,8 +38,10 @@
 
 pub mod memguard;
 pub mod perf;
+pub mod process;
 pub mod shaper;
 
 pub use memguard::{AccessDecision, MemGuard};
 pub use perf::PerfCounters;
+pub use process::{MemGuardProcess, RegulationEvent};
 pub use shaper::TrafficShaper;

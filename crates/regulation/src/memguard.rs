@@ -111,14 +111,21 @@ impl MemGuard {
     }
 
     /// Rolls the regulation period forward to include `now`, replenishing
-    /// budgets at each boundary.
-    fn roll(&mut self, now: SimTime) {
+    /// budgets at each boundary. Synchronous callers get this lazily from
+    /// [`MemGuard::try_access`]; event-driven runs replenish eagerly at
+    /// boundaries instead (see [`crate::process::MemGuardProcess`]).
+    /// Both paths are idempotent per period, so mixing them is safe.
+    pub fn replenish(&mut self, now: SimTime) {
         let idx = now.as_ps() / self.period.as_ps();
         if idx > self.period_index {
             self.period_index = idx;
             self.used.fill(0);
             self.counters.reset_all();
         }
+    }
+
+    fn roll(&mut self, now: SimTime) {
+        self.replenish(now);
     }
 
     /// The start of the period following the one containing `now`.

@@ -7,9 +7,15 @@
 //! §II's observation that partitioning localizes interference — e.g.
 //! Dhall's effect, where global scheduling misses deadlines at low
 //! utilization.
+//!
+//! Time advances through the shared [`autoplat_sim::Engine`]: job
+//! releases and completion checks are discrete events ([`SchedEvent`]),
+//! so the simulator touches exactly the instants where the schedule can
+//! change instead of spinning a dense `while now < horizon` loop.
 
 use std::collections::HashMap;
 
+use autoplat_sim::engine::{Engine, EventSink, Process};
 use autoplat_sim::metrics::MetricsRegistry;
 use autoplat_sim::{SimDuration, SimTime};
 
@@ -84,6 +90,188 @@ struct Job {
     remaining: SimDuration,
 }
 
+/// Events driving the global fixed-priority simulator on the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// Release of the next job of the task at this index.
+    Release(usize),
+    /// Completion check for the running set chosen at generation `.0`;
+    /// checks from superseded generations are ignored.
+    Check(u64),
+}
+
+/// The global preemptive fixed-priority scheduler as a kernel process.
+///
+/// Every delivered event first charges the elapsed interval to the jobs
+/// that were running, then recomputes the running set, counts
+/// displacements (preemptions) and schedules the next completion check.
+/// Completion checks carry a generation number: whenever the running set
+/// is recomputed the generation bumps, so a check scheduled for a
+/// superseded running set is recognised as stale and dropped — the
+/// event-driven analogue of the dense loop recomputing its `next_event`.
+#[derive(Debug)]
+struct GlobalFp<'a> {
+    tasks: &'a [Task],
+    cores: usize,
+    horizon: SimTime,
+    jobs: Vec<Job>,
+    outcome: SchedOutcome,
+    /// Keys `(task_idx, release)` of the jobs chosen to run at the last
+    /// event; doubles as the previous set when the next event recomputes.
+    running_keys: Vec<(usize, SimTime)>,
+    /// Time up to which running jobs have been charged.
+    last_update: SimTime,
+    /// Current running-set generation, for staleness checks.
+    gen: u64,
+}
+
+impl<'a> GlobalFp<'a> {
+    fn new(tasks: &'a [Task], cores: usize, horizon: SimTime) -> Self {
+        GlobalFp {
+            tasks,
+            cores,
+            horizon,
+            jobs: Vec::new(),
+            outcome: SchedOutcome::default(),
+            running_keys: Vec::new(),
+            last_update: SimTime::ZERO,
+            gen: 0,
+        }
+    }
+
+    /// Charges `[last_update, t]` to the running jobs and records any
+    /// completions landing exactly at `t`.
+    fn elapse_to(&mut self, t: SimTime) {
+        let delta = t.saturating_since(self.last_update);
+        self.last_update = t;
+        if !delta.is_zero() {
+            for key in &self.running_keys {
+                if let Some(job) = self
+                    .jobs
+                    .iter_mut()
+                    .find(|j| (j.task_idx, j.release) == *key)
+                {
+                    job.remaining = job.remaining.saturating_sub(delta);
+                }
+            }
+        }
+        // Completions: running jobs that just hit zero remaining.
+        let mut done: Vec<usize> = (0..self.jobs.len())
+            .filter(|&j| {
+                self.jobs[j].remaining.is_zero()
+                    && self
+                        .running_keys
+                        .contains(&(self.jobs[j].task_idx, self.jobs[j].release))
+            })
+            .collect();
+        done.sort_unstable_by(|a, b| b.cmp(a));
+        for j in done {
+            let job = self.jobs.remove(j);
+            let response = t - job.release;
+            let id = self.tasks[job.task_idx].id;
+            let worst = self.outcome.worst_response.entry(id).or_default();
+            *worst = (*worst).max(response);
+            if t > job.deadline {
+                self.outcome.deadline_misses += 1;
+            }
+            self.outcome.completed_jobs += 1;
+        }
+    }
+
+    /// Recomputes the running set at `t`, counts preemptions against the
+    /// previous set and schedules the next completion check.
+    fn reschedule(&mut self, t: SimTime, sink: &mut dyn EventSink<SchedEvent>) {
+        // Pick the `cores` highest-priority ready jobs (stable by task
+        // index, then earliest release).
+        let mut ready: Vec<usize> = (0..self.jobs.len())
+            .filter(|&j| !self.jobs[j].remaining.is_zero())
+            .collect();
+        ready.sort_by_key(|&j| (self.jobs[j].task_idx, self.jobs[j].release));
+        let running: Vec<usize> = ready.into_iter().take(self.cores).collect();
+        let new_keys: Vec<(usize, SimTime)> = running
+            .iter()
+            .map(|&j| (self.jobs[j].task_idx, self.jobs[j].release))
+            .collect();
+
+        // Count preemptions: previously-running unfinished jobs displaced.
+        for key in &self.running_keys {
+            let still_exists = self
+                .jobs
+                .iter()
+                .any(|j| (j.task_idx, j.release) == *key && !j.remaining.is_zero());
+            if still_exists && !new_keys.contains(key) {
+                self.outcome.preemptions += 1;
+            }
+        }
+        self.running_keys = new_keys;
+
+        // Next completion among the running jobs, if any.
+        if let Some(min_remaining) = running
+            .iter()
+            .map(|&j| self.jobs[j].remaining)
+            .min()
+            .filter(|d| !d.is_zero())
+        {
+            self.gen += 1;
+            sink.schedule_at(t + min_remaining, SchedEvent::Check(self.gen));
+        }
+    }
+
+    /// Charges the tail interval up to `horizon` and accounts jobs still
+    /// unfinished there, consuming the simulator.
+    fn finish(mut self, horizon: SimTime) -> SchedOutcome {
+        self.elapse_to(horizon);
+        for job in self.jobs.iter().filter(|j| !j.remaining.is_zero()) {
+            self.outcome.incomplete_jobs += 1;
+            if job.deadline <= horizon {
+                self.outcome.deadline_misses += 1;
+            }
+        }
+        self.outcome
+    }
+}
+
+impl Process for GlobalFp<'_> {
+    type Event = SchedEvent;
+
+    fn handle(&mut self, event: SchedEvent, sink: &mut dyn EventSink<SchedEvent>) {
+        let t = sink.now();
+        match event {
+            SchedEvent::Release(i) => {
+                // The dense loop never processed releases landing at the
+                // horizon; keep that boundary semantics.
+                if t >= self.horizon {
+                    return;
+                }
+                self.elapse_to(t);
+                let task = &self.tasks[i];
+                self.jobs.push(Job {
+                    task_idx: i,
+                    release: t,
+                    deadline: t + task.deadline,
+                    remaining: task.wcet,
+                });
+                sink.schedule_at(t + task.period, SchedEvent::Release(i));
+                self.reschedule(t, sink);
+            }
+            SchedEvent::Check(gen) => {
+                if gen != self.gen {
+                    return; // stale: the running set changed since
+                }
+                self.elapse_to(t);
+                self.reschedule(t, sink);
+            }
+        }
+    }
+
+    fn tag(&self, event: &SchedEvent) -> &'static str {
+        match event {
+            SchedEvent::Release(_) => "sched.release",
+            SchedEvent::Check(_) => "sched.check",
+        }
+    }
+}
+
 /// Simulates global preemptive fixed-priority scheduling of `tasks`
 /// (slice order = priority order, first = highest) on `cores` cores with
 /// synchronous release at `t = 0`, until `horizon`.
@@ -109,107 +297,15 @@ pub fn simulate_global_fp(tasks: &[Task], cores: usize, horizon: SimDuration) ->
     assert!(!tasks.is_empty(), "need at least one task");
     let horizon_t = SimTime::ZERO + horizon;
 
-    let mut outcome = SchedOutcome::default();
-    let mut jobs: Vec<Job> = Vec::new();
-    let mut next_release: Vec<SimTime> = vec![SimTime::ZERO; tasks.len()];
-    let mut now = SimTime::ZERO;
-    let mut prev_running: Vec<usize> = Vec::new(); // indices into `jobs` keyed by (task, release)
-    let mut prev_running_keys: Vec<(usize, SimTime)> = Vec::new();
-    let _ = &mut prev_running;
-
-    while now < horizon_t {
-        // Release jobs due now.
-        for (i, t) in tasks.iter().enumerate() {
-            while next_release[i] <= now {
-                jobs.push(Job {
-                    task_idx: i,
-                    release: next_release[i],
-                    deadline: next_release[i] + t.deadline,
-                    remaining: t.wcet,
-                });
-                next_release[i] += t.period;
-            }
-        }
-
-        // Pick the `cores` highest-priority ready jobs (stable by task
-        // index, then earliest release).
-        let mut ready: Vec<usize> = (0..jobs.len())
-            .filter(|&j| !jobs[j].remaining.is_zero())
-            .collect();
-        ready.sort_by_key(|&j| (jobs[j].task_idx, jobs[j].release));
-        let running: Vec<usize> = ready.iter().copied().take(cores).collect();
-
-        // Count preemptions: previously-running unfinished jobs displaced.
-        let running_keys: Vec<(usize, SimTime)> = running
-            .iter()
-            .map(|&j| (jobs[j].task_idx, jobs[j].release))
-            .collect();
-        for key in &prev_running_keys {
-            let still_exists = jobs
-                .iter()
-                .any(|j| (j.task_idx, j.release) == *key && !j.remaining.is_zero());
-            if still_exists && !running_keys.contains(key) {
-                outcome.preemptions += 1;
-            }
-        }
-
-        // Next event: earliest of (a) next release, (b) earliest running
-        // completion, (c) horizon.
-        let mut next_event = horizon_t.min(
-            next_release
-                .iter()
-                .copied()
-                .min()
-                .expect("tasks is non-empty"),
-        );
-        for &j in &running {
-            next_event = next_event.min(now + jobs[j].remaining);
-        }
-        if next_event <= now {
-            // Horizon reached with events at `now` (horizon == now).
-            break;
-        }
-        let delta = next_event - now;
-
-        // Advance running jobs.
-        for &j in &running {
-            jobs[j].remaining = jobs[j].remaining.saturating_sub(delta);
-        }
-        now = next_event;
-
-        // Handle completions.
-        let mut completed: Vec<usize> = running
-            .iter()
-            .copied()
-            .filter(|&j| jobs[j].remaining.is_zero())
-            .collect();
-        completed.sort_unstable_by(|a, b| b.cmp(a));
-        for j in completed {
-            let job = jobs.remove(j);
-            let response = now - job.release;
-            let id = tasks[job.task_idx].id;
-            let worst = outcome.worst_response.entry(id).or_default();
-            *worst = (*worst).max(response);
-            if now > job.deadline {
-                outcome.deadline_misses += 1;
-            }
-            outcome.completed_jobs += 1;
-        }
-        prev_running_keys = jobs
-            .iter()
-            .filter(|j| !j.remaining.is_zero())
-            .filter(|j| running_keys.contains(&(j.task_idx, j.release)))
-            .map(|j| (j.task_idx, j.release))
-            .collect();
+    let mut sim = GlobalFp::new(tasks, cores, horizon_t);
+    let mut engine = Engine::new();
+    // Synchronous release: every task's first job lands at t = 0; FIFO
+    // tie-breaking delivers them in priority (slice) order.
+    for i in 0..tasks.len() {
+        engine.schedule_at(SimTime::ZERO, SchedEvent::Release(i));
     }
-
-    for job in jobs.iter().filter(|j| !j.remaining.is_zero()) {
-        outcome.incomplete_jobs += 1;
-        if job.deadline <= horizon_t {
-            outcome.deadline_misses += 1;
-        }
-    }
-    outcome
+    engine.run_until(&mut sim, horizon_t);
+    sim.finish(horizon_t)
 }
 
 /// Simulates a partitioned assignment: each core independently runs its

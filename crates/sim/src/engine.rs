@@ -1,11 +1,89 @@
-//! A minimal run loop for event-driven components.
+//! The shared run loop for every event-driven simulator in the workspace.
 //!
 //! The [`Engine`] owns the clock and the event queue; components implement
 //! [`Process`] and react to delivered events, scheduling follow-ups through
-//! the [`Scheduler`] handle they are given.
+//! the [`EventSink`] handle they are given.
+//!
+//! # Ordering contract
+//!
+//! Events fire in nondecreasing time order. Events scheduled for the same
+//! instant are delivered in the order they were scheduled (FIFO, via the
+//! `(time, seq)` key in [`EventQueue`]), so a run is a pure function of the
+//! schedule — no `HashMap` iteration order or heap internals leak through.
+//! Scheduling into the simulated past panics rather than silently
+//! reordering history.
+//!
+//! # Composition
+//!
+//! A composed simulator (e.g. the full-platform co-simulation in
+//! `autoplat_core`) owns several sub-processes with their own event types
+//! and wraps them in one umbrella enum. [`MapSink`] adapts the umbrella
+//! sink to a sub-process's native event type, so sub-processes stay
+//! reusable in isolation:
+//!
+//! ```
+//! use autoplat_sim::engine::{EventSink, MapSink, Process};
+//!
+//! enum Top { Sub(u32) }
+//!
+//! struct Sub;
+//! impl Process for Sub {
+//!     type Event = u32;
+//!     fn handle(&mut self, ev: u32, sink: &mut dyn EventSink<u32>) {
+//!         if ev > 0 {
+//!             sink.schedule_in(autoplat_sim::SimDuration::from_ns(1.0), ev - 1);
+//!         }
+//!     }
+//! }
+//!
+//! struct Composed(Sub);
+//! impl Process for Composed {
+//!     type Event = Top;
+//!     fn handle(&mut self, ev: Top, sink: &mut dyn EventSink<Top>) {
+//!         match ev {
+//!             Top::Sub(inner) => self.0.handle(inner, &mut MapSink::new(sink, Top::Sub)),
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! # Fault and metrics hooks
+//!
+//! [`Engine::attach_fault_injector`] filters every delivery through a
+//! seeded [`FaultInjector`]: events can be dropped, delayed, or duplicated
+//! by class (the [`Process::tag`] of the event), which lets the same fault
+//! plans used by the admission control plane perturb any simulator.
+//! [`Engine::publish_metrics`] exports delivery counters per tag into a
+//! [`MetricsRegistry`].
+
+use std::collections::BTreeMap;
 
 use crate::event::EventQueue;
+use crate::fault::{FaultInjector, MessageFault};
+use crate::metrics::MetricsRegistry;
 use crate::time::{SimDuration, SimTime};
+
+/// Where a [`Process`] schedules follow-up events.
+///
+/// The concrete implementation handed out by [`Engine`] is [`Scheduler`];
+/// [`MapSink`] adapts a sink across event types for composition.
+pub trait EventSink<E> {
+    /// The current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Schedules `event` at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past, which would break causality.
+    fn schedule_at(&mut self, at: SimTime, event: E);
+
+    /// Schedules `event` to fire `delay` after the current time.
+    fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now() + delay;
+        self.schedule_at(at, event);
+    }
+}
 
 /// Handle through which a [`Process`] schedules follow-up events.
 #[derive(Debug)]
@@ -40,13 +118,58 @@ impl<'a, E> Scheduler<'a, E> {
     }
 }
 
+impl<E> EventSink<E> for Scheduler<'_, E> {
+    fn now(&self) -> SimTime {
+        Scheduler::now(self)
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: E) {
+        Scheduler::schedule_at(self, at, event)
+    }
+}
+
+/// Adapts an [`EventSink`] over event type `A` into one over `B` by mapping
+/// every scheduled event through `F: FnMut(B) -> A`.
+///
+/// This is the composition primitive: a parent process with an umbrella
+/// event enum wraps its sink with the enum constructor before delegating to
+/// a sub-process (see the module docs for an example).
+pub struct MapSink<'a, A, F> {
+    inner: &'a mut dyn EventSink<A>,
+    map: F,
+}
+
+impl<'a, A, F> MapSink<'a, A, F> {
+    /// Wraps `inner`, translating scheduled events through `map`.
+    pub fn new(inner: &'a mut dyn EventSink<A>, map: F) -> Self {
+        MapSink { inner, map }
+    }
+}
+
+impl<A, B, F: FnMut(B) -> A> EventSink<B> for MapSink<'_, A, F> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: B) {
+        self.inner.schedule_at(at, (self.map)(event));
+    }
+}
+
 /// An event-driven simulation component.
 pub trait Process {
     /// The event type this process reacts to.
     type Event;
 
     /// Handles one event delivered at its fire time.
-    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+    fn handle(&mut self, event: Self::Event, sink: &mut dyn EventSink<Self::Event>);
+
+    /// A short static label classifying `event`, used for per-class
+    /// delivery accounting ([`Engine::publish_metrics`]) and as the message
+    /// class consulted by an attached [`FaultInjector`].
+    fn tag(&self, _event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// The simulation engine: a clock plus an event queue, driving one [`Process`].
@@ -57,16 +180,16 @@ pub trait Process {
 ///
 /// ```
 /// use autoplat_sim::{Engine, Process, SimDuration, SimTime};
-/// use autoplat_sim::engine::Scheduler;
+/// use autoplat_sim::engine::EventSink;
 ///
 /// struct Countdown(u32);
 ///
 /// impl Process for Countdown {
 ///     type Event = ();
-///     fn handle(&mut self, _ev: (), sched: &mut Scheduler<'_, ()>) {
+///     fn handle(&mut self, _ev: (), sink: &mut dyn EventSink<()>) {
 ///         if self.0 > 0 {
 ///             self.0 -= 1;
-///             sched.schedule_in(SimDuration::from_ns(10.0), ());
+///             sink.schedule_in(SimDuration::from_ns(10.0), ());
 ///         }
 ///     }
 /// }
@@ -83,15 +206,38 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     delivered: u64,
+    tag_counts: BTreeMap<&'static str, u64>,
+    injector: Option<FaultInjector>,
+    /// Cycle granularity presented to the fault injector's cycle clock.
+    fault_cycle: SimDuration,
+    /// Captured `Clone::clone`, so `Duplicate` faults work without putting
+    /// a `Clone` bound on every run method.
+    cloner: Option<fn(&E) -> E>,
+    dropped: u64,
+    delayed: u64,
+    duplicated: u64,
 }
 
 impl<E> Engine<E> {
     /// Creates an engine at `t = 0` with an empty queue.
     pub fn new() -> Self {
+        Engine::starting_at(SimTime::ZERO)
+    }
+
+    /// Creates an engine whose clock starts at `now`, for resuming a
+    /// simulator that already carries simulated history.
+    pub fn starting_at(now: SimTime) -> Self {
         Engine {
-            now: SimTime::ZERO,
+            now,
             queue: EventQueue::new(),
             delivered: 0,
+            tag_counts: BTreeMap::new(),
+            injector: None,
+            fault_cycle: SimDuration::from_ps(1_000),
+            cloner: None,
+            dropped: 0,
+            delayed: 0,
+            duplicated: 0,
         }
     }
 
@@ -105,8 +251,43 @@ impl<E> Engine<E> {
         self.delivered
     }
 
+    /// Number of deliveries per event tag (see [`Process::tag`]).
+    pub fn tag_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.tag_counts
+    }
+
+    /// Filters every delivery through `injector`, using `cycle` as the
+    /// duration of one injector clock cycle (faults are scripted in cycles).
+    ///
+    /// Dropped events are discarded without delivery; delayed and
+    /// duplicated copies are re-enqueued after the scripted cycle count.
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector, cycle: SimDuration)
+    where
+        E: Clone,
+    {
+        assert!(cycle > SimDuration::ZERO, "fault cycle must be non-zero");
+        self.injector = Some(injector);
+        self.fault_cycle = cycle;
+        self.cloner = Some(|e: &E| e.clone());
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Events discarded by the fault injector.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Schedules an initial event at an absolute time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past ({at} < {})",
+            self.now
+        );
         self.queue.schedule(at, event);
     }
 
@@ -118,25 +299,112 @@ impl<E> Engine<E> {
     /// Runs until the queue drains or the next event would fire after
     /// `deadline`. Events at exactly `deadline` are delivered.
     pub fn run_until<P: Process<Event = E>>(&mut self, process: &mut P, deadline: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
+        while self.step_until(process, deadline).is_some() {}
+    }
+
+    /// Budgeted stepping: delivers at most `max_events` events at or before
+    /// `deadline`. Returns the number actually delivered, which is less
+    /// than `max_events` only if the run completed.
+    pub fn run_budgeted<P: Process<Event = E>>(
+        &mut self,
+        process: &mut P,
+        deadline: SimTime,
+        max_events: u64,
+    ) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            if self.step_until(process, deadline).is_none() {
                 break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Delivers the next pending event, if any, returning its fire time.
+    pub fn step<P: Process<Event = E>>(&mut self, process: &mut P) -> Option<SimTime> {
+        self.step_until(process, SimTime::MAX)
+    }
+
+    /// Delivers the next event at or before `deadline`, skipping (and
+    /// counting) any the fault injector discards. Returns the delivered
+    /// event's fire time, or `None` if nothing fired.
+    fn step_until<P: Process<Event = E>>(
+        &mut self,
+        process: &mut P,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        loop {
+            let at = self.queue.peek_time()?;
+            if at > deadline {
+                return None;
             }
             let (at, event) = self.queue.pop().expect("peeked event exists");
             debug_assert!(at >= self.now, "event queue violated causality");
+            let tag = process.tag(&event);
+            let event = match self.filter(at, tag, event) {
+                Some(event) => event,
+                None => continue,
+            };
             self.now = at;
             self.delivered += 1;
+            *self.tag_counts.entry(tag).or_insert(0) += 1;
             let mut sched = Scheduler {
                 now: self.now,
                 queue: &mut self.queue,
             };
             process.handle(event, &mut sched);
+            return Some(at);
+        }
+    }
+
+    /// Applies the fault injector to one popped event. Returns the event to
+    /// deliver now, or `None` if it was dropped or deferred.
+    fn filter(&mut self, at: SimTime, tag: &'static str, event: E) -> Option<E> {
+        let Some(injector) = self.injector.as_mut() else {
+            return Some(event);
+        };
+        let cycle = at.as_ps() / self.fault_cycle.as_ps();
+        match injector.on_message(cycle, tag) {
+            MessageFault::Deliver => Some(event),
+            MessageFault::Drop => {
+                self.dropped += 1;
+                None
+            }
+            MessageFault::Delay(cycles) => {
+                self.delayed += 1;
+                self.queue.schedule(at + self.fault_cycle * cycles, event);
+                None
+            }
+            MessageFault::Duplicate(cycles) => {
+                self.duplicated += 1;
+                if let Some(cloner) = self.cloner {
+                    let copy = cloner(&event);
+                    self.queue.schedule(at + self.fault_cycle * cycles, copy);
+                }
+                Some(event)
+            }
         }
     }
 
     /// Number of still-pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Exports delivery counters: `engine.events_delivered`, per-tag
+    /// `engine.events.<tag>`, and fault-hook counters when an injector ran.
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add("engine.events_delivered", self.delivered);
+        for (tag, n) in &self.tag_counts {
+            metrics.counter_add(format!("engine.events.{tag}"), *n);
+        }
+        if let Some(injector) = &self.injector {
+            metrics.counter_add("engine.events_dropped", self.dropped);
+            metrics.counter_add("engine.events_delayed", self.delayed);
+            metrics.counter_add("engine.events_duplicated", self.duplicated);
+            metrics.counter_add("engine.faults_injected", injector.injected());
+        }
     }
 }
 
@@ -149,6 +417,7 @@ impl<E> Default for Engine<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[derive(Default)]
     struct Recorder {
@@ -157,10 +426,17 @@ mod tests {
 
     impl Process for Recorder {
         type Event = u32;
-        fn handle(&mut self, event: u32, sched: &mut Scheduler<'_, u32>) {
-            self.seen.push((sched.now(), event));
+        fn handle(&mut self, event: u32, sink: &mut dyn EventSink<u32>) {
+            self.seen.push((sink.now(), event));
             if event < 3 {
-                sched.schedule_in(SimDuration::from_ns(1.0), event + 1);
+                sink.schedule_in(SimDuration::from_ns(1.0), event + 1);
+            }
+        }
+        fn tag(&self, event: &u32) -> &'static str {
+            if event.is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
             }
         }
     }
@@ -189,13 +465,141 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_stepping_delivers_exactly_the_budget() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut p = Recorder::default();
+        let n = engine.run_budgeted(&mut p, SimTime::MAX, 2);
+        assert_eq!(n, 2);
+        assert_eq!(p.seen.len(), 2);
+        assert_eq!(engine.pending(), 1);
+        // Finishing the run reports fewer deliveries than the budget.
+        let n = engine.run_budgeted(&mut p, SimTime::MAX, 100);
+        assert_eq!(n, 2);
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn step_delivers_one_event() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_ns(2.0), 0);
+        let mut p = Recorder::default();
+        assert_eq!(engine.step(&mut p), Some(SimTime::from_ns(2.0)));
+        assert_eq!(p.seen.len(), 1);
+    }
+
+    #[test]
+    fn tags_are_counted_per_class() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        assert_eq!(engine.tag_counts().get("even"), Some(&2));
+        assert_eq!(engine.tag_counts().get("odd"), Some(&2));
+        let mut metrics = MetricsRegistry::new();
+        engine.publish_metrics(&mut metrics);
+        let json = metrics.to_json();
+        assert!(json.contains("engine.events_delivered"));
+        assert!(json.contains("engine.events.even"));
+    }
+
+    #[test]
+    fn fault_injector_drops_scripted_event() {
+        // Drop the 2nd "even" delivery (0-based occurrence 1: event value 2).
+        let plan = FaultPlan::new().drop_nth("even", 1);
+        let mut engine = Engine::new();
+        engine.attach_fault_injector(FaultInjector::new(plan, 7), SimDuration::from_ns(1.0));
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        // 0 (even, delivered), 1, 2 (even, dropped) — chain stops at 2.
+        assert_eq!(p.seen.len(), 2);
+        assert_eq!(engine.dropped(), 1);
+    }
+
+    #[test]
+    fn fault_injector_delays_scripted_event() {
+        let plan = FaultPlan::new().delay_nth("odd", 0, 5);
+        let mut engine = Engine::new();
+        engine.attach_fault_injector(FaultInjector::new(plan, 7), SimDuration::from_ns(1.0));
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        // Event 1 (first odd) fires 5 cycles late; the chain completes.
+        assert_eq!(p.seen.len(), 4);
+        let t1 = p.seen[1].0;
+        assert_eq!(t1, SimTime::from_ns(6.0));
+    }
+
+    #[test]
+    fn fault_injector_duplicates_scripted_event() {
+        let plan = FaultPlan::new().duplicate_nth("even", 0, 3);
+        let mut engine = Engine::new();
+        engine.attach_fault_injector(FaultInjector::new(plan, 7), SimDuration::from_ns(1.0));
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        // The duplicate of event 0 re-runs the countdown chain from 0.
+        assert!(p.seen.len() > 4);
+        assert!(p.seen.iter().filter(|(_, e)| *e == 0).count() >= 2);
+    }
+
+    #[test]
+    fn map_sink_translates_scheduled_events() {
+        #[derive(Debug, PartialEq)]
+        enum Top {
+            Sub(u32),
+        }
+        struct Sub;
+        impl Process for Sub {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, sink: &mut dyn EventSink<u32>) {
+                if ev > 0 {
+                    sink.schedule_in(SimDuration::from_ns(1.0), ev - 1);
+                }
+            }
+        }
+        struct Composed {
+            sub: Sub,
+            fired: u32,
+        }
+        impl Process for Composed {
+            type Event = Top;
+            fn handle(&mut self, ev: Top, sink: &mut dyn EventSink<Top>) {
+                self.fired += 1;
+                match ev {
+                    Top::Sub(inner) => {
+                        self.sub.handle(inner, &mut MapSink::new(sink, Top::Sub));
+                    }
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Top::Sub(3));
+        let mut p = Composed { sub: Sub, fired: 0 };
+        engine.run(&mut p);
+        assert_eq!(p.fired, 4);
+        assert_eq!(engine.now(), SimTime::from_ns(3.0));
+    }
+
+    #[test]
+    fn starting_at_resumes_a_clock() {
+        let mut engine = Engine::<u32>::starting_at(SimTime::from_ns(100.0));
+        assert_eq!(engine.now(), SimTime::from_ns(100.0));
+        engine.schedule_at(SimTime::from_ns(100.0), 9);
+        let mut p = Recorder::default();
+        engine.step(&mut p);
+        assert_eq!(p.seen[0].0, SimTime::from_ns(100.0));
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule event in the past")]
     fn scheduling_in_past_panics() {
         struct Bad;
         impl Process for Bad {
             type Event = ();
-            fn handle(&mut self, _e: (), sched: &mut Scheduler<'_, ()>) {
-                sched.schedule_at(SimTime::ZERO, ());
+            fn handle(&mut self, _e: (), sink: &mut dyn EventSink<()>) {
+                sink.schedule_at(SimTime::ZERO, ());
             }
         }
         let mut engine = Engine::new();

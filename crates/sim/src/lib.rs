@@ -37,7 +37,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, Process};
+pub use engine::{Engine, EventSink, MapSink, Process, Scheduler};
 pub use event::EventQueue;
 pub use fault::{ClientFault, FaultInjector, FaultPlan, MessageFault};
 pub use json::JsonValue;

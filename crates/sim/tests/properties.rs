@@ -1,9 +1,71 @@
 //! Property-based tests for the simulation kernel.
 
-use autoplat_sim::{EventQueue, SimDuration, SimTime, Summary};
+use autoplat_sim::engine::EventSink;
+use autoplat_sim::{Engine, EventQueue, Process, SimDuration, SimTime, Summary};
 use proptest::prelude::*;
 
+/// Records every delivery `(time, payload)` in the order the engine makes
+/// them, without scheduling anything further.
+struct Recorder {
+    delivered: Vec<(SimTime, usize)>,
+}
+
+impl Process for Recorder {
+    type Event = usize;
+
+    fn handle(&mut self, event: usize, sink: &mut dyn EventSink<usize>) {
+        self.delivered.push((sink.now(), event));
+    }
+}
+
 proptest! {
+    #[test]
+    fn engine_delivers_equal_timestamps_in_schedule_order(
+        times in proptest::collection::vec(0u64..50, 1..200),
+    ) {
+        // Heavy collisions: only 50 distinct instants for up to 200
+        // events, so FIFO tie-breaking carries the ordering.
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_ps(t), i);
+        }
+        let mut process = Recorder { delivered: Vec::new() };
+        engine.run(&mut process);
+        prop_assert_eq!(process.delivered.len(), times.len());
+        for w in process.delivered.windows(2) {
+            let ((ta, ia), (tb, ib)) = (w[0], w[1]);
+            prop_assert!(ta <= tb, "time order violated: {ta} then {tb}");
+            if ta == tb {
+                prop_assert!(
+                    ia < ib,
+                    "same-instant events must fire in schedule order, got {ia} before {ib}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_never_delivers_past_the_deadline(
+        times in proptest::collection::vec(0u64..1000, 1..200),
+        deadline in 0u64..1000,
+    ) {
+        let deadline = SimTime::from_ps(deadline);
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_ps(t), i);
+        }
+        let mut process = Recorder { delivered: Vec::new() };
+        engine.run_until(&mut process, deadline);
+        // Everything at or before the deadline fired; nothing after did,
+        // and the clock never overtook the deadline.
+        let due = times.iter().filter(|&&t| SimTime::from_ps(t) <= deadline).count();
+        prop_assert_eq!(process.delivered.len(), due);
+        for &(t, _) in &process.delivered {
+            prop_assert!(t <= deadline, "delivered past the deadline: {t}");
+        }
+        prop_assert!(engine.now() <= deadline);
+        prop_assert_eq!(engine.pending(), times.len() - due);
+    }
     #[test]
     fn event_queue_pops_sorted_with_fifo_ties(times in proptest::collection::vec(0u64..1000, 1..200)) {
         let mut q = EventQueue::new();
