@@ -9,8 +9,8 @@ cargo fmt --check
 echo "== cargo clippy (all targets, -D warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== cargo test =="
-cargo test -q
+echo "== cargo test (all targets) =="
+cargo test -q --all-targets
 
 echo "== metrics export smoke (bench binary + schema gate) =="
 SMOKE_DIR="target/ci-smoke"
@@ -25,5 +25,12 @@ echo "== co-simulation smoke (composed platform + schema gate) =="
 cargo run -q -p autoplat-bench --bin cosim -- --smoke \
     --export-json "$SMOKE_DIR/cosim.json" >/dev/null
 cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/cosim.json"
+
+echo "== conformance smoke (bounds-vs-simulators sweep + schema gate) =="
+# 5 cases per oracle family by default; widen with CONFORMANCE_CASES=200 ./ci.sh
+cargo run -q -p autoplat-bench --bin conformance -- \
+    --cases "${CONFORMANCE_CASES:-5}" --seed 7 \
+    --export-json "$SMOKE_DIR/conformance.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/conformance.json"
 
 echo "ci: OK"

@@ -1,0 +1,188 @@
+//! Sweep driver: derive per-case seeds, generate scenarios, run the
+//! oracle, shrink failures and publish metrics.
+
+use autoplat_sim::{MetricsRegistry, SimRng};
+
+use crate::oracle::{CaseResult, Oracle};
+use crate::scenario::{Family, Scenario};
+use crate::shrink::{shrink, Shrunk};
+
+/// Mixes the master seed, the family index and the case index into an
+/// independent per-case seed (splitmix64 finalizer over golden-ratio
+/// offsets). Replaying a single case therefore needs only this value.
+pub fn case_seed(master_seed: u64, family: Family, case_index: u64) -> u64 {
+    let mut z = master_seed
+        .wrapping_add(family.index().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(case_index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Master seed; every case seed derives from it deterministically.
+    pub seed: u64,
+    /// Cases per family.
+    pub cases: u64,
+    /// Restrict the sweep to one family (`None` = all five).
+    pub family: Option<Family>,
+    /// Oracle configuration (tests use this to break a bound on purpose).
+    pub oracle: Oracle,
+}
+
+impl SweepConfig {
+    /// A sweep over all families with the default oracle.
+    pub fn new(seed: u64, cases: u64) -> Self {
+        SweepConfig {
+            seed,
+            cases,
+            family: None,
+            oracle: Oracle::default(),
+        }
+    }
+}
+
+/// A failing case, shrunk to a minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub family: Family,
+    pub case_index: u64,
+    pub case_seed: u64,
+    /// The scenario as originally generated.
+    pub original: Scenario,
+    /// Size of the original scenario (shrinking only ever reduces this).
+    pub original_size: u64,
+    /// Minimal still-failing scenario plus its violation.
+    pub shrunk: Shrunk,
+}
+
+impl Failure {
+    /// Command line + debug dump that replays the failure exactly.
+    pub fn reproducer(&self) -> String {
+        format!(
+            "{}\nreplay: cargo run -p autoplat-bench --bin conformance -- \
+             --family {} --case-seed 0x{:x}\nminimal scenario: {:?}",
+            self.shrunk.violation,
+            self.family.name(),
+            self.case_seed,
+            self.shrunk.scenario
+        )
+    }
+}
+
+/// Per-family tallies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FamilyStats {
+    pub cases: u64,
+    pub passed: u64,
+    pub vacuous: u64,
+    pub violations: u64,
+}
+
+/// Outcome of a full sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub stats: Vec<(Family, FamilyStats)>,
+    pub failures: Vec<Failure>,
+}
+
+impl SweepReport {
+    pub fn total_cases(&self) -> u64 {
+        self.stats.iter().map(|(_, s)| s.cases).sum()
+    }
+
+    pub fn total_violations(&self) -> u64 {
+        self.stats.iter().map(|(_, s)| s.violations).sum()
+    }
+
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Publishes sweep tallies into the shared metrics registry under
+    /// the `conformance.*` namespace.
+    pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add("conformance.cases", self.total_cases());
+        metrics.counter_add("conformance.violations", self.total_violations());
+        for (family, stats) in &self.stats {
+            let name = family.name();
+            metrics.counter_add(format!("conformance.{name}.cases"), stats.cases);
+            metrics.counter_add(format!("conformance.{name}.passed"), stats.passed);
+            metrics.counter_add(format!("conformance.{name}.vacuous"), stats.vacuous);
+            metrics.counter_add(format!("conformance.{name}.violations"), stats.violations);
+        }
+    }
+}
+
+/// Runs a single case: derives the scenario for `seed` and checks it,
+/// shrinking on failure. Returns `Ok` with the pass kind or the shrunk
+/// failure.
+pub fn run_case(oracle: &Oracle, family: Family, seed: u64) -> Result<CaseResult, Shrunk> {
+    let mut rng = SimRng::seed_from(seed);
+    let scenario = Scenario::generate(family, &mut rng);
+    match oracle.check(&scenario) {
+        Ok(result) => Ok(result),
+        Err(violation) => Err(shrink(oracle, scenario, violation)),
+    }
+}
+
+/// Runs the configured sweep.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    let families: Vec<Family> = match config.family {
+        Some(f) => vec![f],
+        None => Family::ALL.to_vec(),
+    };
+    let mut stats = Vec::new();
+    let mut failures = Vec::new();
+    for family in families {
+        let mut tally = FamilyStats::default();
+        for case_index in 0..config.cases {
+            let seed = case_seed(config.seed, family, case_index);
+            tally.cases += 1;
+            match run_case(&config.oracle, family, seed) {
+                Ok(CaseResult::Pass) => tally.passed += 1,
+                Ok(CaseResult::Vacuous) => tally.vacuous += 1,
+                Err(shrunk) => {
+                    tally.violations += 1;
+                    let mut rng = SimRng::seed_from(seed);
+                    let original = Scenario::generate(family, &mut rng);
+                    let original_size = original.size();
+                    failures.push(Failure {
+                        family,
+                        case_index,
+                        case_seed: seed,
+                        original,
+                        original_size,
+                        shrunk,
+                    });
+                }
+            }
+        }
+        stats.push((family, tally));
+    }
+    SweepReport { stats, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_distinct_across_families_and_indices() {
+        let mut seen = std::collections::BTreeSet::new();
+        for family in Family::ALL {
+            for idx in 0..64 {
+                assert!(seen.insert(case_seed(42, family, idx)));
+            }
+        }
+        assert_eq!(seen.len(), 5 * 64);
+    }
+
+    #[test]
+    fn case_seed_is_deterministic() {
+        assert_eq!(case_seed(7, Family::Dram, 3), case_seed(7, Family::Dram, 3));
+        assert_ne!(case_seed(7, Family::Dram, 3), case_seed(8, Family::Dram, 3));
+    }
+}

@@ -1,0 +1,613 @@
+//! The oracle invariants: each analytic bound checked against its
+//! event-kernel simulator on a concrete [`Scenario`].
+//!
+//! Soundness directions (see DESIGN.md §9):
+//!
+//! * **DRAM** — `lower <= upper` (analysis self-consistency), simulated
+//!   probe `<= upper` (the bound is sound), and simulated probe `>=`
+//!   a data-bus serialization floor (the simulation is a real witness).
+//! * **NoC** — per-packet delay since token-bucket release `<=` the
+//!   network-calculus delay bound for the flow's uncontended rate-latency
+//!   path, observed flit backlog `<=` the backlog bound, and the generic
+//!   piecewise-linear bounds agree with the closed forms.
+//! * **MemGuard** — per-period grants never exceed budget before the
+//!   decision (at most one overdraw access), throttles always point at
+//!   the next boundary, lazy and eager replenishment take identical
+//!   decisions, and `MemGuardProcess` fires once per boundary.
+//! * **Sched** — RTA-schedulable task sets never miss a deadline in the
+//!   simulator and never respond worse than their RTA bound.
+//! * **Determinism** — tick-stepped and event-driven NoC kernels deliver
+//!   identical packet records, and same-seed runs under probabilistic
+//!   fault plans export byte-identical metrics.
+
+use autoplat_admission::{AppId, Application, ScenarioEvent, SymmetricPolicy};
+use autoplat_core::{CoSim, CoSimConfig, ControlCommand};
+use autoplat_dram::wcd::bounds;
+use autoplat_dram::{adversarial_wcd_workload, validation_controller};
+use autoplat_netcalc::bounds::{token_bucket_backlog, token_bucket_delay};
+use autoplat_netcalc::{backlog_bound, delay_bound, RateLatency, TokenBucket};
+use autoplat_noc::{Mesh, NocConfig, NocSim, NodeId, Packet, PacketRecord};
+use autoplat_regulation::process::boundary_after;
+use autoplat_regulation::{AccessDecision, MemGuard, MemGuardProcess, RegulationEvent};
+use autoplat_sched::rta::response_times;
+use autoplat_sched::simulate::simulate_global_fp;
+use autoplat_sched::TaskSet;
+use autoplat_sim::{Engine, FaultPlan, MetricsRegistry, SimDuration, SimRng, SimTime};
+
+use crate::scenario::{
+    DeterminismScenario, DramScenario, MemGuardScenario, NocScenario, Scenario, SchedScenario,
+};
+
+/// Absolute slack (ns / cycles / bytes) tolerated on float comparisons.
+const EPS: f64 = 1e-6;
+
+/// Fixed per-packet pipeline latency of an uncontended XY path, in
+/// cycles beyond the hop count: local injection, per-hop registration
+/// and local ejection. This is the `T` of the rate-latency service
+/// curve `beta(t) = max(0, t - (hops + T))` the NoC oracle assumes; the
+/// dense-reference equivalence tests pin the router to one cycle per
+/// hop, so 3 cycles of fixed overhead is sound with known slack.
+const NOC_PIPELINE_SLACK_CYCLES: u32 = 3;
+
+/// How a passing case passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseResult {
+    /// All invariants of the family held.
+    Pass,
+    /// The scenario made the invariants vacuous (e.g. an RTA-unschedulable
+    /// task set has nothing to promise).
+    Vacuous,
+}
+
+/// A violated invariant, with enough context to diagnose it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable invariant identifier, e.g. `dram.upper_dominates_sim`.
+    pub invariant: &'static str,
+    /// Human-readable numbers behind the violation.
+    pub details: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.details)
+    }
+}
+
+fn violation(invariant: &'static str, details: String) -> Result<CaseResult, Violation> {
+    Err(Violation { invariant, details })
+}
+
+/// The conformance oracle. `wcd_upper_scale` deliberately weakens the
+/// DRAM upper bound and exists so tests can prove the harness *catches*
+/// a broken bound; every real sweep runs with the default `1.0`.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Multiplier applied to the WCD upper bound before comparison.
+    pub wcd_upper_scale: f64,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle {
+            wcd_upper_scale: 1.0,
+        }
+    }
+}
+
+impl Oracle {
+    /// Checks every invariant of the scenario's family.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found.
+    pub fn check(&self, scenario: &Scenario) -> Result<CaseResult, Violation> {
+        match scenario {
+            Scenario::Dram(s) => self.check_dram(s),
+            Scenario::Noc(s) => check_noc(s),
+            Scenario::MemGuard(s) => check_memguard(s),
+            Scenario::Sched(s) => check_sched(s),
+            Scenario::Determinism(s) => check_determinism(s),
+        }
+    }
+
+    fn check_dram(&self, s: &DramScenario) -> Result<CaseResult, Violation> {
+        let params = s.params();
+        let (lower, upper) = match bounds(&params) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Generation keeps the write rate at <= 85% of saturation,
+                // so the analysis must produce a finite bound.
+                return violation("dram.bound_exists", format!("{e} for {params:?}"));
+            }
+        };
+        if lower.delay_ns > upper.delay_ns + EPS {
+            return violation(
+                "dram.lower_below_upper",
+                format!(
+                    "lower {:.3} ns > upper {:.3} ns",
+                    lower.delay_ns, upper.delay_ns
+                ),
+            );
+        }
+
+        let ctrl = validation_controller(&params);
+        let workload = adversarial_wcd_workload(&params, upper.delay_ns);
+        let out = ctrl.simulate(workload, false);
+        let probe_id = u64::from(params.queue_position) - 1;
+        let observed_ns = match out.completions.iter().find(|c| c.request.id == probe_id) {
+            Some(c) => c.finished.as_ns(),
+            None => {
+                return violation(
+                    "dram.probe_served",
+                    format!("probe {probe_id} never completed"),
+                )
+            }
+        };
+        let limit = upper.delay_ns * self.wcd_upper_scale;
+        if observed_ns > limit + EPS {
+            return violation(
+                "dram.upper_dominates_sim",
+                format!(
+                    "simulated {observed_ns:.3} ns > {:.3} ns ({} x scale {})",
+                    limit, upper.delay_ns, self.wcd_upper_scale
+                ),
+            );
+        }
+        // Feasibility witness: the probe is the N-th read on one channel,
+        // and each earlier read occupies the data bus for at least one
+        // burst, so the probe cannot complete before (N-1) bursts.
+        let floor_ns = (params.queue_position - 1) as f64 * params.timing.t_burst;
+        if observed_ns + EPS < floor_ns {
+            return violation(
+                "dram.sim_above_serialization_floor",
+                format!("simulated {observed_ns:.3} ns < serialization floor {floor_ns:.3} ns"),
+            );
+        }
+        Ok(CaseResult::Pass)
+    }
+}
+
+fn check_noc(s: &NocScenario) -> Result<CaseResult, Violation> {
+    let tb = TokenBucket::new(s.burst_flits(), s.rate());
+    let hops = s.cols - 1; // west-to-east along one row
+    let latency = f64::from(hops + NOC_PIPELINE_SLACK_CYCLES);
+    let rl = RateLatency::new(1.0, latency);
+    let delay = match token_bucket_delay(&tb, &rl) {
+        Some(d) => d,
+        None => {
+            return violation(
+                "noc.stable",
+                format!("rate {} exceeds service rate 1.0", s.rate()),
+            )
+        }
+    };
+    let backlog = token_bucket_backlog(&tb, &rl).expect("stable by the same test");
+
+    // The generic piecewise-linear machinery must agree with the closed
+    // forms — the netcalc half of the differential check.
+    let generic_delay = delay_bound(&tb.to_curve(), &rl.to_curve());
+    let generic_backlog = backlog_bound(&tb.to_curve(), &rl.to_curve());
+    if generic_delay
+        .map(|d| (d - delay).abs() > EPS)
+        .unwrap_or(true)
+    {
+        return violation(
+            "noc.netcalc_closed_form_matches_generic",
+            format!("closed-form delay {delay} vs generic {generic_delay:?}"),
+        );
+    }
+    if generic_backlog
+        .map(|b| (b - backlog).abs() > EPS)
+        .unwrap_or(true)
+    {
+        return violation(
+            "noc.netcalc_closed_form_matches_generic",
+            format!("closed-form backlog {backlog} vs generic {generic_backlog:?}"),
+        );
+    }
+
+    let mut sim = NocSim::new(NocConfig::new(s.cols, s.rows));
+    let releases = s.release_cycles();
+    let mut released: Vec<(u64, u64)> = Vec::new(); // (packet id, release cycle)
+    let mut id = 0u64;
+    for row in 0..s.rows {
+        let src = NodeId::at(0, row, s.cols);
+        let dest = NodeId::at(s.cols - 1, row, s.cols);
+        for &cycle in &releases {
+            sim.inject(Packet::new(id, src, dest, s.flits_per_packet), cycle);
+            released.push((id, cycle));
+            id += 1;
+        }
+    }
+    let last_release = releases.last().copied().unwrap_or(0);
+    let max_cycles = last_release
+        + u64::from(s.packets_per_flow * s.rows)
+            * u64::from(s.flits_per_packet + s.cols + NOC_PIPELINE_SLACK_CYCLES)
+            * 4
+        + 1_000;
+    if !sim.run_until_idle(max_cycles) {
+        return violation(
+            "noc.drains",
+            format!("network not idle after {max_cycles} cycles"),
+        );
+    }
+
+    let completed = sim.completed();
+    if completed.len() != released.len() {
+        return violation(
+            "noc.all_delivered",
+            format!(
+                "{} of {} packets delivered",
+                completed.len(),
+                released.len()
+            ),
+        );
+    }
+    let record_of = |pid: u64| -> &PacketRecord {
+        completed
+            .iter()
+            .find(|r| r.packet.id == pid)
+            .expect("delivered")
+    };
+
+    // Delay: every packet's tail ejection, measured from its token-bucket
+    // release, must stay within the analytic horizontal deviation.
+    for &(pid, release) in &released {
+        let eject = record_of(pid).ejected_cycle();
+        let observed = eject.saturating_sub(release) as f64;
+        if observed > delay + EPS {
+            return violation(
+                "noc.delay_bound_dominates",
+                format!(
+                    "packet {pid}: observed delay {observed} cycles > bound {delay:.3} \
+                     (release {release}, eject {eject}, {s:?})"
+                ),
+            );
+        }
+    }
+
+    // Backlog: at each arrival instant, released-but-not-ejected flits of
+    // a flow must stay within the vertical deviation.
+    let flits = u64::from(s.flits_per_packet);
+    for flow in 0..s.rows {
+        let base = u64::from(flow) * u64::from(s.packets_per_flow);
+        let ids: Vec<u64> = (0..u64::from(s.packets_per_flow))
+            .map(|k| base + k)
+            .collect();
+        for &t in &releases {
+            let arrived: u64 = releases.iter().filter(|&&r| r <= t).count() as u64 * flits;
+            let departed: u64 = ids
+                .iter()
+                .filter(|&&pid| record_of(pid).ejected_cycle() <= t)
+                .count() as u64
+                * flits;
+            let observed = arrived.saturating_sub(departed) as f64;
+            if observed > backlog + EPS {
+                return violation(
+                    "noc.backlog_bound_dominates",
+                    format!(
+                        "flow {flow} at cycle {t}: backlog {observed} flits > bound {backlog:.3}"
+                    ),
+                );
+            }
+        }
+    }
+    // XY routing invariant the bound relies on: hop count is what the
+    // mesh geometry says.
+    let mesh = Mesh::new(s.cols, s.rows);
+    let measured_hops = mesh.hops(NodeId::at(0, 0, s.cols), NodeId::at(s.cols - 1, 0, s.cols));
+    if measured_hops != hops {
+        return violation(
+            "noc.hop_model",
+            format!("mesh hops {measured_hops} != model hops {hops}"),
+        );
+    }
+    Ok(CaseResult::Pass)
+}
+
+fn check_memguard(s: &MemGuardScenario) -> Result<CaseResult, Violation> {
+    let period = SimDuration::from_ns(s.period_ns as f64);
+    let cores = s.budgets.len();
+    let mut lazy = MemGuard::new(period, s.budgets.clone());
+    let mut eager = MemGuard::new(period, s.budgets.clone());
+    let mut now_ns = 0u64;
+    let mut eager_boundary = period.as_ps();
+    for access in &s.accesses {
+        now_ns += access.gap_ns;
+        let now = SimTime::from_ns(now_ns as f64);
+        let core = access.core as usize % cores;
+        let budget = s.budgets[core];
+        let before = lazy_used_after_roll(&mut lazy, core, now);
+        let decision = lazy.try_access(core, access.bytes, now);
+        match decision {
+            AccessDecision::Granted => {
+                if budget == 0 {
+                    return violation(
+                        "memguard.zero_budget_never_grants",
+                        format!("core {core} granted {} bytes at {now_ns} ns", access.bytes),
+                    );
+                }
+                if before >= budget {
+                    return violation(
+                        "memguard.no_grant_past_budget",
+                        format!(
+                            "core {core} at {now_ns} ns: {before} bytes already used >= \
+                             budget {budget}, yet granted"
+                        ),
+                    );
+                }
+                // At most one overdraw: usage after the grant is below
+                // budget + the access size.
+                if lazy.used(core) >= budget + access.bytes {
+                    return violation(
+                        "memguard.single_overdraw",
+                        format!(
+                            "core {core}: used {} >= budget {budget} + access {}",
+                            lazy.used(core),
+                            access.bytes
+                        ),
+                    );
+                }
+            }
+            AccessDecision::ThrottledUntil(until) => {
+                let expected = boundary_after(period, now);
+                if until != expected {
+                    return violation(
+                        "memguard.throttle_points_to_boundary",
+                        format!(
+                            "core {core} at {now_ns} ns throttled until {} ps, \
+                             boundary is {} ps",
+                            until.as_ps(),
+                            expected.as_ps()
+                        ),
+                    );
+                }
+                if until <= now {
+                    return violation(
+                        "memguard.throttle_in_future",
+                        format!(
+                            "throttle target {} ps <= now {} ps",
+                            until.as_ps(),
+                            now.as_ps()
+                        ),
+                    );
+                }
+            }
+        }
+        // Differential: explicit boundary replenishment must take the
+        // same decision as the lazy roll.
+        while eager_boundary <= now.as_ps() {
+            eager.replenish(SimTime::from_ps(eager_boundary));
+            eager_boundary += period.as_ps();
+        }
+        let eager_decision = eager.try_access(core, access.bytes, now);
+        if eager_decision != decision {
+            return violation(
+                "memguard.lazy_matches_eager",
+                format!(
+                    "core {core} at {now_ns} ns: lazy {decision:?} vs eager {eager_decision:?}"
+                ),
+            );
+        }
+    }
+
+    // Event-driven path: the replenishment timer fires exactly once per
+    // boundary and leaves budgets fresh.
+    let mut mg = MemGuard::new(period, s.budgets.clone());
+    for (core, &budget) in s.budgets.iter().enumerate() {
+        if budget > 0 {
+            mg.try_access(core, budget.min(64), SimTime::ZERO);
+        }
+    }
+    let horizon = SimTime::ZERO + period * u64::from(s.horizon_periods) + period / 2;
+    let mut process = MemGuardProcess::new(mg, horizon);
+    if process.first_boundary() != SimTime::ZERO + period {
+        return violation(
+            "memguard.first_boundary",
+            format!(
+                "first boundary {} ps != period {} ps",
+                process.first_boundary().as_ps(),
+                period.as_ps()
+            ),
+        );
+    }
+    let mut engine: Engine<RegulationEvent> = Engine::new();
+    engine.schedule_at(process.first_boundary(), RegulationEvent::Replenish);
+    engine.run_until(&mut process, horizon);
+    if process.replenishments() != u64::from(s.horizon_periods) {
+        return violation(
+            "memguard.one_replenish_per_boundary",
+            format!(
+                "{} replenishments over {} periods",
+                process.replenishments(),
+                s.horizon_periods
+            ),
+        );
+    }
+    for core in 0..cores {
+        if process.memguard().used(core) != 0 {
+            return violation(
+                "memguard.replenish_resets_usage",
+                format!(
+                    "core {core} still shows {} bytes used after the last boundary",
+                    process.memguard().used(core)
+                ),
+            );
+        }
+    }
+    Ok(CaseResult::Pass)
+}
+
+/// Usage of `core` as the lazy regulator will see it for a decision at
+/// `now` (after its internal period roll), without issuing an access.
+fn lazy_used_after_roll(mg: &mut MemGuard, core: usize, now: SimTime) -> u64 {
+    mg.replenish(now);
+    mg.used(core)
+}
+
+fn check_sched(s: &SchedScenario) -> Result<CaseResult, Violation> {
+    let mut rng = SimRng::seed_from(s.taskset_seed);
+    let set = TaskSet::generate(
+        s.n as usize,
+        s.util_permille as f64 / 1000.0,
+        SimDuration::from_us(1.0),
+        SimDuration::from_us(50.0),
+        &mut rng,
+    )
+    .rate_monotonic();
+    let tasks = set.tasks();
+    let Some(rta) = response_times(tasks) else {
+        // RTA refuses the set: it promises nothing, so there is nothing
+        // for the simulator to contradict.
+        return Ok(CaseResult::Vacuous);
+    };
+    let max_period_ns = tasks
+        .iter()
+        .map(|t| t.period.as_ns())
+        .fold(0.0f64, f64::max);
+    let horizon = SimDuration::from_ns(max_period_ns * 4.0);
+    let outcome = simulate_global_fp(tasks, 1, horizon);
+    if !outcome.all_deadlines_met() {
+        return violation(
+            "sched.rta_admits_no_misses",
+            format!(
+                "{} deadline misses for an RTA-schedulable set {tasks:?}",
+                outcome.deadline_misses
+            ),
+        );
+    }
+    for (task, bound) in tasks.iter().zip(&rta) {
+        if let Some(observed) = outcome.worst_response.get(&task.id) {
+            if observed.as_ns() > bound.as_ns() + EPS {
+                return violation(
+                    "sched.rta_dominates_sim",
+                    format!(
+                        "task {}: observed response {:.3} ns > RTA {:.3} ns",
+                        task.id,
+                        observed.as_ns(),
+                        bound.as_ns()
+                    ),
+                );
+            }
+        }
+    }
+    Ok(CaseResult::Pass)
+}
+
+fn check_determinism(s: &DeterminismScenario) -> Result<CaseResult, Violation> {
+    // (1) Tick-stepped reference vs event-driven kernel on the same
+    // sparse traffic: per-packet records must be identical.
+    let build = || {
+        let mut sim = NocSim::new(NocConfig::new(s.cols, s.rows));
+        for i in 0..u64::from(s.packets) {
+            let src = NodeId::at(0, (i % u64::from(s.rows)) as u32, s.cols);
+            let dest = NodeId::at(s.cols - 1, s.rows - 1, s.cols);
+            sim.inject(Packet::new(i, src, dest, s.flits), i * u64::from(s.gap));
+        }
+        sim
+    };
+    let total_cycles = u64::from(s.packets) * u64::from(s.gap)
+        + u64::from((s.flits + s.cols + s.rows) * s.packets)
+        + 1_000;
+    let mut dense = build();
+    dense.run_cycles_dense(total_cycles);
+    let mut event = build();
+    event.run_cycles(total_cycles);
+    let sort = |sim: &NocSim| {
+        let mut records = sim.completed().to_vec();
+        records.sort_by_key(|r| r.packet.id);
+        records
+    };
+    let dense_records = sort(&dense);
+    let event_records = sort(&event);
+    if dense_records != event_records {
+        return violation(
+            "determinism.dense_matches_event",
+            format!(
+                "tick-stepped and event-driven records differ: {} vs {} delivered \
+                 (first mismatch {:?})",
+                dense_records.len(),
+                event_records.len(),
+                dense_records
+                    .iter()
+                    .zip(&event_records)
+                    .find(|(a, b)| a != b)
+            ),
+        );
+    }
+
+    // (2) Admission control under a probabilistic fault plan: the same
+    // seed must export byte-identical metrics.
+    let fault_plan = || {
+        FaultPlan::new()
+            .drop_probability(s.drop_permille as f64 / 1000.0)
+            .delay_probability(s.delay_permille as f64 / 1000.0)
+            .duplicate_probability(s.dup_permille as f64 / 1000.0)
+            .max_delay_cycles(8)
+    };
+    let admission_run = || {
+        let mut scenario =
+            autoplat_admission::Scenario::new(SymmetricPolicy::new(0.1, 8.0), s.cols, s.rows)
+                .event(
+                    0,
+                    ScenarioEvent::Activate(Application::best_effort(AppId(0), 0)),
+                )
+                .event(
+                    500,
+                    ScenarioEvent::Activate(Application::best_effort(AppId(1), 1)),
+                )
+                .horizon(4_000)
+                .faults(fault_plan(), s.seed);
+        if s.crash_client {
+            scenario = scenario.event(1_500, ScenarioEvent::Crash(AppId(1)));
+        }
+        let outcome = scenario.run();
+        let mut metrics = MetricsRegistry::new();
+        outcome.publish_metrics(&mut metrics);
+        metrics.to_json()
+    };
+    let first = admission_run();
+    let second = admission_run();
+    if first != second {
+        return violation(
+            "determinism.admission_byte_identical",
+            format!(
+                "same-seed admission exports differ ({} vs {} bytes)",
+                first.len(),
+                second.len()
+            ),
+        );
+    }
+
+    // (3) Optionally the composed co-simulation, the heaviest surface.
+    if s.include_cosim {
+        let cosim_run = || {
+            let mut cfg = CoSimConfig::small();
+            cfg.horizon = SimTime::from_us(10.0);
+            cfg.seed = s.seed;
+            cfg.fault_plan = fault_plan();
+            cfg.controls = vec![(
+                SimTime::from_us(3.0),
+                ControlCommand::SetBudget {
+                    core: 2,
+                    bytes_per_period: 1_024,
+                },
+            )];
+            CoSim::new(cfg).run().metrics.to_json()
+        };
+        let first = cosim_run();
+        let second = cosim_run();
+        if first != second {
+            return violation(
+                "determinism.cosim_byte_identical",
+                format!(
+                    "same-seed co-simulation exports differ ({} vs {} bytes)",
+                    first.len(),
+                    second.len()
+                ),
+            );
+        }
+    }
+    Ok(CaseResult::Pass)
+}

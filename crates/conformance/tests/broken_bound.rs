@@ -1,0 +1,71 @@
+//! Meta-test: the harness must actually catch a broken bound. We
+//! deliberately halve the WCD upper bound via `Oracle::wcd_upper_scale`
+//! and require the sweep to produce a shrunk, replayable failure.
+
+use autoplat_conformance::{case_seed, run_case, Family, Oracle, Scenario, SweepConfig};
+
+const CASES: u64 = 50;
+const MASTER_SEED: u64 = 7;
+
+#[test]
+fn halved_wcd_upper_bound_is_caught_and_shrunk() {
+    let broken = Oracle {
+        wcd_upper_scale: 0.5,
+    };
+    let sound = Oracle::default();
+    let mut caught = 0;
+    for case in 0..CASES {
+        let seed = case_seed(MASTER_SEED, Family::Dram, case);
+        let Err(shrunk) = run_case(&broken, Family::Dram, seed) else {
+            continue;
+        };
+        caught += 1;
+        assert_eq!(
+            shrunk.violation.invariant, "dram.upper_dominates_sim",
+            "halving the upper bound must trip the dominance check, got {}",
+            shrunk.violation
+        );
+        // The shrunk reproducer is no larger than the original scenario
+        // and still fails on its own — i.e. it replays.
+        let original = {
+            let mut rng = autoplat_sim::SimRng::seed_from(seed);
+            Scenario::generate(Family::Dram, &mut rng)
+        };
+        assert!(shrunk.scenario.size() <= original.size());
+        let replayed = broken.check(&shrunk.scenario);
+        assert!(replayed.is_err(), "shrunk scenario must still fail");
+        // The same scenario is conformant under the unbroken oracle: the
+        // failure is the injected fault, not a real regression.
+        sound
+            .check(&shrunk.scenario)
+            .unwrap_or_else(|v| panic!("scenario must pass the sound oracle, got {v}"));
+    }
+    assert!(
+        caught >= CASES / 2,
+        "a halved upper bound must be caught broadly, caught only {caught}/{CASES}"
+    );
+}
+
+#[test]
+fn sweep_reports_broken_bound_failures_with_reproducers() {
+    let config = SweepConfig {
+        seed: MASTER_SEED,
+        cases: 5,
+        family: Some(Family::Dram),
+        oracle: Oracle {
+            wcd_upper_scale: 0.5,
+        },
+    };
+    let report = autoplat_conformance::run_sweep(&config);
+    assert!(!report.all_passed(), "the sweep must surface the breakage");
+    assert_eq!(report.total_violations(), report.failures.len() as u64);
+    for failure in &report.failures {
+        assert!(failure.shrunk.scenario.size() <= failure.original_size);
+        let text = failure.reproducer();
+        assert!(text.contains("--family dram"), "{text}");
+        assert!(
+            text.contains(&format!("--case-seed 0x{:x}", failure.case_seed)),
+            "{text}"
+        );
+    }
+}

@@ -508,7 +508,13 @@ impl Process for Run<'_> {
                 RequestKind::Write => t.t_cl, // CWL approximated by CL
             };
             let done = begin + SimDuration::from_ns(t.t_rp + t.t_rcd + cas + t.t_burst);
-            bank.ready_at = begin + SimDuration::from_ns(t.t_rp + t.t_rc());
+            // The activate issues at `begin + tRP`; the next activate to
+            // this bank must trail it by tRC, so the next miss's precharge
+            // may start at `begin + tRP + tRAS` (= `begin + tRC`).
+            // Back-to-back same-bank misses are therefore spaced by
+            // `max(tRC, pipeline)`, which is what
+            // [`DramTiming::read_miss_cost`] models.
+            bank.ready_at = begin + SimDuration::from_ns(t.t_rp + t.t_ras);
             bank.open_row = Some(req.row);
             done
         };
@@ -548,6 +554,86 @@ impl Process for Run<'_> {
     fn tag(&self, _event: &DramEvent) -> &'static str {
         "dram.kick"
     }
+}
+
+/// The controller instance whose worst case the WCD analysis of §IV-A
+/// describes: the analysis batches writes whenever `N_wd` of them are
+/// available (it has no `W_high` input), so the watermark is lowered to
+/// `N_wd`, and writes are modelled at row-hit cost (`N_wd × tBurst` per
+/// batch), so the write stream lives on its own bank (bank 1) where its
+/// row stays open between batches.
+///
+/// Use this together with [`adversarial_wcd_workload`] when comparing
+/// the simulator against [`crate::wcd::bounds`].
+pub fn validation_controller(params: &crate::wcd::WcdParams) -> FrFcfsController {
+    let cfg = params.config.with_watermarks(
+        params.config.w_low.min(params.config.n_wd),
+        params.config.n_wd,
+    );
+    FrFcfsController::new(params.timing.clone(), cfg, 2)
+}
+
+/// The adversarial workload the WCD analysis of §IV-A reasons about,
+/// materialized as a request stream for [`FrFcfsController::simulate`]:
+/// `N` distinct-row read misses on bank 0 at `t = 0` (the probe is the
+/// `N`-th, id `N - 1`), `N_cap` hot-row hits arriving just after, and
+/// writes at the token-bucket envelope until `horizon_ns`.
+///
+/// Both the bench validation sweep and the conformance harness drive the
+/// simulator with this stream and compare the probe's completion against
+/// [`crate::wcd::bounds`] — run it on [`validation_controller`], which
+/// realizes the analysis's batching and row-hit write assumptions.
+/// Writes target bank 1 (the analysis charges batches at row-hit cost,
+/// which a write stream sharing the read bank would not satisfy) and are
+/// emitted at the steady rate `1/r` starting at `t = 0`, which conforms
+/// to the `(b, r)` bucket whenever `b >= 1`; the emission count is
+/// capped so near-saturation parameters cannot produce unbounded
+/// streams.
+pub fn adversarial_wcd_workload(params: &crate::wcd::WcdParams, horizon_ns: f64) -> Vec<Request> {
+    let n = params.queue_position as u64;
+    let mut reqs = Vec::new();
+    let mut id = 0u64;
+    for i in 0..n {
+        reqs.push(Request::new(
+            id,
+            MasterId(0),
+            RequestKind::Read,
+            0,
+            1000 + i,
+            SimTime::ZERO,
+        ));
+        id += 1;
+    }
+    for _ in 0..params.config.n_cap {
+        reqs.push(Request::new(
+            id,
+            MasterId(0),
+            RequestKind::Read,
+            0,
+            1000, // hot row opened by the first miss
+            SimTime::from_ns(0.05),
+        ));
+        id += 1;
+    }
+    let burst = params.writes.burst();
+    let rate = params.writes.rate();
+    // Greedy emission along the arrival envelope: write k arrives as soon
+    // as the bucket admits k+1 writes, i.e. at ((k+1) - b) / r (clamped to
+    // 0 — the first floor(b) writes land at t = 0). Cumulative arrivals at
+    // any t then equal floor(b + r*t), the tightest conformant stream.
+    let count = ((burst + rate * horizon_ns).floor() as u64 + 64).min(200_000);
+    for k in 0..count {
+        let at = if (k + 1) as f64 <= burst {
+            SimTime::ZERO
+        } else if rate > 0.0 {
+            SimTime::from_ns(((k + 1) as f64 - burst) / rate)
+        } else {
+            break; // empty bucket: no further writes are ever admitted
+        };
+        reqs.push(Request::new(id, MasterId(1), RequestKind::Write, 1, 77, at));
+        id += 1;
+    }
+    reqs
 }
 
 #[cfg(test)]

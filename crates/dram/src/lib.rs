@@ -58,6 +58,8 @@ pub mod wcd;
 
 pub use channel::{ChannelAccess, DramChannel};
 pub use config::ControllerConfig;
-pub use controller::{DramEvent, FrFcfsController};
+pub use controller::{
+    adversarial_wcd_workload, validation_controller, DramEvent, FrFcfsController,
+};
 pub use request::{Request, RequestKind};
 pub use timing::DramTiming;

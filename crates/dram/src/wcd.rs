@@ -495,6 +495,45 @@ mod tests {
     }
 
     #[test]
+    fn not_converged_carries_final_iteration_diagnostics() {
+        // A write rate at (1 - 1e-10) of the saturation rate keeps
+        // rho < 1, so the Saturated guard passes, but the fixpoint
+        // D* ~ base / (1 - rho) sits ~1e10 iterations of batch work away:
+        // the loop must give up at its internal limit and report the full
+        // state of the last iteration instead of spinning or panicking.
+        let t = ddr3_1600();
+        let cfg = ControllerConfig::paper();
+        let c_batch = t.write_batch_cost(cfg.n_wd);
+        let r_crit = (1.0 - t.t_rfc / t.t_refi) * cfg.n_wd as f64 / c_batch;
+        let p = WcdParams {
+            timing: t.clone(),
+            config: cfg,
+            writes: TokenBucket::new(8.0, r_crit * (1.0 - 1e-10)),
+            queue_position: 16,
+        };
+        match upper_bound(&p) {
+            Err(WcdError::NotConverged {
+                last_delay_ns,
+                iterations,
+                write_batches,
+                refreshes,
+            }) => {
+                assert_eq!(iterations, 100_000, "must run to the internal limit");
+                assert!(
+                    last_delay_ns > 16.0 * t.read_miss_cost(),
+                    "last T must carry the partial fixpoint, got {last_delay_ns}"
+                );
+                assert!(
+                    write_batches > 0,
+                    "diverging iteration is driven by write batches"
+                );
+                assert!(refreshes >= 1, "the in-flight refresh is always counted");
+            }
+            other => panic!("expected NotConverged with diagnostics, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_display() {
         let e = WcdError::Saturated { utilization: 1.2 };
         assert!(e.to_string().contains("saturates"));

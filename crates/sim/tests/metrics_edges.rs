@@ -1,0 +1,99 @@
+//! Histogram-sketch edge cases at the export boundary: empty sketches,
+//! single-sample quantiles and merges of disjoint log-bucket ranges must
+//! all produce valid, byte-stable JSON.
+
+use autoplat_sim::metrics::validate_json_export;
+use autoplat_sim::{HistogramSketch, MetricsRegistry};
+
+#[test]
+fn merging_an_empty_sketch_exports_a_valid_null_histogram() {
+    let mut metrics = MetricsRegistry::new();
+    metrics.merge_histogram("edge.empty", &HistogramSketch::new());
+
+    let h = metrics.histogram("edge.empty").expect("entry exists");
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    assert_eq!(h.p50(), None);
+    assert_eq!(h.p99(), None);
+    assert_eq!(h.mean(), 0.0);
+
+    // The export carries the zero-count entry with null statistics and
+    // still validates against the schema.
+    let json = metrics.to_json();
+    validate_json_export(&json).expect("schema-valid export");
+    assert!(json.contains("\"edge.empty\""), "{json}");
+    assert!(json.contains("\"count\":0"), "{json}");
+    assert!(
+        json.contains("null"),
+        "empty stats must export as null: {json}"
+    );
+}
+
+#[test]
+fn single_sample_quantiles_are_exact() {
+    // Quantiles clamp to the observed [min, max], so one sample answers
+    // every quantile exactly even though the log-bucket it lands in has
+    // ~9% relative width.
+    let mut sketch = HistogramSketch::new();
+    sketch.record(123.456);
+    assert_eq!(sketch.count(), 1);
+    for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            sketch.quantile(q),
+            Some(123.456),
+            "q={q} of a single sample must be the sample itself"
+        );
+    }
+    assert_eq!(sketch.min(), Some(123.456));
+    assert_eq!(sketch.max(), Some(123.456));
+    assert_eq!(sketch.mean(), 123.456);
+
+    let mut metrics = MetricsRegistry::new();
+    metrics.merge_histogram("edge.single", &sketch);
+    validate_json_export(&metrics.to_json()).expect("schema-valid export");
+}
+
+#[test]
+fn merge_of_disjoint_bucket_ranges_is_exact_and_order_independent() {
+    // Dyadic sample values land exactly on bucket boundaries and sum
+    // exactly in f64, so the merged sketch must agree byte-for-byte no
+    // matter which side is folded in first.
+    let mut low = HistogramSketch::new();
+    low.record(0.25);
+    low.record(0.5);
+    let mut high = HistogramSketch::new();
+    high.record(1024.0);
+    high.record(2048.0);
+
+    let mut a = HistogramSketch::new();
+    a.merge(&low);
+    a.merge(&high);
+    let mut b = HistogramSketch::new();
+    b.merge(&high);
+    b.merge(&low);
+
+    for merged in [&a, &b] {
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.min(), Some(0.25));
+        assert_eq!(merged.max(), Some(2048.0));
+        assert_eq!(merged.sum(), 0.25 + 0.5 + 1024.0 + 2048.0);
+        // The p25 estimate stays in the low range, p99 clamps to max.
+        let p25 = merged.quantile(0.25).expect("non-empty");
+        assert!(p25 <= 1.0, "low-range quantile leaked upward: {p25}");
+        assert_eq!(merged.quantile(0.99), Some(2048.0));
+    }
+
+    let export = |sketch: &HistogramSketch| {
+        let mut metrics = MetricsRegistry::new();
+        metrics.merge_histogram("edge.disjoint", sketch);
+        let json = metrics.to_json();
+        validate_json_export(&json).expect("schema-valid export");
+        json
+    };
+    assert_eq!(
+        export(&a),
+        export(&b),
+        "merge order must not change a single exported byte"
+    );
+}
