@@ -26,6 +26,16 @@ cargo run -q -p autoplat-bench --bin cosim -- --smoke \
     --export-json "$SMOKE_DIR/cosim.json" >/dev/null
 cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/cosim.json"
 
+echo "== closed-loop QoS smoke (MPAM monitors + regulation + schema gate) =="
+cargo run -q -p autoplat-bench --bin cosim -- --smoke --closed-loop \
+    --export-json "$SMOKE_DIR/cosim_loop.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/cosim_loop.json"
+
+echo "== sensor-fault-storm smoke (graceful degradation + schema gate) =="
+cargo run -q -p autoplat-bench --bin cosim -- --smoke --closed-loop --sensor-faults \
+    --export-json "$SMOKE_DIR/cosim_storm.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/cosim_storm.json"
+
 echo "== conformance smoke (bounds-vs-simulators sweep + schema gate) =="
 # 5 cases per oracle family by default; widen with CONFORMANCE_CASES=200 ./ci.sh
 cargo run -q -p autoplat-bench --bin conformance -- \

@@ -125,7 +125,12 @@ pub struct AdmissionOutcome {
 #[derive(Debug)]
 pub struct ResourceManager<P> {
     policy: P,
+    /// The active applications in admission order (the mode's member
+    /// list); `active_ids` indexes it for membership tests.
     active: Vec<Application>,
+    /// Index over `active` keyed by client id, so membership checks and
+    /// removals need no linear scan.
+    active_ids: BTreeSet<AppId>,
     log: MessageLog,
     mode_changes: u64,
     rejections: u64,
@@ -150,7 +155,10 @@ pub struct ResourceManager<P> {
     degraded: BTreeSet<AppId>,
     next_seq: u64,
     rx: ReceiveState,
-    pending_confs: Vec<PendingConf>,
+    /// At most one unacknowledged `confMsg` per client (newer rounds
+    /// supersede older ones), keyed by client id so retransmission and
+    /// give-up sweeps iterate in deterministic id order.
+    pending_confs: BTreeMap<AppId, PendingConf>,
     reclamations: u64,
     safe_mode_entries: u64,
     conf_retransmissions: u64,
@@ -173,6 +181,7 @@ impl<P: RatePolicy> ResourceManager<P> {
         Ok(ResourceManager {
             policy,
             active: Vec::new(),
+            active_ids: BTreeSet::new(),
             log: MessageLog::new(),
             mode_changes: 0,
             rejections: 0,
@@ -187,7 +196,7 @@ impl<P: RatePolicy> ResourceManager<P> {
             degraded: BTreeSet::new(),
             next_seq: 0,
             rx: ReceiveState::new(),
-            pending_confs: Vec::new(),
+            pending_confs: BTreeMap::new(),
             reclamations: 0,
             safe_mode_entries: 0,
             conf_retransmissions: 0,
@@ -219,6 +228,26 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// The currently active applications.
     pub fn active(&self) -> &[Application] {
         &self.active
+    }
+
+    /// Whether `app` is in the active set (indexed lookup, no scan).
+    fn is_active(&self, app: AppId) -> bool {
+        self.active_ids.contains(&app)
+    }
+
+    /// Adds `app` to the active set, keeping the id index in sync.
+    fn activate(&mut self, app: Application) {
+        self.active_ids.insert(app.id);
+        self.active.push(app);
+    }
+
+    /// Removes `app` from the active set; `true` when it was present.
+    fn deactivate(&mut self, app: AppId) -> bool {
+        if !self.active_ids.remove(&app) {
+            return false;
+        }
+        self.active.retain(|a| a.id != app);
+        true
     }
 
     /// The protocol message log.
@@ -256,7 +285,7 @@ impl<P: RatePolicy> ResourceManager<P> {
         candidate.push(app);
         match self.compute_rates(&candidate) {
             Some(rates) => {
-                self.active = candidate;
+                self.activate(app);
                 self.mode_changes += 1;
                 let mode = self.mode();
                 self.reconfigure(now, &rates, mode);
@@ -284,9 +313,7 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// Unknown applications are ignored (idempotent termination).
     pub fn terminate(&mut self, app: AppId, now: SimTime) {
         self.log.record(now, ControlMessage::Termination { app });
-        let before = self.active.len();
-        self.active.retain(|a| a.id != app);
-        if self.active.len() != before {
+        if self.deactivate(app) {
             self.mode_changes += 1;
             let mode = self.mode();
             if let Some(rates) = self.compute_rates(&self.active.clone()) {
@@ -430,12 +457,14 @@ impl<P: RatePolicy> ResourceManager<P> {
             let envelope = self.envelope_to(*app, now_cycle, conf);
             // A newer round supersedes any conf still in flight to the
             // same client.
-            self.pending_confs.retain(|p| p.envelope.to != envelope.to);
-            self.pending_confs.push(PendingConf {
-                envelope,
-                attempts: 1,
-                next_retry_cycle: now_cycle + self.retry.backoff_cycles(0),
-            });
+            self.pending_confs.insert(
+                *app,
+                PendingConf {
+                    envelope,
+                    attempts: 1,
+                    next_retry_cycle: now_cycle + self.retry.backoff_cycles(0),
+                },
+            );
             out.push(envelope);
         }
         self.overhead += SimDuration::from_ns(2.0 * self.message_latency_ns);
@@ -471,9 +500,15 @@ impl<P: RatePolicy> ResourceManager<P> {
             }
             ControlMessage::Heartbeat { .. } => Vec::new(),
             ControlMessage::Ack { app, of_seq } => {
-                self.pending_confs.retain(|p| {
-                    !(p.envelope.to == Endpoint::Client(app) && p.envelope.seq == of_seq)
-                });
+                // Only the ack of the *current* pending conf clears it;
+                // a stale ack of a superseded round keeps retransmitting.
+                if self
+                    .pending_confs
+                    .get(&app)
+                    .is_some_and(|p| p.envelope.seq == of_seq)
+                {
+                    self.pending_confs.remove(&app);
+                }
                 Vec::new()
             }
             // RM-originated kinds arriving here are protocol noise.
@@ -489,7 +524,7 @@ impl<P: RatePolicy> ResourceManager<P> {
         let app = envelope.message.app();
         match envelope.message {
             ControlMessage::Activation { .. } => {
-                if self.active.iter().any(|a| a.id == app) {
+                if self.is_active(app) {
                     // Already admitted: re-send this client's current conf.
                     let rates = self
                         .compute_rates(&self.active.clone())
@@ -528,7 +563,7 @@ impl<P: RatePolicy> ResourceManager<P> {
     fn receive_activation(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
         let now = SimTime::from_ns(now_cycle as f64);
         self.log.record(now, ControlMessage::Activation { app });
-        if self.active.iter().any(|a| a.id == app) {
+        if self.is_active(app) {
             // Already active (e.g. re-activation racing a reclamation):
             // just re-confirm.
             return self.respond_to_duplicate(
@@ -558,7 +593,7 @@ impl<P: RatePolicy> ResourceManager<P> {
         if self.compute_rates(&candidate).is_none() {
             return refusal(self);
         }
-        self.active = candidate;
+        self.activate(application);
         self.mode_changes += 1;
         self.last_heartbeat.insert(app, now_cycle);
         self.reconfigure_envelopes(now_cycle)
@@ -567,9 +602,7 @@ impl<P: RatePolicy> ResourceManager<P> {
     fn receive_termination(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
         let now = SimTime::from_ns(now_cycle as f64);
         self.log.record(now, ControlMessage::Termination { app });
-        let before = self.active.len();
-        self.active.retain(|a| a.id != app);
-        if self.active.len() == before {
+        if !self.deactivate(app) {
             return Vec::new();
         }
         self.mode_changes += 1;
@@ -581,8 +614,7 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// (termination or reclamation).
     fn release(&mut self, app: AppId) {
         self.last_heartbeat.remove(&app);
-        self.pending_confs
-            .retain(|p| p.envelope.to != Endpoint::Client(app));
+        self.pending_confs.remove(&app);
         // The unreachable client is gone; degradation ends with it.
         self.degraded.remove(&app);
         // A future incarnation of the client starts its sequence numbers
@@ -593,7 +625,11 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// The next cycle at which [`poll`](Self::poll) has work: a due
     /// `confMsg` retransmission or a watchdog expiry.
     pub fn next_deadline(&self) -> Option<u64> {
-        let retry = self.pending_confs.iter().map(|p| p.next_retry_cycle).min();
+        let retry = self
+            .pending_confs
+            .values()
+            .map(|p| p.next_retry_cycle)
+            .min();
         let watchdog = self
             .last_heartbeat
             .values()
@@ -612,14 +648,14 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// envelopes to hand to the control plane.
     pub fn poll(&mut self, now_cycle: u64) -> Vec<Envelope> {
         let mut out = Vec::new();
-        // Retransmissions.
+        // Retransmissions, in ascending client-id order.
         let mut gave_up: Vec<AppId> = Vec::new();
-        for p in &mut self.pending_confs {
+        for (&app, p) in &mut self.pending_confs {
             if now_cycle < p.next_retry_cycle {
                 continue;
             }
             if p.attempts >= self.retry.max_attempts() {
-                gave_up.push(p.envelope.message.app());
+                gave_up.push(app);
                 continue;
             }
             let mut envelope = p.envelope;
@@ -630,8 +666,7 @@ impl<P: RatePolicy> ResourceManager<P> {
             out.push(envelope);
         }
         for app in gave_up {
-            self.pending_confs
-                .retain(|p| p.envelope.message.app() != app);
+            self.pending_confs.remove(&app);
             if self.degraded.is_empty() {
                 self.safe_mode_entries += 1;
             }
@@ -653,10 +688,9 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// Forcibly terminates `app` (presumed dead), redistributing its
     /// bandwidth to the survivors, and quarantines it when it flaps.
     fn reclaim(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
-        let before = self.active.len();
-        self.active.retain(|a| a.id != app);
+        let was_active = self.deactivate(app);
         self.release(app);
-        if self.active.len() == before {
+        if !was_active {
             return Vec::new();
         }
         self.reclamations += 1;
@@ -967,6 +1001,67 @@ mod tests {
         assert_eq!(rm.next_deadline(), Some(50 + 1_000));
         assert!(rm.poll(500).is_empty());
         assert_eq!(rm.conf_retransmissions(), 0);
+    }
+
+    #[test]
+    fn poll_retransmits_in_ascending_client_id_order() {
+        let mut rm = ft_rm();
+        // Admit in descending id order so insertion order differs from
+        // id order; none of the confs is ever acked.
+        for (i, app) in [3u32, 1, 2, 0].iter().enumerate() {
+            let _ = rm.receive(act(*app, 0, i as u64), i as u64);
+        }
+        assert_eq!(rm.pending_conf_count(), 4);
+        let out = rm.poll(500);
+        let order: Vec<AppId> = out.iter().map(|e| e.message.app()).collect();
+        assert_eq!(
+            order,
+            vec![AppId(0), AppId(1), AppId(2), AppId(3)],
+            "retransmission sweep must iterate the pending map in id order"
+        );
+    }
+
+    #[test]
+    fn stale_ack_of_superseded_conf_keeps_current_pending() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 0), 0);
+        let old_conf = out.iter().find(|e| e.message.name() == "confMsg").unwrap();
+        let old_seq = old_conf.seq;
+        // A second admission supersedes app 0's pending conf.
+        let out = rm.receive(act(1, 0, 10), 10);
+        let new_seq = out
+            .iter()
+            .find(|e| e.message.name() == "confMsg" && e.message.app() == AppId(0))
+            .unwrap()
+            .seq;
+        assert_ne!(old_seq, new_seq);
+        // The stale ack must not clear the superseding conf.
+        let _ = rm.receive(client_ack(0, 100, old_seq, 20), 20);
+        assert_eq!(rm.pending_conf_count(), 2);
+        // The current ack does.
+        let _ = rm.receive(client_ack(0, 101, new_seq, 30), 30);
+        assert_eq!(rm.pending_conf_count(), 1);
+    }
+
+    #[test]
+    fn active_index_stays_in_sync_across_lifecycle() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 0), 0);
+        settle_confs(&mut rm, &out, 1);
+        let out = rm.receive(act(1, 0, 5), 5);
+        settle_confs(&mut rm, &out, 6);
+        assert_eq!(rm.active().len(), 2);
+        // Instantaneous termination and watchdog reclamation both go
+        // through the indexed removal path.
+        rm.terminate(AppId(0), SimTime::from_ns(100.0));
+        assert!(rm.active().iter().all(|a| a.id != AppId(0)));
+        let _ = rm.poll(5_000); // app 1 silent past the timeout
+        assert_eq!(rm.reclamations(), 1);
+        assert!(rm.active().is_empty());
+        // Re-admission after removal works (the index forgot the id).
+        let out = rm.receive(act(0, 10, 6_000), 6_000);
+        assert!(out.iter().any(|e| e.message.name() == "confMsg"));
+        assert_eq!(rm.mode(), SystemMode(1));
     }
 
     #[test]

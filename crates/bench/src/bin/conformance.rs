@@ -5,7 +5,7 @@
 //! * `--cases N` — cases per family (default 50, `--smoke` forces 5)
 //! * `--seed S` — master seed (default 7)
 //! * `--family NAME` — restrict to one family (dram, noc, memguard,
-//!   sched, determinism)
+//!   sched, determinism, closedloop)
 //! * `--case-seed 0xHEX` — replay a single case seed (requires
 //!   `--family`); this is the reproducer line printed on failure
 //! * `--export-json PATH` / `--export-csv PATH` — metrics export

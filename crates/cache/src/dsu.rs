@@ -408,6 +408,51 @@ mod tests {
     }
 
     #[test]
+    fn fully_assigned_register_gives_pairwise_disjoint_scheme_masks() {
+        // Every group privately owned ⇒ no two schemes may ever allocate
+        // the same way — the property the closed-loop safe mode relies on.
+        let mut reg = ClusterPartCr::new();
+        for g in 0..4u8 {
+            reg.assign(PartitionGroup::new(g), SchemeId(g % 2));
+        }
+        for ways in [12u32, 16] {
+            for a in 0..8u8 {
+                for b in (a + 1)..8u8 {
+                    let ma = reg.way_mask(SchemeId(a), ways);
+                    let mb = reg.way_mask(SchemeId(b), ways);
+                    assert_eq!(
+                        ma & mb,
+                        0,
+                        "schemes {a} and {b} overlap on ways {ways}: {ma:#x} & {mb:#x}"
+                    );
+                }
+            }
+            // The owning schemes' masks cover the whole cache between them.
+            assert_eq!(
+                reg.way_mask(SchemeId(0), ways) | reg.way_mask(SchemeId(1), ways),
+                (1u64 << ways) - 1
+            );
+        }
+    }
+
+    #[test]
+    fn scheme_masks_overlap_exactly_on_unassigned_groups() {
+        // One private group each for schemes 0 and 1; groups 2-3 open.
+        let mut reg = ClusterPartCr::new();
+        reg.assign(PartitionGroup::new(0), SchemeId(0));
+        reg.assign(PartitionGroup::new(1), SchemeId(1));
+        let open = PartitionGroup::new(2).way_mask(16) | PartitionGroup::new(3).way_mask(16);
+        let m0 = reg.way_mask(SchemeId(0), 16);
+        let m1 = reg.way_mask(SchemeId(1), 16);
+        assert_eq!(m0 & m1, open, "overlap is exactly the unassigned ways");
+        // A scheme owning nothing competes only in the open region.
+        assert_eq!(reg.way_mask(SchemeId(5), 16), open);
+        // Private regions stay exclusive.
+        assert_eq!(m0 & PartitionGroup::new(1).way_mask(16), 0);
+        assert_eq!(m1 & PartitionGroup::new(0).way_mask(16), 0);
+    }
+
+    #[test]
     fn apply_to_installs_masks() {
         let mut cache = SetAssocCache::new(CacheConfig::new(16, 16, 64));
         let reg = ClusterPartCr::from_bits(0x8000_4201).expect("valid");

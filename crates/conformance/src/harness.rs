@@ -26,7 +26,7 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Cases per family.
     pub cases: u64,
-    /// Restrict the sweep to one family (`None` = all five).
+    /// Restrict the sweep to one family (`None` = all six).
     pub family: Option<Family>,
     /// Oracle configuration (tests use this to break a bound on purpose).
     pub oracle: Oracle,
@@ -177,7 +177,7 @@ mod tests {
                 assert!(seen.insert(case_seed(42, family, idx)));
             }
         }
-        assert_eq!(seen.len(), 5 * 64);
+        assert_eq!(seen.len(), 6 * 64);
     }
 
     #[test]

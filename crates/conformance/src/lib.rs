@@ -10,8 +10,9 @@
 //!
 //! 1. [`scenario`] generates random-but-valid scenarios per family
 //!    (DRAM configs + request streams, NoC topologies + flows, MemGuard
-//!    budgets + access traces, task sets, fault plans), each fully
-//!    determined by a single `u64` case seed;
+//!    budgets + access traces, task sets, fault plans, closed-loop QoS
+//!    compositions under sensor-fault storms), each fully determined by
+//!    a single `u64` case seed;
 //! 2. [`oracle`] replays each scenario through both the analysis and
 //!    the event-kernel simulator and checks the dominance invariants;
 //! 3. [`shrink`] greedily minimises any failing scenario;

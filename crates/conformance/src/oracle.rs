@@ -19,23 +19,34 @@
 //! * **Determinism** — tick-stepped and event-driven NoC kernels deliver
 //!   identical packet records, and same-seed runs under probabilistic
 //!   fault plans export byte-identical metrics.
+//! * **ClosedLoop** — monitored per-partition bandwidth never exceeds
+//!   the MPAM max-bandwidth control in force, disjoint L3 partitions
+//!   never evict each other, healthy sensors never degrade the loop,
+//!   every sensor-fault storm latches safe mode within its bounded
+//!   number of epochs with the matching typed reason, and same-seed
+//!   closed-loop runs export byte-identical metrics.
 
 use autoplat_admission::{AppId, Application, ScenarioEvent, SymmetricPolicy};
-use autoplat_core::{CoSim, CoSimConfig, ControlCommand};
+use autoplat_core::cache::{ClusterPartCr, PartitionGroup, SchemeId};
+use autoplat_core::{CoSim, CoSimConfig, CoSimTask, ControlCommand, QosConfig};
 use autoplat_dram::wcd::bounds;
 use autoplat_dram::{adversarial_wcd_workload, validation_controller};
 use autoplat_netcalc::bounds::{token_bucket_backlog, token_bucket_delay};
 use autoplat_netcalc::{backlog_bound, delay_bound, RateLatency, TokenBucket};
 use autoplat_noc::{Mesh, NocConfig, NocSim, NodeId, Packet, PacketRecord};
 use autoplat_regulation::process::boundary_after;
-use autoplat_regulation::{AccessDecision, MemGuard, MemGuardProcess, RegulationEvent};
+use autoplat_regulation::{
+    AccessDecision, ClosedLoopConfig, DegradationReason, MemGuard, MemGuardProcess,
+    PartitionTarget, RegulationEvent, SensorWatchdogConfig,
+};
 use autoplat_sched::rta::response_times;
 use autoplat_sched::simulate::simulate_global_fp;
 use autoplat_sched::TaskSet;
 use autoplat_sim::{Engine, FaultPlan, MetricsRegistry, SimDuration, SimRng, SimTime};
 
 use crate::scenario::{
-    DeterminismScenario, DramScenario, MemGuardScenario, NocScenario, Scenario, SchedScenario,
+    ClosedLoopScenario, DeterminismScenario, DramScenario, MemGuardScenario, NocScenario, Scenario,
+    SchedScenario,
 };
 
 /// Absolute slack (ns / cycles / bytes) tolerated on float comparisons.
@@ -108,6 +119,7 @@ impl Oracle {
             Scenario::MemGuard(s) => check_memguard(s),
             Scenario::Sched(s) => check_sched(s),
             Scenario::Determinism(s) => check_determinism(s),
+            Scenario::ClosedLoop(s) => check_closed_loop(s),
         }
     }
 
@@ -608,6 +620,204 @@ fn check_determinism(s: &DeterminismScenario) -> Result<CaseResult, Violation> {
                 ),
             );
         }
+    }
+    Ok(CaseResult::Pass)
+}
+
+/// The scenario as a concrete co-simulation: a latency victim on core 0
+/// and an adversarial hog on core 1, disjoint 16-way L3 partitions
+/// (even groups private to the victim's scheme, odd ones to the hog's —
+/// the same round-robin assignment safe mode applies, so degradation
+/// never migrates ways between the flows), and the closed QoS loop on a
+/// 5 µs epoch. The stale-reading threshold is tight only for freeze
+/// storms; healthy runs may legitimately observe identical readings
+/// every epoch once the loop converges.
+fn closed_loop_config(s: &ClosedLoopScenario) -> CoSimConfig {
+    let us = SimDuration::from_us;
+    let mut cfg = CoSimConfig::small();
+    cfg.budgets = vec![s.victim_budget, s.hog_budget];
+    cfg.tasks = vec![
+        CoSimTask::new(0, NodeId(0), us(2.0), SimDuration::from_ns(200.0)).with_packets(4),
+        CoSimTask::new(1, NodeId(1), us(2.0), SimDuration::from_ns(200.0))
+            .with_packets(s.hog_packets),
+    ];
+    cfg.horizon = SimTime::from_us(5.0 * f64::from(s.epochs));
+    cfg.seed = s.seed;
+    cfg.controls.clear();
+    cfg.fault_plan = match s.storm_kind {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::new().sensor_drop_probability(1.0),
+        2 => FaultPlan::new()
+            .sensor_stuck_probability(1.0)
+            .sensor_stuck_value(1 << 30),
+        3 => FaultPlan::new()
+            .sensor_spike_probability(1.0)
+            .sensor_spike_factor(1 << 21),
+        _ => FaultPlan::new().sensor_freeze_probability(1.0),
+    };
+    let mut partcr = ClusterPartCr::new();
+    for g in 0..4u8 {
+        let scheme = SchemeId::new(g % 2).expect("scheme id in range");
+        partcr.assign(PartitionGroup::new(g), scheme);
+    }
+    let stale_epochs = if s.storm_kind == 4 {
+        ClosedLoopScenario::STALE_EPOCHS
+    } else {
+        s.epochs + 1
+    };
+    cfg.qos = Some(QosConfig {
+        cache_sets: 64,
+        cache_ways: 16,
+        line_bytes: 64,
+        epoch: us(5.0),
+        loop_cfg: ClosedLoopConfig {
+            targets: vec![
+                PartitionTarget {
+                    partid: 0,
+                    core: 0,
+                    target_bytes_per_epoch: 1024,
+                    initial_budget: s.victim_budget,
+                    min_budget: 64,
+                    max_budget: 8192,
+                },
+                PartitionTarget {
+                    partid: 1,
+                    core: 1,
+                    target_bytes_per_epoch: 512,
+                    initial_budget: s.hog_budget,
+                    min_budget: 64,
+                    max_budget: 8192,
+                },
+            ],
+            hysteresis_permille: 125,
+            max_step_bytes: 256,
+            watchdog: SensorWatchdogConfig {
+                stale_epochs,
+                max_plausible_bytes: 1 << 20,
+                fault_tolerance: s.fault_tolerance,
+            },
+        },
+        safe_budget: 512,
+        partcr,
+    });
+    cfg
+}
+
+fn check_closed_loop(s: &ClosedLoopScenario) -> Result<CaseResult, Violation> {
+    let report = CoSim::new(closed_loop_config(s)).run();
+    let Some(qos) = &report.qos else {
+        return violation(
+            "closedloop.qos_ran",
+            "co-simulation produced no QoS report".to_string(),
+        );
+    };
+    // Enough epochs must have elapsed for the storm bound to be
+    // meaningful (the last scheduled epoch may race the horizon).
+    if (qos.epochs.len() as u32) + 1 < s.epochs {
+        return violation(
+            "closedloop.epochs_ran",
+            format!(
+                "{} epochs ran, scenario asked for {}",
+                qos.epochs.len(),
+                s.epochs
+            ),
+        );
+    }
+
+    // (1) The MPAM max-bandwidth control dominates the monitors: in
+    // every epoch, each partition's truly observed bytes stay within the
+    // cap the platform had published for that epoch.
+    for epoch in &qos.epochs {
+        for part in &epoch.parts {
+            if part.observed_bytes > part.cap_bytes {
+                return violation(
+                    "closedloop.bandwidth_within_cap",
+                    format!(
+                        "epoch {}: part {} observed {} bytes > cap {}",
+                        epoch.index, part.partid, part.observed_bytes, part.cap_bytes
+                    ),
+                );
+            }
+        }
+    }
+
+    // (2) Partition isolation: with fully-assigned disjoint way masks,
+    // no flow ever has a line evicted by another flow.
+    for &(flow, stats) in &qos.flow_stats {
+        if stats.evictions_suffered != 0 {
+            return violation(
+                "closedloop.partition_isolation",
+                format!(
+                    "flow {flow} suffered {} cross-partition evictions",
+                    stats.evictions_suffered
+                ),
+            );
+        }
+    }
+
+    // (3) Degradation is exactly as scripted: healthy sensors never trip
+    // the watchdog; every storm latches safe mode with the matching
+    // typed reason within the scenario's epoch bound.
+    if s.storm_kind == 0 {
+        if let Some(reason) = qos.degraded {
+            return violation(
+                "closedloop.healthy_never_degrades",
+                format!("healthy sensors degraded the loop: {reason}"),
+            );
+        }
+    } else {
+        let expected = match s.storm_kind {
+            1 => DegradationReason::DroppedCaptures,
+            2 | 3 => DegradationReason::ImplausibleReading,
+            _ => DegradationReason::StaleReadings,
+        };
+        match (qos.degraded, qos.safe_mode_epoch) {
+            (Some(reason), Some(epoch)) => {
+                if reason != expected {
+                    return violation(
+                        "closedloop.safe_mode_reason",
+                        format!(
+                            "storm {} degraded as {reason}, expected {expected}",
+                            s.storm_kind
+                        ),
+                    );
+                }
+                let bound = u64::from(s.safe_mode_bound());
+                if epoch > bound {
+                    return violation(
+                        "closedloop.safe_mode_bounded",
+                        format!(
+                            "storm {} reached safe mode at epoch {epoch} > bound {bound}",
+                            s.storm_kind
+                        ),
+                    );
+                }
+            }
+            _ => {
+                return violation(
+                    "closedloop.safe_mode_bounded",
+                    format!(
+                        "storm {} never reached safe mode (degraded {:?})",
+                        s.storm_kind, qos.degraded
+                    ),
+                );
+            }
+        }
+    }
+
+    // (4) Same-seed closed-loop runs export byte-identical metrics, the
+    // replay guarantee the sensor-fault storms rely on.
+    let first = report.metrics.to_json();
+    let second = CoSim::new(closed_loop_config(s)).run().metrics.to_json();
+    if first != second {
+        return violation(
+            "closedloop.byte_identical",
+            format!(
+                "same-seed closed-loop exports differ ({} vs {} bytes)",
+                first.len(),
+                second.len()
+            ),
+        );
     }
     Ok(CaseResult::Pass)
 }

@@ -13,7 +13,7 @@ use autoplat_dram::{ControllerConfig, DramTiming};
 use autoplat_netcalc::TokenBucket;
 use autoplat_sim::SimRng;
 
-/// The five oracle families, each pairing an analytic bound with its
+/// The six oracle families, each pairing an analytic bound with its
 /// event-kernel simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
@@ -28,16 +28,22 @@ pub enum Family {
     /// Dense-vs-event equivalence and same-seed byte-identical exports
     /// under random fault plans.
     Determinism,
+    /// Closed-loop QoS invariants vs the composed co-simulation: the
+    /// MPAM max-bandwidth control dominates the monitors, disjoint
+    /// partitions isolate, and sensor-fault storms reach safe mode
+    /// within a bounded number of epochs.
+    ClosedLoop,
 }
 
 impl Family {
     /// All families, in sweep order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Dram,
         Family::Noc,
         Family::MemGuard,
         Family::Sched,
         Family::Determinism,
+        Family::ClosedLoop,
     ];
 
     /// Stable lowercase name used in CLI flags, metrics and the corpus.
@@ -48,6 +54,7 @@ impl Family {
             Family::MemGuard => "memguard",
             Family::Sched => "sched",
             Family::Determinism => "determinism",
+            Family::ClosedLoop => "closedloop",
         }
     }
 
@@ -523,6 +530,105 @@ impl DeterminismScenario {
     }
 }
 
+/// A closed-loop QoS scenario: a latency victim and an adversarial
+/// bandwidth hog behind disjoint L3 partitions, with MPAM bandwidth
+/// monitors feeding the closed-loop budget controller — optionally under
+/// a seeded sensor-fault storm that must drive the platform into safe
+/// static partitioning within a bounded number of epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedLoopScenario {
+    /// Regulation epochs to run (horizon = epochs × epoch length).
+    pub epochs: u32,
+    /// Watchdog suspect streak tolerated before degradation.
+    pub fault_tolerance: u32,
+    /// Victim core's MemGuard budget, bytes per period.
+    pub victim_budget: u64,
+    /// Hog core's MemGuard budget, bytes per period.
+    pub hog_budget: u64,
+    /// Packets the hog issues per job.
+    pub hog_packets: u32,
+    /// Sensor-fault storm: 0 = healthy, 1 = dropped captures,
+    /// 2 = stuck-at an implausible value, 3 = multiplicative spikes,
+    /// 4 = frozen readings.
+    pub storm_kind: u8,
+    /// Co-simulation seed.
+    pub seed: u64,
+}
+
+impl ClosedLoopScenario {
+    /// The watchdog's stale-reading threshold, fixed so the freeze-storm
+    /// detection latency is predictable: `stale_epochs` identical
+    /// readings mark a sensor suspect.
+    pub const STALE_EPOCHS: u32 = 2;
+
+    /// Upper bound (inclusive) on the epoch index at which a storm must
+    /// have latched safe mode. Drop/stuck/spike storms corrupt every
+    /// reading from epoch 0, so the suspect streak reaches the tolerance
+    /// at epoch `fault_tolerance - 1`; frozen readings first need
+    /// `STALE_EPOCHS` repeats before the streak starts.
+    pub fn safe_mode_bound(&self) -> u32 {
+        match self.storm_kind {
+            4 => Self::STALE_EPOCHS + self.fault_tolerance,
+            _ => self.fault_tolerance,
+        }
+    }
+
+    fn generate(rng: &mut SimRng) -> ClosedLoopScenario {
+        ClosedLoopScenario {
+            epochs: rng.gen_range(8u32..=12),
+            fault_tolerance: rng.gen_range(1u32..=3),
+            victim_budget: rng.gen_range(8u64..=64) * 64,
+            hog_budget: rng.gen_range(1u64..=32) * 64,
+            hog_packets: rng.gen_range(8u32..=24),
+            storm_kind: rng.gen_range(0u32..=4) as u8,
+            seed: rng.next_u64(),
+        }
+    }
+
+    fn shrink(&self) -> Vec<ClosedLoopScenario> {
+        let mut out = Vec::new();
+        let mut push = |s: ClosedLoopScenario| {
+            if s != *self {
+                out.push(s);
+            }
+        };
+        push(ClosedLoopScenario {
+            storm_kind: 0,
+            ..self.clone()
+        });
+        push(ClosedLoopScenario {
+            hog_packets: (self.hog_packets / 2).max(8),
+            ..self.clone()
+        });
+        push(ClosedLoopScenario {
+            epochs: (self.epochs / 2).max(8),
+            ..self.clone()
+        });
+        push(ClosedLoopScenario {
+            fault_tolerance: 1,
+            ..self.clone()
+        });
+        push(ClosedLoopScenario {
+            victim_budget: (self.victim_budget / 2).max(512),
+            ..self.clone()
+        });
+        push(ClosedLoopScenario {
+            hog_budget: (self.hog_budget / 2).max(64),
+            ..self.clone()
+        });
+        out
+    }
+
+    fn size(&self) -> u64 {
+        self.epochs as u64 * 16
+            + self.fault_tolerance as u64 * 8
+            + self.victim_budget / 64
+            + self.hog_budget / 64
+            + self.hog_packets as u64
+            + self.storm_kind as u64
+    }
+}
+
 /// A generated scenario of any family.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scenario {
@@ -536,6 +642,8 @@ pub enum Scenario {
     Sched(SchedScenario),
     /// See [`DeterminismScenario`].
     Determinism(DeterminismScenario),
+    /// See [`ClosedLoopScenario`].
+    ClosedLoop(ClosedLoopScenario),
 }
 
 impl Scenario {
@@ -547,6 +655,7 @@ impl Scenario {
             Family::MemGuard => Scenario::MemGuard(MemGuardScenario::generate(rng)),
             Family::Sched => Scenario::Sched(SchedScenario::generate(rng)),
             Family::Determinism => Scenario::Determinism(DeterminismScenario::generate(rng)),
+            Family::ClosedLoop => Scenario::ClosedLoop(ClosedLoopScenario::generate(rng)),
         }
     }
 
@@ -558,6 +667,7 @@ impl Scenario {
             Scenario::MemGuard(_) => Family::MemGuard,
             Scenario::Sched(_) => Family::Sched,
             Scenario::Determinism(_) => Family::Determinism,
+            Scenario::ClosedLoop(_) => Family::ClosedLoop,
         }
     }
 
@@ -572,6 +682,7 @@ impl Scenario {
             Scenario::MemGuard(s) => s.shrink().into_iter().map(Scenario::MemGuard).collect(),
             Scenario::Sched(s) => s.shrink().into_iter().map(Scenario::Sched).collect(),
             Scenario::Determinism(s) => s.shrink().into_iter().map(Scenario::Determinism).collect(),
+            Scenario::ClosedLoop(s) => s.shrink().into_iter().map(Scenario::ClosedLoop).collect(),
         };
         all.into_iter().filter(|s| s.size() < current).collect()
     }
@@ -584,6 +695,7 @@ impl Scenario {
             Scenario::MemGuard(s) => s.size(),
             Scenario::Sched(s) => s.size(),
             Scenario::Determinism(s) => s.size(),
+            Scenario::ClosedLoop(s) => s.size(),
         }
     }
 }

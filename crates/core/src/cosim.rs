@@ -31,10 +31,22 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use autoplat_cache::{
+    AccessOutcome, CacheConfig, ClusterPartCr, FlowId, FlowStats, PartitionGroup, SchemeId,
+    SetAssocCache,
+};
 use autoplat_dram::{DramChannel, DramTiming};
+use autoplat_mpam::control::BandwidthMinMax;
+use autoplat_mpam::{
+    CacheStorageMonitor, MemoryBandwidthMonitor, MemorySystemComponent, MonitorFilter, MpamLabel,
+    PartId, PartIdSpace, Pmg,
+};
 use autoplat_noc::{NocConfig, NocEvent, NocSim, NodeId, Packet};
 use autoplat_regulation::memguard::{AccessDecision, MemGuard};
-use autoplat_regulation::{MemGuardProcess, RegulationEvent};
+use autoplat_regulation::{
+    ClosedLoopConfig, ClosedLoopController, DegradationReason, LoopAction, MemGuardProcess,
+    MonitorCapture, PartitionTarget, RegulationEvent, SensorWatchdogConfig,
+};
 use autoplat_sim::engine::{EventSink, MapSink, Process};
 use autoplat_sim::metrics::MetricsRegistry;
 use autoplat_sim::{
@@ -128,6 +140,31 @@ fn control_class(cmd: &ControlCommand) -> &'static str {
     }
 }
 
+/// Closed-loop QoS composition: a DSU-style partitioned last-level cache
+/// in front of DRAM, an MPAM MSC whose bandwidth/storage monitors observe
+/// the co-sim traffic, and a [`ClosedLoopController`] that retunes
+/// MemGuard budgets from periodic monitor captures — degrading to a safe
+/// static partitioning when the sensors fail.
+#[derive(Debug, Clone)]
+pub struct QosConfig {
+    /// Cache sets of the shared last-level cache.
+    pub cache_sets: u32,
+    /// Cache ways (the DSU partition registers require 12 or 16).
+    pub cache_ways: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Monitor capture / regulation epoch. The first capture fires one
+    /// epoch after time zero.
+    pub epoch: SimDuration,
+    /// The closed-loop controller configuration. Each target's `partid`
+    /// and `core` tie one MPAM bandwidth monitor to one MemGuard budget.
+    pub loop_cfg: ClosedLoopConfig,
+    /// Conservative per-core budget applied in safe mode.
+    pub safe_budget: u64,
+    /// Initial DSU cluster partition register (way partitioning).
+    pub partcr: ClusterPartCr,
+}
+
 /// Configuration of one co-simulation run.
 #[derive(Debug, Clone)]
 pub struct CoSimConfig {
@@ -160,6 +197,9 @@ pub struct CoSimConfig {
     /// Guaranteed memory bandwidth (bytes/s) budget reconfigurations must
     /// respect; `0.0` disables the feasibility check.
     pub guaranteed_bytes_per_sec: f64,
+    /// Optional closed-loop QoS composition (cache + MPAM monitors +
+    /// regulation feedback). `None` runs the platform open-loop.
+    pub qos: Option<QosConfig>,
 }
 
 impl CoSimConfig {
@@ -185,7 +225,50 @@ impl CoSimConfig {
             fault_plan: FaultPlan::none(),
             seed: 0,
             guaranteed_bytes_per_sec: 0.0,
+            qos: None,
         }
+    }
+
+    /// The [`small`](Self::small) platform with the closed QoS loop on
+    /// top: a 16-way partitioned cache, one MPAM bandwidth + storage
+    /// monitor per core, and a 5 µs capture epoch driving budget retunes.
+    pub fn small_qos() -> Self {
+        let mut cfg = CoSimConfig::small();
+        cfg.horizon = SimTime::from_us(60.0);
+        let mut partcr = ClusterPartCr::new();
+        for g in 0..4u8 {
+            let scheme = SchemeId::new(g % 3).expect("scheme id in range");
+            partcr.assign(PartitionGroup::new(g), scheme);
+        }
+        let targets = (0..3usize)
+            .map(|core| PartitionTarget {
+                partid: core as u16,
+                core,
+                target_bytes_per_epoch: 1024,
+                initial_budget: cfg.budgets[core],
+                min_budget: 192,
+                max_budget: 4096,
+            })
+            .collect();
+        cfg.qos = Some(QosConfig {
+            cache_sets: 64,
+            cache_ways: 16,
+            line_bytes: 64,
+            epoch: SimDuration::from_us(5.0),
+            loop_cfg: ClosedLoopConfig {
+                targets,
+                hysteresis_permille: 125,
+                max_step_bytes: 256,
+                watchdog: SensorWatchdogConfig {
+                    stale_epochs: 16,
+                    max_plausible_bytes: 1 << 20,
+                    fault_tolerance: 2,
+                },
+            },
+            safe_budget: 512,
+            partcr,
+        });
+        cfg
     }
 }
 
@@ -206,6 +289,8 @@ pub enum CoSimEvent {
     Resume(usize),
     /// A control-plane command arrives.
     Control(ControlCommand),
+    /// A QoS monitor-capture / regulation epoch boundary.
+    Epoch,
 }
 
 #[derive(Debug)]
@@ -234,6 +319,190 @@ struct TaskState {
     misses: u64,
     throttle_stalls: u64,
     response: Summary,
+}
+
+/// One partition's view of one QoS epoch.
+#[derive(Debug, Clone)]
+pub struct QosPartEpoch {
+    /// The MPAM partition id.
+    pub partid: u16,
+    /// Bytes the bandwidth monitor truly observed in the epoch.
+    pub observed_bytes: u64,
+    /// The MPAM max-bandwidth control in force for the epoch: the
+    /// monitored traffic may never exceed it.
+    pub cap_bytes: u64,
+    /// The (possibly sensor-corrupted) reading the controller saw;
+    /// `None` when the capture message was dropped.
+    pub reading: Option<u64>,
+    /// The core's MemGuard budget after this epoch's actuation.
+    pub budget_after: u64,
+}
+
+/// One QoS epoch of the co-simulation.
+#[derive(Debug, Clone)]
+pub struct QosEpochReport {
+    /// Epoch index (0-based).
+    pub index: u64,
+    /// The instant the capture event fired.
+    pub at: SimTime,
+    /// Per-partition observations, in controller target order.
+    pub parts: Vec<QosPartEpoch>,
+}
+
+/// The closed-loop QoS outcome of a co-simulation run.
+#[derive(Debug, Clone)]
+pub struct QosReport {
+    /// Every epoch, in order.
+    pub epochs: Vec<QosEpochReport>,
+    /// Final per-flow cache statistics, keyed by flow id, in ascending
+    /// flow order.
+    pub flow_stats: Vec<(u32, FlowStats)>,
+    /// The degradation reason, if the loop gave up on its sensors.
+    pub degraded: Option<DegradationReason>,
+    /// The epoch at which safe mode was commanded, if ever.
+    pub safe_mode_epoch: Option<u64>,
+    /// Shared-cache hits across all tasks.
+    pub cache_hits: u64,
+    /// Shared-cache misses (fills, evictions, and bypasses).
+    pub cache_misses: u64,
+    /// Monitor captures the fault injector destroyed.
+    pub captures_dropped: u64,
+    /// Budget retunes the controller successfully actuated.
+    pub loop_adjustments: u64,
+}
+
+/// The live QoS composition: cache, MSC, controller, and bookkeeping.
+#[derive(Debug)]
+struct QosState {
+    cache: SetAssocCache,
+    msc: MemorySystemComponent,
+    controller: ClosedLoopController,
+    targets: Vec<PartitionTarget>,
+    bw_monitor_idx: Vec<usize>,
+    storage_monitor_idx: Vec<usize>,
+    minmax: BandwidthMinMax,
+    task_labels: Vec<MpamLabel>,
+    task_flows: Vec<FlowId>,
+    label_of_flow: BTreeMap<u32, MpamLabel>,
+    epoch: SimDuration,
+    period: SimDuration,
+    line_bytes: u64,
+    safe_budget: u64,
+    /// Highest budget in force per core during the current epoch.
+    budget_high: Vec<u64>,
+    /// Highest budget in force per core during the previous epoch
+    /// (in-flight packets may still have been admitted under it).
+    budget_high_prev: Vec<u64>,
+    epoch_index: u64,
+    epochs: Vec<QosEpochReport>,
+    cache_hits: u64,
+    cache_misses: u64,
+    captures_dropped: u64,
+    loop_adjustments: u64,
+    safe_mode_epoch: Option<u64>,
+    degraded: Option<DegradationReason>,
+}
+
+fn part_label(partid: u16) -> MpamLabel {
+    MpamLabel::new(PartId(partid), Pmg(0), PartIdSpace::PhysicalNonSecure)
+}
+
+impl QosState {
+    fn new(q: &QosConfig, cfg: &CoSimConfig) -> Self {
+        assert!(
+            !q.loop_cfg.targets.is_empty(),
+            "QoS composition needs at least one target"
+        );
+        let mut cache =
+            SetAssocCache::new(CacheConfig::new(q.cache_sets, q.cache_ways, q.line_bytes));
+        q.partcr.apply_to(&mut cache);
+        let mut msc = MemorySystemComponent::new("cosim.l3");
+        let mut bw_monitor_idx = Vec::new();
+        let mut storage_monitor_idx = Vec::new();
+        for t in &q.loop_cfg.targets {
+            assert!(t.core < cfg.budgets.len(), "QoS target core has no budget");
+            let filter = MonitorFilter::partid_only(PartId(t.partid));
+            bw_monitor_idx.push(msc.add_bandwidth_monitor(MemoryBandwidthMonitor::new(filter)));
+            storage_monitor_idx.push(msc.add_storage_monitor(CacheStorageMonitor::new(filter)));
+        }
+        let task_labels: Vec<MpamLabel> = cfg
+            .tasks
+            .iter()
+            .map(|t| part_label(t.core as u16))
+            .collect();
+        let task_flows: Vec<FlowId> = cfg
+            .tasks
+            .iter()
+            .map(|t| {
+                SchemeId::new((t.core % 8) as u8)
+                    .expect("scheme id in range")
+                    .flow()
+            })
+            .collect();
+        let mut label_of_flow = BTreeMap::new();
+        for (label, flow) in task_labels.iter().zip(&task_flows) {
+            label_of_flow.entry(flow.0).or_insert(*label);
+        }
+        for t in cfg.tasks.iter() {
+            if q.loop_cfg.targets.iter().any(|tg| tg.core == t.core) {
+                assert!(
+                    q.safe_budget >= t.bytes_per_packet,
+                    "safe budget can never admit core {}'s packets",
+                    t.core
+                );
+            }
+        }
+        let controller = ClosedLoopController::new(q.loop_cfg.clone());
+        let mut budget_high = cfg.budgets.clone();
+        for t in &q.loop_cfg.targets {
+            if let Some(b) = controller.commanded_budget(t.core) {
+                budget_high[t.core] = budget_high[t.core].max(b);
+            }
+        }
+        QosState {
+            cache,
+            msc,
+            controller,
+            targets: q.loop_cfg.targets.clone(),
+            bw_monitor_idx,
+            storage_monitor_idx,
+            minmax: BandwidthMinMax::new(),
+            task_labels,
+            task_flows,
+            label_of_flow,
+            epoch: q.epoch,
+            period: cfg.memguard_period,
+            line_bytes: q.line_bytes as u64,
+            safe_budget: q.safe_budget,
+            budget_high: budget_high.clone(),
+            budget_high_prev: budget_high,
+            epoch_index: 0,
+            epochs: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            captures_dropped: 0,
+            loop_adjustments: 0,
+            safe_mode_epoch: None,
+            degraded: None,
+        }
+    }
+
+    /// The MPAM max-bandwidth control for `core`'s partition this epoch:
+    /// the MemGuard budget admits at most `budget` bytes per regulation
+    /// period, an epoch overlaps at most `ceil(epoch/period) + 1`
+    /// periods, and one more period of in-flight traffic admitted under
+    /// the previous epoch's budget may still arrive.
+    fn cap_bytes(&self, core: usize) -> u64 {
+        let periods = self.epoch.as_ps().div_ceil(self.period.as_ps().max(1)) + 2;
+        self.budget_high[core].max(self.budget_high_prev[core]) * periods
+    }
+
+    /// Raises the observed-budget watermark after a successful retune.
+    fn note_budget(&mut self, core: usize, bytes_per_period: u64) {
+        if let Some(high) = self.budget_high.get_mut(core) {
+            *high = (*high).max(bytes_per_period);
+        }
+    }
 }
 
 /// Per-task results of a co-simulation run.
@@ -280,6 +549,8 @@ pub struct CoSimReport {
     pub finished_at: SimTime,
     /// Total events the kernel delivered.
     pub events_delivered: u64,
+    /// Closed-loop QoS outcome, when the composition was configured.
+    pub qos: Option<QosReport>,
     /// The unified metrics registry (NoC, MemGuard, kernel, and
     /// co-simulation counters), ready for deterministic export.
     pub metrics: MetricsRegistry,
@@ -328,6 +599,7 @@ pub struct CoSim {
     controls_applied: u64,
     controls_refused: u64,
     controls_dropped: u64,
+    qos: Option<QosState>,
 }
 
 impl CoSim {
@@ -394,6 +666,17 @@ impl CoSim {
             cfg.horizon,
         );
         let dram = DramChannel::new(cfg.dram_timing.clone(), cfg.dram_banks, cfg.row_bytes);
+        let qos = cfg.qos.as_ref().map(|q| QosState::new(q, &cfg));
+        let mut memguard = memguard;
+        if let Some(q) = &qos {
+            // The controller's initial commanded budgets are the source
+            // of truth once the loop is closed.
+            for t in &q.targets {
+                if let Some(b) = q.controller.commanded_budget(t.core) {
+                    memguard.memguard_mut().set_budget(t.core, b);
+                }
+            }
+        }
         CoSim {
             noc,
             memguard,
@@ -413,6 +696,7 @@ impl CoSim {
             controls_applied: 0,
             controls_refused: 0,
             controls_dropped: 0,
+            qos,
         }
     }
 
@@ -429,6 +713,9 @@ impl CoSim {
         );
         for (at, cmd) in std::mem::take(&mut self.controls) {
             engine.schedule_at(at, CoSimEvent::Control(cmd));
+        }
+        if let Some(q) = &self.qos {
+            engine.schedule_at(SimTime::ZERO + q.epoch, CoSimEvent::Epoch);
         }
         engine.run(&mut self);
 
@@ -468,6 +755,62 @@ impl CoSim {
         metrics.counter_add("cosim.replenishments", self.memguard.replenishments());
         metrics.gauge_set("cosim.finished_at_ns", engine.now().as_ns());
 
+        let qos_report = self.qos.take().map(|q| {
+            let mut flow_stats: Vec<(u32, FlowStats)> = q
+                .label_of_flow
+                .keys()
+                .map(|&f| (f, q.cache.stats(FlowId(f))))
+                .collect();
+            flow_stats.sort_by_key(|(f, _)| *f);
+            metrics.counter_add("cosim.qos.epochs", q.epoch_index);
+            metrics.counter_add("cosim.qos.cache_hits", q.cache_hits);
+            metrics.counter_add("cosim.qos.cache_misses", q.cache_misses);
+            metrics.counter_add("cosim.qos.captures_dropped", q.captures_dropped);
+            metrics.counter_add("cosim.qos.loop_adjustments", q.loop_adjustments);
+            metrics.gauge_set(
+                "cosim.qos.degraded",
+                if q.degraded.is_some() { 1.0 } else { 0.0 },
+            );
+            metrics.gauge_set(
+                "cosim.qos.degradation_reason",
+                q.degraded.map_or(0.0, |r| r.code() as f64),
+            );
+            if let Some(epoch) = q.safe_mode_epoch {
+                metrics.gauge_set("cosim.qos.safe_mode_epoch", epoch as f64);
+            }
+            for (i, t) in q.targets.iter().enumerate() {
+                let observed: u64 = q.epochs.iter().map(|e| e.parts[i].observed_bytes).sum();
+                metrics.counter_add(
+                    format!("cosim.qos.part{}.monitored_bytes", t.partid),
+                    observed,
+                );
+                let storage = &q.msc.storage_monitors()[q.storage_monitor_idx[i]];
+                metrics.gauge_set(
+                    format!("cosim.qos.part{}.storage_bytes", t.partid),
+                    storage.value() as f64,
+                );
+            }
+            for (f, s) in &flow_stats {
+                metrics.counter_add(format!("cosim.qos.flow{f}.hits"), s.hits);
+                metrics.counter_add(format!("cosim.qos.flow{f}.misses"), s.misses);
+                metrics.counter_add(
+                    format!("cosim.qos.flow{f}.evictions_suffered"),
+                    s.evictions_suffered,
+                );
+            }
+            q.controller.publish_metrics(&mut metrics);
+            QosReport {
+                epochs: q.epochs,
+                flow_stats,
+                degraded: q.degraded,
+                safe_mode_epoch: q.safe_mode_epoch,
+                cache_hits: q.cache_hits,
+                cache_misses: q.cache_misses,
+                captures_dropped: q.captures_dropped,
+                loop_adjustments: q.loop_adjustments,
+            }
+        });
+
         CoSimReport {
             packets_delivered: self.noc.completed().len(),
             mean_noc_latency_cycles: self.noc.latency_cycles().mean(),
@@ -482,6 +825,7 @@ impl CoSim {
             finished_at: engine.now(),
             events_delivered: engine.delivered(),
             tasks: task_reports,
+            qos: qos_report,
             metrics,
         }
     }
@@ -545,12 +889,50 @@ impl CoSim {
         for (pid, at) in arrivals {
             match self.packet_map.remove(&pid) {
                 Some(PacketInfo::Request { task, job, addr }) => {
-                    let served = self.dram.service(addr, at);
-                    if served.row_hit {
-                        self.dram_row_hits += 1;
-                    } else {
-                        self.dram_row_misses += 1;
+                    // The partitioned last-level cache sits in front of
+                    // DRAM; the MSC's monitors observe every transfer,
+                    // fill, and eviction with the task's MPAM label.
+                    let mut cache_hit = false;
+                    if let Some(q) = self.qos.as_mut() {
+                        let label = q.task_labels[task];
+                        let flow = q.task_flows[task];
+                        q.msc
+                            .on_transfer(&label, true, self.tasks[task].spec.bytes_per_packet);
+                        match q.cache.access(flow, addr) {
+                            AccessOutcome::Hit => {
+                                q.cache_hits += 1;
+                                cache_hit = true;
+                            }
+                            AccessOutcome::MissFilled => {
+                                q.cache_misses += 1;
+                                q.msc.on_fill(&label, q.line_bytes);
+                            }
+                            AccessOutcome::MissEvicted { victim_owner } => {
+                                q.cache_misses += 1;
+                                q.msc.on_fill(&label, q.line_bytes);
+                                let victim = q
+                                    .label_of_flow
+                                    .get(&victim_owner.0)
+                                    .copied()
+                                    .unwrap_or(label);
+                                q.msc.on_evict(&victim, q.line_bytes);
+                            }
+                            AccessOutcome::Bypass => {
+                                q.cache_misses += 1;
+                            }
+                        }
                     }
+                    let done = if cache_hit {
+                        at
+                    } else {
+                        let served = self.dram.service(addr, at);
+                        if served.row_hit {
+                            self.dram_row_hits += 1;
+                        } else {
+                            self.dram_row_misses += 1;
+                        }
+                        served.done
+                    };
                     let rid = self.next_packet_id;
                     self.next_packet_id += 1;
                     self.packet_map
@@ -560,7 +942,7 @@ impl CoSim {
                         (spec.node, spec.flits_per_packet)
                     };
                     self.noc
-                        .inject_at(Packet::new(rid, self.memory_node, node, flits), served.done);
+                        .inject_at(Packet::new(rid, self.memory_node, node, flits), done);
                 }
                 Some(PacketInfo::Response { task, job }) => {
                     let done = {
@@ -616,6 +998,9 @@ impl CoSim {
                     self.controls_refused += 1;
                 } else {
                     self.controls_applied += 1;
+                    if let Some(q) = self.qos.as_mut() {
+                        q.note_budget(core, bytes_per_period);
+                    }
                 }
             }
             ControlCommand::StopTask { task } => {
@@ -627,6 +1012,142 @@ impl CoSim {
                 }
             }
         }
+    }
+
+    /// Retunes one core's budget on behalf of the closed loop, under the
+    /// same admission guards as a scripted [`ControlCommand::SetBudget`].
+    fn loop_set_budget(&mut self, core: usize, bytes_per_period: u64) -> bool {
+        let min_packet = self
+            .tasks
+            .iter()
+            .filter(|t| t.spec.core == core)
+            .map(|t| t.spec.bytes_per_packet)
+            .max()
+            .unwrap_or(0);
+        let guaranteed = self.guaranteed;
+        let mg = self.memguard.memguard_mut();
+        if core >= mg.cores() || bytes_per_period < min_packet {
+            return false;
+        }
+        let old = mg.budget(core);
+        mg.set_budget(core, bytes_per_period);
+        if guaranteed > 0.0 && !mg.is_feasible(guaranteed) {
+            mg.set_budget(core, old);
+            return false;
+        }
+        true
+    }
+
+    fn current_budgets(&self) -> Vec<u64> {
+        let mg = self.memguard.memguard();
+        (0..mg.cores()).map(|c| mg.budget(c)).collect()
+    }
+
+    /// Degrades to the safe static partitioning: conservative MemGuard
+    /// budgets on every regulated core and disjoint DSU way masks (the
+    /// partition groups fully assigned round-robin over the regulated
+    /// schemes, so no scheme shares a way with another).
+    fn enter_safe_mode(&mut self, q: &mut QosState) {
+        let cores: Vec<usize> = q.targets.iter().map(|t| t.core).collect();
+        for core in cores {
+            let mg = self.memguard.memguard_mut();
+            if core < mg.cores() {
+                mg.set_budget(core, q.safe_budget);
+            }
+            q.note_budget(core, q.safe_budget);
+        }
+        let schemes: Vec<SchemeId> = q
+            .targets
+            .iter()
+            .map(|t| SchemeId::new((t.core % 8) as u8).expect("scheme id in range"))
+            .collect();
+        let mut partcr = ClusterPartCr::new();
+        for g in 0..4u8 {
+            partcr.assign(PartitionGroup::new(g), schemes[g as usize % schemes.len()]);
+        }
+        partcr.apply_to(&mut q.cache);
+    }
+
+    /// One monitor-capture epoch: freeze the MPAM monitors, pass each
+    /// reading through the fault injector (where a sensor-fault plan may
+    /// corrupt or destroy it), feed the controller, and actuate what it
+    /// commands.
+    fn qos_epoch(&mut self, sink: &mut dyn EventSink<CoSimEvent>) {
+        let Some(mut q) = self.qos.take() else {
+            return;
+        };
+        let now = sink.now();
+        let cycle = now.as_ns() as u64;
+        q.msc.capture_event();
+        let targets = q.targets.clone();
+        let mut captures = Vec::with_capacity(targets.len());
+        let mut parts = Vec::with_capacity(targets.len());
+        for (i, t) in targets.iter().enumerate() {
+            let observed = q.msc.bandwidth_monitors()[q.bw_monitor_idx[i]]
+                .captured()
+                .unwrap_or(0);
+            let class = format!("cosim.sensor.bw{}", t.partid);
+            let reading = self.injector.on_reading(cycle, &class, observed);
+            if reading.is_none() {
+                q.captures_dropped += 1;
+            }
+            captures.push(MonitorCapture {
+                partid: t.partid,
+                bandwidth_bytes: reading,
+            });
+            parts.push(QosPartEpoch {
+                partid: t.partid,
+                observed_bytes: observed,
+                cap_bytes: q.cap_bytes(t.core),
+                reading,
+                budget_after: 0,
+            });
+        }
+        for action in q.controller.on_epoch(&captures) {
+            match action {
+                LoopAction::SetBudget {
+                    core,
+                    bytes_per_period,
+                } => {
+                    if self.loop_set_budget(core, bytes_per_period) {
+                        q.loop_adjustments += 1;
+                        q.note_budget(core, bytes_per_period);
+                    }
+                }
+                LoopAction::EnterSafeMode { reason } => {
+                    self.enter_safe_mode(&mut q);
+                    q.degraded = Some(reason);
+                    q.safe_mode_epoch = Some(q.epoch_index);
+                }
+            }
+        }
+        for (i, t) in targets.iter().enumerate() {
+            parts[i].budget_after = self.memguard.memguard().budget(t.core);
+        }
+        // Roll the budget watermarks and refresh the MPAM max-bandwidth
+        // control for the next epoch.
+        q.budget_high_prev = std::mem::replace(&mut q.budget_high, self.current_budgets());
+        for t in &targets {
+            let cap = q.cap_bytes(t.core) as f64;
+            q.minmax
+                .set_limits(PartId(t.partid), 0.0, cap)
+                .expect("finite bandwidth limits");
+        }
+        q.msc.set_bandwidth_minmax(q.minmax.clone());
+        for m in q.msc.bandwidth_monitors_mut() {
+            m.reset();
+        }
+        q.epochs.push(QosEpochReport {
+            index: q.epoch_index,
+            at: now,
+            parts,
+        });
+        q.epoch_index += 1;
+        let next = now + q.epoch;
+        if next <= self.horizon {
+            sink.schedule_at(next, CoSimEvent::Epoch);
+        }
+        self.qos = Some(q);
     }
 }
 
@@ -711,6 +1232,9 @@ impl Process for CoSim {
                     }
                 }
             }
+            CoSimEvent::Epoch => {
+                self.qos_epoch(sink);
+            }
         }
     }
 
@@ -722,6 +1246,7 @@ impl Process for CoSim {
             CoSimEvent::ComputeDone(..) => "sched.compute_done",
             CoSimEvent::Resume(_) => "regulation.resume",
             CoSimEvent::Control(_) => "cosim.control",
+            CoSimEvent::Epoch => "qos.epoch",
         }
     }
 }
@@ -812,5 +1337,129 @@ mod tests {
         assert_eq!(report.controls_applied, 0);
         // The tight budget stayed in force, so the throttling persists.
         assert!(report.tasks[2].throttle_stalls > 0);
+    }
+
+    #[test]
+    fn open_loop_config_has_no_qos_report() {
+        let report = CoSim::new(CoSimConfig::small()).run();
+        assert!(report.qos.is_none());
+    }
+
+    #[test]
+    fn closed_loop_stays_healthy_and_bounded() {
+        let report = CoSim::new(CoSimConfig::small_qos()).run();
+        for (i, t) in report.tasks.iter().enumerate() {
+            assert_eq!(t.released, t.completed, "task {i} lost jobs");
+        }
+        let qos = report.qos.expect("QoS composition ran");
+        assert!(qos.epochs.len() >= 10, "epochs: {}", qos.epochs.len());
+        assert_eq!(qos.degraded, None, "healthy sensors must not degrade");
+        assert_eq!(qos.safe_mode_epoch, None);
+        // Every request went through the shared cache exactly once.
+        let requests: u64 = report
+            .tasks
+            .iter()
+            .map(|t| t.completed * CoSimConfig::small().tasks[0].packets_per_job as u64)
+            .sum();
+        assert_eq!(qos.cache_hits + qos.cache_misses, requests);
+        assert!(qos.cache_hits > 0, "small address windows must hit");
+        // The monitored bandwidth never exceeds the MPAM max-bandwidth
+        // control derived from the MemGuard budgets.
+        for epoch in &qos.epochs {
+            for part in &epoch.parts {
+                assert!(
+                    part.observed_bytes <= part.cap_bytes,
+                    "epoch {} part {}: {} > cap {}",
+                    epoch.index,
+                    part.partid,
+                    part.observed_bytes,
+                    part.cap_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_retunes_generous_budgets_towards_target() {
+        let report = CoSim::new(CoSimConfig::small_qos()).run();
+        let qos = report.qos.expect("QoS composition ran");
+        assert!(qos.loop_adjustments > 0, "the loop never actuated");
+        // Cores 0/1 observe ~1280 B per epoch against a 1024 B target,
+        // so their 4096 B budgets are stepped down.
+        let last = qos.epochs.last().expect("epochs recorded");
+        assert!(
+            last.parts[0].budget_after < 4096,
+            "core 0 budget never tightened: {}",
+            last.parts[0].budget_after
+        );
+    }
+
+    #[test]
+    fn partition_isolation_holds_with_disjoint_masks() {
+        let mut cfg = CoSimConfig::small_qos();
+        // Fully assigned, one group per scheme, plus a hot co-runner.
+        cfg.tasks[1] = cfg.tasks[1].clone().with_packets(24);
+        let report = CoSim::new(cfg).run();
+        let qos = report.qos.expect("QoS composition ran");
+        for (flow, stats) in &qos.flow_stats {
+            assert_eq!(
+                stats.evictions_suffered, 0,
+                "flow {flow} lost lines to a co-runner"
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_storm_degrades_to_safe_mode_within_bound() {
+        let mut cfg = CoSimConfig::small_qos();
+        cfg.fault_plan = FaultPlan::new().sensor_drop_probability(1.0);
+        let report = CoSim::new(cfg).run();
+        let qos = report.qos.expect("QoS composition ran");
+        assert_eq!(
+            qos.degraded,
+            Some(DegradationReason::DroppedCaptures),
+            "a total capture loss must degrade"
+        );
+        // fault_tolerance = 2 suspect epochs: safe mode by epoch 1.
+        assert_eq!(qos.safe_mode_epoch, Some(1));
+        // Safe mode pins the regulated cores to the conservative budget.
+        let last = qos.epochs.last().expect("epochs recorded");
+        for part in &last.parts {
+            assert_eq!(part.budget_after, 512, "part {} budget", part.partid);
+        }
+        assert_eq!(
+            report.metrics.gauge("cosim.qos.degraded"),
+            Some(1.0),
+            "degradation must surface in the metrics export"
+        );
+        assert_eq!(
+            report.metrics.gauge("cosim.qos.degradation_reason"),
+            Some(DegradationReason::DroppedCaptures.code() as f64)
+        );
+    }
+
+    #[test]
+    fn stuck_sensor_storm_is_caught_as_implausible() {
+        let mut cfg = CoSimConfig::small_qos();
+        cfg.fault_plan = FaultPlan::new()
+            .sensor_stuck_probability(1.0)
+            .sensor_stuck_value(1 << 30);
+        let report = CoSim::new(cfg).run();
+        let qos = report.qos.expect("QoS composition ran");
+        assert_eq!(qos.degraded, Some(DegradationReason::ImplausibleReading));
+        assert!(qos.safe_mode_epoch.expect("safe mode reached") <= 2);
+    }
+
+    #[test]
+    fn qos_runs_are_seed_deterministic() {
+        let run = || {
+            let mut cfg = CoSimConfig::small_qos();
+            cfg.fault_plan = FaultPlan::new()
+                .sensor_drop_probability(0.3)
+                .sensor_spike_probability(0.2);
+            cfg.seed = 77;
+            CoSim::new(cfg).run().metrics.to_json()
+        };
+        assert_eq!(run(), run());
     }
 }

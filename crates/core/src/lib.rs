@@ -48,7 +48,10 @@ pub mod profiling;
 pub mod qos;
 pub mod workload;
 
-pub use cosim::{CoSim, CoSimConfig, CoSimReport, CoSimTask, ControlCommand};
+pub use cosim::{
+    CoSim, CoSimConfig, CoSimReport, CoSimTask, ControlCommand, QosConfig, QosEpochReport,
+    QosPartEpoch, QosReport,
+};
 pub use platform::{Platform, PlatformConfig, PlatformReport};
 pub use qos::QosContract;
 pub use workload::Workload;

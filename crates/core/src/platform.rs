@@ -19,7 +19,8 @@ use autoplat_sim::{SimDuration, SimTime, Summary};
 use crate::workload::{AccessKind, Workload};
 
 pub use crate::cosim::{
-    CoSim, CoSimConfig, CoSimEvent, CoSimReport, CoSimTask, ControlCommand, TaskReport,
+    CoSim, CoSimConfig, CoSimEvent, CoSimReport, CoSimTask, ControlCommand, QosConfig,
+    QosEpochReport, QosPartEpoch, QosReport, TaskReport,
 };
 
 /// Platform configuration.

@@ -291,6 +291,63 @@ mod tests {
     }
 
     #[test]
+    fn storage_monitor_with_request_type_counts_any_direction_fill() {
+        // A fill has no single direction; a type-restricted filter still
+        // counts it when the label matches (the monitor probes both).
+        let rd = MonitorFilter::partid_only(PartId(1)).with_request_type(RequestType::Read);
+        let mut m = CacheStorageMonitor::new(rd);
+        m.on_fill(&label(1, 0), 64);
+        assert_eq!(m.value(), 64);
+        m.on_evict(&label(1, 0), 64);
+        assert_eq!(m.value(), 0);
+        let wr = MonitorFilter::partid_only(PartId(1)).with_request_type(RequestType::Write);
+        let mut m = CacheStorageMonitor::new(wr);
+        m.on_fill(&label(1, 0), 64);
+        assert_eq!(m.value(), 64);
+        // PARTID mismatch still filters regardless of type.
+        m.on_fill(&label(2, 0), 64);
+        assert_eq!(m.value(), 64);
+    }
+
+    #[test]
+    fn captured_is_none_until_first_capture_event() {
+        let s = CacheStorageMonitor::new(MonitorFilter::partid_only(PartId(0)));
+        assert_eq!(s.captured(), None);
+        let b = MemoryBandwidthMonitor::new(MonitorFilter::partid_only(PartId(0)));
+        assert_eq!(b.captured(), None);
+        // An empty capture freezes zero, distinguishable from "never
+        // captured".
+        let mut s = s;
+        s.capture();
+        assert_eq!(s.captured(), Some(0));
+    }
+
+    #[test]
+    fn reset_leaves_capture_register_intact() {
+        let mut m = MemoryBandwidthMonitor::new(MonitorFilter::partid_only(PartId(2)));
+        m.on_transfer(&label(2, 0), true, 128);
+        m.capture();
+        m.reset();
+        assert_eq!(m.value(), 0, "running counter zeroed");
+        assert_eq!(m.captured(), Some(128), "capture register survives reset");
+        // Re-capture after reset publishes the fresh window.
+        m.on_transfer(&label(2, 0), false, 32);
+        m.capture();
+        assert_eq!(m.captured(), Some(32));
+    }
+
+    #[test]
+    fn recapture_overwrites_previous_capture() {
+        let mut m = CacheStorageMonitor::new(MonitorFilter::partid_only(PartId(5)));
+        m.on_fill(&label(5, 0), 64);
+        m.capture();
+        assert_eq!(m.captured(), Some(64));
+        m.on_evict(&label(5, 0), 64);
+        m.capture();
+        assert_eq!(m.captured(), Some(0));
+    }
+
+    #[test]
     fn filter_accessors() {
         let f = MonitorFilter::partid_pmg(PartId(3), Pmg(1));
         let m = CacheStorageMonitor::new(f);

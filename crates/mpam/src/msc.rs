@@ -145,6 +145,12 @@ impl MemorySystemComponent {
         &self.bandwidth_monitors
     }
 
+    /// Mutable access to the attached bandwidth monitors, e.g. to reset
+    /// their counters at an accounting-window boundary.
+    pub fn bandwidth_monitors_mut(&mut self) -> &mut [MemoryBandwidthMonitor] {
+        &mut self.bandwidth_monitors
+    }
+
     /// Dispatches a data transfer to all bandwidth monitors.
     pub fn on_transfer(&mut self, label: &MpamLabel, is_read: bool, bytes: u64) {
         for m in &mut self.bandwidth_monitors {

@@ -36,11 +36,16 @@
 //!
 //! [`SimTime`]: autoplat_sim::SimTime
 
+pub mod closed_loop;
 pub mod memguard;
 pub mod perf;
 pub mod process;
 pub mod shaper;
 
+pub use closed_loop::{
+    ClosedLoopConfig, ClosedLoopController, DegradationReason, LoopAction, MonitorCapture,
+    PartitionTarget, SensorWatchdogConfig,
+};
 pub use memguard::{AccessDecision, MemGuard};
 pub use perf::PerfCounters;
 pub use process::{MemGuardProcess, RegulationEvent};

@@ -102,6 +102,71 @@ pub struct ScriptedMessageFault {
     pub fault: MessageFault,
 }
 
+/// The verdict of the injector on one sensor reading (a monitor capture
+/// on its way to the regulation loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorFault {
+    /// The reading arrives unmodified.
+    Accurate,
+    /// The sensor is stuck: the reading is replaced by a fixed value.
+    StuckAt(u64),
+    /// The sensor is frozen: the *previous* reading of this class is
+    /// repeated (stale data; the first reading of a class has nothing to
+    /// repeat and passes through).
+    Frozen,
+    /// A transient spike: the reading is corrupted upward by the given
+    /// multiplier (noisy sensor).
+    Spike(u64),
+    /// The capture message is lost entirely; the consumer sees no
+    /// reading this epoch.
+    Dropped,
+}
+
+/// What a scripted sensor fault does to a matching reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorFaultKind {
+    /// Replace the reading with a fixed value.
+    StuckAt(u64),
+    /// Repeat the previous reading for a window of occurrences.
+    Freeze {
+        /// Consecutive readings (starting at the scripted occurrence)
+        /// that stay frozen.
+        for_readings: u64,
+    },
+    /// Multiply the reading by the given factor.
+    Spike(u64),
+    /// Lose the capture message.
+    Drop,
+}
+
+/// One scripted sensor fault: applies to the `occurrence`-th reading
+/// (0-based) of sensor `class` (a [`SensorFaultKind::Freeze`] extends
+/// over a window of occurrences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptedSensorFault {
+    /// Sensor class the script matches (e.g. `"cosim.sensor.bw0"`).
+    pub class: String,
+    /// First faulted occurrence of that class (0 = the first reading).
+    pub occurrence: u64,
+    /// What happens to it.
+    pub fault: SensorFaultKind,
+}
+
+impl ScriptedSensorFault {
+    fn matches(&self, class: &str, occurrence: u64) -> bool {
+        if self.class != class {
+            return false;
+        }
+        match self.fault {
+            SensorFaultKind::Freeze { for_readings } => {
+                occurrence >= self.occurrence
+                    && occurrence < self.occurrence.saturating_add(for_readings)
+            }
+            _ => occurrence == self.occurrence,
+        }
+    }
+}
+
 /// A complete, declarative fault plan: scripted message faults, scripted
 /// client faults, and background probabilistic noise.
 ///
@@ -116,6 +181,13 @@ pub struct FaultPlan {
     delay_p: f64,
     reorder_p: f64,
     max_delay_cycles: u64,
+    sensor_scripted: Vec<ScriptedSensorFault>,
+    sensor_drop_p: f64,
+    sensor_stuck_p: f64,
+    sensor_freeze_p: f64,
+    sensor_spike_p: f64,
+    sensor_stuck_value: u64,
+    sensor_spike_factor: u64,
 }
 
 impl Default for FaultPlan {
@@ -136,6 +208,13 @@ impl FaultPlan {
             delay_p: 0.0,
             reorder_p: 0.0,
             max_delay_cycles: 64,
+            sensor_scripted: Vec::new(),
+            sensor_drop_p: 0.0,
+            sensor_stuck_p: 0.0,
+            sensor_freeze_p: 0.0,
+            sensor_spike_p: 0.0,
+            sensor_stuck_value: 0,
+            sensor_spike_factor: 16,
         }
     }
 
@@ -152,6 +231,16 @@ impl FaultPlan {
             || self.duplicate_p > 0.0
             || self.delay_p > 0.0
             || self.reorder_p > 0.0
+            || self.sensor_active()
+    }
+
+    /// True when the plan can corrupt sensor readings.
+    pub fn sensor_active(&self) -> bool {
+        !self.sensor_scripted.is_empty()
+            || self.sensor_drop_p > 0.0
+            || self.sensor_stuck_p > 0.0
+            || self.sensor_freeze_p > 0.0
+            || self.sensor_spike_p > 0.0
     }
 
     /// Drops the `occurrence`-th (0-based) message of `class`.
@@ -263,6 +352,133 @@ impl FaultPlan {
     pub fn client_faults(&self) -> &[ClientFault] {
         &self.client_faults
     }
+
+    // --- sensor faults -------------------------------------------------
+
+    /// Sticks the `occurrence`-th (0-based) reading of sensor `class` at
+    /// a fixed `value`.
+    pub fn stuck_sensor_nth(
+        mut self,
+        class: impl Into<String>,
+        occurrence: u64,
+        value: u64,
+    ) -> Self {
+        self.sensor_scripted.push(ScriptedSensorFault {
+            class: class.into(),
+            occurrence,
+            fault: SensorFaultKind::StuckAt(value),
+        });
+        self
+    }
+
+    /// Freezes sensor `class` for `for_readings` readings starting at the
+    /// `occurrence`-th: each frozen reading repeats the previous one.
+    pub fn freeze_sensor_from(
+        mut self,
+        class: impl Into<String>,
+        occurrence: u64,
+        for_readings: u64,
+    ) -> Self {
+        self.sensor_scripted.push(ScriptedSensorFault {
+            class: class.into(),
+            occurrence,
+            fault: SensorFaultKind::Freeze { for_readings },
+        });
+        self
+    }
+
+    /// Spikes the `occurrence`-th (0-based) reading of sensor `class`
+    /// upward by `factor`.
+    pub fn spike_sensor_nth(
+        mut self,
+        class: impl Into<String>,
+        occurrence: u64,
+        factor: u64,
+    ) -> Self {
+        self.sensor_scripted.push(ScriptedSensorFault {
+            class: class.into(),
+            occurrence,
+            fault: SensorFaultKind::Spike(factor),
+        });
+        self
+    }
+
+    /// Drops the `occurrence`-th (0-based) capture message of sensor
+    /// `class`.
+    pub fn drop_capture_nth(mut self, class: impl Into<String>, occurrence: u64) -> Self {
+        self.sensor_scripted.push(ScriptedSensorFault {
+            class: class.into(),
+            occurrence,
+            fault: SensorFaultKind::Drop,
+        });
+        self
+    }
+
+    /// Every capture message is independently lost with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn sensor_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.sensor_drop_p = p;
+        self
+    }
+
+    /// Every reading independently sticks at
+    /// [`sensor_stuck_value`](Self::sensor_stuck_value) with probability
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn sensor_stuck_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.sensor_stuck_p = p;
+        self
+    }
+
+    /// Every reading independently repeats its predecessor (stale data)
+    /// with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn sensor_freeze_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.sensor_freeze_p = p;
+        self
+    }
+
+    /// Every reading is independently spiked upward by
+    /// [`sensor_spike_factor`](Self::sensor_spike_factor) with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn sensor_spike_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        self.sensor_spike_p = p;
+        self
+    }
+
+    /// The value probabilistically stuck sensors report.
+    pub fn sensor_stuck_value(mut self, value: u64) -> Self {
+        self.sensor_stuck_value = value;
+        self
+    }
+
+    /// The multiplier probabilistic spikes apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 2` (a unity spike is not a fault).
+    pub fn sensor_spike_factor(mut self, factor: u64) -> Self {
+        assert!(factor >= 2, "spike factor must exceed 1");
+        self.sensor_spike_factor = factor;
+        self
+    }
 }
 
 /// Executes a [`FaultPlan`] deterministically.
@@ -278,6 +494,10 @@ pub struct FaultInjector {
     /// Occurrence counters, keyed by position in an ordered class list so
     /// behaviour does not depend on hash order.
     seen: Vec<(String, u64)>,
+    /// Reading counters per sensor class (independent of message classes).
+    sensor_seen: Vec<(String, u64)>,
+    /// Last reading delivered per sensor class, for freeze faults.
+    last_readings: Vec<(String, u64)>,
     trace: Trace,
     injected: u64,
     last_fault_cycle: Option<u64>,
@@ -294,6 +514,8 @@ impl FaultInjector {
         FaultInjector {
             rng: SimRng::seed_from(seed),
             seen: Vec::new(),
+            sensor_seen: Vec::new(),
+            last_readings: Vec::new(),
             trace: Trace::enabled(),
             injected: 0,
             last_fault_cycle: None,
@@ -356,6 +578,102 @@ impl FaultInjector {
         MessageFault::Deliver
     }
 
+    /// Decides the fate of a sensor reading of `class` captured at
+    /// `now_cycle`, returning the value the consumer sees (`None` when
+    /// the capture message is dropped).
+    ///
+    /// Scripted sensor faults take precedence over probabilistic ones;
+    /// the probabilistic draw order is fixed (drop, stuck, freeze,
+    /// spike) so verdicts depend only on the seed and the call sequence.
+    pub fn on_reading(&mut self, now_cycle: u64, class: &str, value: u64) -> Option<u64> {
+        if !self.plan.sensor_active() {
+            self.remember_reading(class, value);
+            return Some(value);
+        }
+        let occurrence = self.bump_sensor_occurrence(class);
+        let verdict = self.sensor_verdict(class, occurrence);
+        let delivered = match verdict {
+            SensorFault::Accurate => Some(value),
+            SensorFault::StuckAt(v) => Some(v),
+            SensorFault::Frozen => Some(self.last_reading(class).unwrap_or(value)),
+            SensorFault::Spike(factor) => Some(value.saturating_mul(factor).max(factor)),
+            SensorFault::Dropped => None,
+        };
+        self.record_sensor_fault(now_cycle, class, verdict, delivered);
+        if let Some(v) = delivered {
+            self.remember_reading(class, v);
+        }
+        delivered
+    }
+
+    fn sensor_verdict(&mut self, class: &str, occurrence: u64) -> SensorFault {
+        if let Some(scripted) = self
+            .plan
+            .sensor_scripted
+            .iter()
+            .find(|s| s.matches(class, occurrence))
+        {
+            return match scripted.fault {
+                SensorFaultKind::StuckAt(v) => SensorFault::StuckAt(v),
+                SensorFaultKind::Freeze { .. } => SensorFault::Frozen,
+                SensorFaultKind::Spike(f) => SensorFault::Spike(f),
+                SensorFaultKind::Drop => SensorFault::Dropped,
+            };
+        }
+        if self.plan.sensor_drop_p > 0.0 && self.rng.gen_bool(self.plan.sensor_drop_p) {
+            return SensorFault::Dropped;
+        }
+        if self.plan.sensor_stuck_p > 0.0 && self.rng.gen_bool(self.plan.sensor_stuck_p) {
+            return SensorFault::StuckAt(self.plan.sensor_stuck_value);
+        }
+        if self.plan.sensor_freeze_p > 0.0 && self.rng.gen_bool(self.plan.sensor_freeze_p) {
+            return SensorFault::Frozen;
+        }
+        if self.plan.sensor_spike_p > 0.0 && self.rng.gen_bool(self.plan.sensor_spike_p) {
+            return SensorFault::Spike(self.plan.sensor_spike_factor);
+        }
+        SensorFault::Accurate
+    }
+
+    fn last_reading(&self, class: &str) -> Option<u64> {
+        self.last_readings
+            .iter()
+            .find(|(c, _)| c == class)
+            .map(|(_, v)| *v)
+    }
+
+    fn remember_reading(&mut self, class: &str, value: u64) {
+        if let Some(entry) = self.last_readings.iter_mut().find(|(c, _)| c == class) {
+            entry.1 = value;
+        } else {
+            self.last_readings.push((class.to_string(), value));
+        }
+    }
+
+    fn record_sensor_fault(
+        &mut self,
+        now_cycle: u64,
+        class: &str,
+        verdict: SensorFault,
+        delivered: Option<u64>,
+    ) {
+        let (tag, value) = match verdict {
+            SensorFault::Accurate => return,
+            SensorFault::StuckAt(v) => ("sensor_stuck", Some(v as i64)),
+            SensorFault::Frozen => ("sensor_freeze", delivered.map(|v| v as i64)),
+            SensorFault::Spike(f) => ("sensor_spike", Some(f as i64)),
+            SensorFault::Dropped => ("sensor_drop", None),
+        };
+        self.trace.record(
+            SimTime::from_ps(now_cycle),
+            "fault",
+            format!("{tag}:{class}"),
+            value,
+        );
+        self.injected += 1;
+        self.last_fault_cycle = Some(self.last_fault_cycle.unwrap_or(0).max(now_cycle));
+    }
+
     /// Client faults due at or before `now_cycle`, removed from the plan.
     /// The driver applies them in the returned (cycle, node) order.
     pub fn take_client_faults_due(&mut self, now_cycle: u64) -> Vec<ClientFault> {
@@ -399,6 +717,17 @@ impl FaultInjector {
     /// for time-to-reconverge measurements.
     pub fn last_fault_cycle(&self) -> Option<u64> {
         self.last_fault_cycle
+    }
+
+    fn bump_sensor_occurrence(&mut self, class: &str) -> u64 {
+        if let Some(entry) = self.sensor_seen.iter_mut().find(|(c, _)| c == class) {
+            let occurrence = entry.1;
+            entry.1 += 1;
+            occurrence
+        } else {
+            self.sensor_seen.push((class.to_string(), 1));
+            0
+        }
     }
 
     fn bump_occurrence(&mut self, class: &str) -> u64 {
@@ -535,5 +864,158 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::new().drop_nth("confMsg", 0), 0);
         let _ = inj.on_message(5, "confMsg");
         assert!(inj.trace().entries().iter().all(|e| e.source == "fault"));
+    }
+
+    #[test]
+    fn healthy_sensor_readings_pass_through() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 1);
+        for i in 0..32 {
+            assert_eq!(inj.on_reading(i, "bw0", 100 + i), Some(100 + i));
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(inj.trace().entries().is_empty());
+    }
+
+    #[test]
+    fn scripted_sensor_faults_hit_exact_occurrences() {
+        let plan = FaultPlan::new()
+            .stuck_sensor_nth("bw0", 1, 7)
+            .drop_capture_nth("bw0", 2)
+            .spike_sensor_nth("bw1", 0, 8);
+        let mut inj = FaultInjector::new(plan, 3);
+        assert_eq!(inj.on_reading(10, "bw0", 100), Some(100));
+        assert_eq!(inj.on_reading(20, "bw0", 100), Some(7));
+        assert_eq!(inj.on_reading(30, "bw0", 100), None);
+        assert_eq!(inj.on_reading(40, "bw0", 100), Some(100));
+        assert_eq!(inj.on_reading(40, "bw1", 50), Some(400));
+        assert_eq!(inj.trace().count_tag("sensor_stuck:bw0"), 1);
+        assert_eq!(inj.trace().count_tag("sensor_drop:bw0"), 1);
+        assert_eq!(inj.trace().count_tag("sensor_spike:bw1"), 1);
+        assert_eq!(inj.injected(), 3);
+        assert_eq!(inj.last_fault_cycle(), Some(40));
+    }
+
+    #[test]
+    fn frozen_sensor_repeats_last_delivered_reading() {
+        let plan = FaultPlan::new().freeze_sensor_from("bw0", 2, 3);
+        let mut inj = FaultInjector::new(plan, 9);
+        assert_eq!(inj.on_reading(0, "bw0", 10), Some(10));
+        assert_eq!(inj.on_reading(1, "bw0", 20), Some(20));
+        // Occurrences 2..5 fall in the freeze window: the reading is
+        // pinned to the last value delivered before the freeze began.
+        assert_eq!(inj.on_reading(2, "bw0", 30), Some(20));
+        assert_eq!(inj.on_reading(3, "bw0", 40), Some(20));
+        assert_eq!(inj.on_reading(4, "bw0", 50), Some(20));
+        assert_eq!(inj.on_reading(5, "bw0", 60), Some(60));
+        assert_eq!(inj.trace().count_tag("sensor_freeze:bw0"), 3);
+    }
+
+    #[test]
+    fn frozen_sensor_with_no_history_passes_through() {
+        let plan = FaultPlan::new().freeze_sensor_from("bw0", 0, 1);
+        let mut inj = FaultInjector::new(plan, 9);
+        assert_eq!(inj.on_reading(0, "bw0", 77), Some(77));
+    }
+
+    #[test]
+    fn spiked_zero_reading_is_still_visible() {
+        let plan = FaultPlan::new().spike_sensor_nth("bw0", 0, 16);
+        let mut inj = FaultInjector::new(plan, 2);
+        assert_eq!(inj.on_reading(0, "bw0", 0), Some(16));
+    }
+
+    #[test]
+    fn probabilistic_sensor_faults_are_seed_deterministic() {
+        let plan = || {
+            FaultPlan::new()
+                .sensor_drop_probability(0.2)
+                .sensor_stuck_probability(0.1)
+                .sensor_freeze_probability(0.1)
+                .sensor_spike_probability(0.1)
+        };
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan(), seed);
+            (0..256)
+                .map(|i| inj.on_reading(i, "bw", 100))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+        let readings = run(42);
+        assert!(readings.contains(&None), "drops should occur");
+        assert!(readings.contains(&Some(100)), "clean readings should occur");
+    }
+
+    #[test]
+    fn sensor_drop_storm_drops_everything() {
+        let mut inj = FaultInjector::new(FaultPlan::new().sensor_drop_probability(1.0), 4);
+        assert!((0..16).all(|i| inj.on_reading(i, "bw", 9).is_none()));
+        assert_eq!(inj.injected(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn drop_probability_rejects_above_one() {
+        let _ = FaultPlan::new().drop_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn drop_probability_rejects_nan() {
+        let _ = FaultPlan::new().drop_probability(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn duplicate_probability_rejects_negative() {
+        let _ = FaultPlan::new().duplicate_probability(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn delay_probability_rejects_above_one() {
+        let _ = FaultPlan::new().delay_probability(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn reorder_probability_rejects_nan() {
+        let _ = FaultPlan::new().reorder_probability(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn sensor_drop_probability_rejects_nan() {
+        let _ = FaultPlan::new().sensor_drop_probability(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn sensor_stuck_probability_rejects_above_one() {
+        let _ = FaultPlan::new().sensor_stuck_probability(1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn sensor_freeze_probability_rejects_negative() {
+        let _ = FaultPlan::new().sensor_freeze_probability(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside [0, 1]")]
+    fn sensor_spike_probability_rejects_nan() {
+        let _ = FaultPlan::new().sensor_spike_probability(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "max delay must be positive")]
+    fn max_delay_cycles_rejects_zero() {
+        let _ = FaultPlan::new().max_delay_cycles(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike factor must exceed 1")]
+    fn sensor_spike_factor_rejects_one() {
+        let _ = FaultPlan::new().sensor_spike_factor(1);
     }
 }

@@ -39,7 +39,10 @@ pub mod trace;
 
 pub use engine::{Engine, EventSink, MapSink, Process, Scheduler};
 pub use event::EventQueue;
-pub use fault::{ClientFault, FaultInjector, FaultPlan, MessageFault};
+pub use fault::{
+    ClientFault, FaultInjector, FaultPlan, MessageFault, ScriptedSensorFault, SensorFault,
+    SensorFaultKind,
+};
 pub use json::JsonValue;
 pub use metrics::{HistogramSketch, MetricsRegistry, Span};
 pub use rng::SimRng;
