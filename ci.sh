@@ -39,8 +39,23 @@ cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/cosim_storm.jso
 echo "== conformance smoke (bounds-vs-simulators sweep + schema gate) =="
 # 5 cases per oracle family by default; widen with CONFORMANCE_CASES=200 ./ci.sh
 cargo run -q -p autoplat-bench --bin conformance -- \
-    --cases "${CONFORMANCE_CASES:-5}" --seed 7 \
+    --cases "${CONFORMANCE_CASES:-5}" --seed 7 --shards 4 \
     --export-json "$SMOKE_DIR/conformance.json" >/dev/null
 cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/conformance.json"
+
+echo "== conformance shard determinism (merged report independent of shard count) =="
+cargo run -q -p autoplat-bench --bin conformance -- \
+    --cases "${CONFORMANCE_CASES:-5}" --seed 7 --shards 2 \
+    --export-json "$SMOKE_DIR/conformance_reshard.json" >/dev/null
+cmp "$SMOKE_DIR/conformance.json" "$SMOKE_DIR/conformance_reshard.json"
+
+echo "== perf baseline smoke (queue/engine/cosim throughput + schema gate) =="
+# Quick scale; the perf binary itself enforces calendar >= heap throughput
+# and refuses to run unoptimized, so this gate needs --release.
+cargo run -q --release -p autoplat-bench --bin perf -- --quick \
+    --export-kernel "$SMOKE_DIR/bench_kernel.json" \
+    --export-cosim "$SMOKE_DIR/bench_cosim.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- \
+    "$SMOKE_DIR/bench_kernel.json" "$SMOKE_DIR/bench_cosim.json"
 
 echo "ci: OK"

@@ -8,6 +8,8 @@
 //!   sched, determinism, closedloop)
 //! * `--case-seed 0xHEX` — replay a single case seed (requires
 //!   `--family`); this is the reproducer line printed on failure
+//! * `--shards N` — fan the sweep across N worker threads (default 1);
+//!   the report is byte-identical for every N (deterministic shard merge)
 //! * `--export-json PATH` / `--export-csv PATH` — metrics export
 //! * `--smoke` — tiny sweep for CI gating
 //!
@@ -15,7 +17,7 @@
 //! scenario and a replay command line for each failure.
 
 use autoplat_bench::format::render_table;
-use autoplat_conformance::{run_case, run_sweep, Family, Oracle, SweepConfig};
+use autoplat_conformance::{run_case, run_sweep_parallel, Family, Oracle, SweepConfig};
 use autoplat_sim::MetricsRegistry;
 
 struct Args {
@@ -23,6 +25,7 @@ struct Args {
     seed: u64,
     family: Option<Family>,
     case_seed: Option<u64>,
+    shards: usize,
     export_json: Option<String>,
     export_csv: Option<String>,
 }
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         family: None,
         case_seed: None,
+        shards: 1,
         export_json: None,
         export_csv: None,
     };
@@ -66,6 +70,14 @@ fn parse_args() -> Result<Args, String> {
                 let digits = raw.strip_prefix("0x").unwrap_or(&raw);
                 out.case_seed =
                     Some(u64::from_str_radix(digits, 16).map_err(|e| format!("--case-seed: {e}"))?);
+            }
+            "--shards" => {
+                out.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if out.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
             }
             "--export-json" => out.export_json = Some(value("--export-json")?),
             "--export-csv" => out.export_csv = Some(value("--export-csv")?),
@@ -116,10 +128,13 @@ fn main() {
         oracle,
     };
     println!(
-        "conformance sweep: {} cases/family, master seed {}",
-        config.cases, config.seed
+        "conformance sweep: {} cases/family, master seed {}, {} shard{}",
+        config.cases,
+        config.seed,
+        args.shards,
+        if args.shards == 1 { "" } else { "s" }
     );
-    let report = run_sweep(&config);
+    let report = run_sweep_parallel(&config, args.shards);
     let rows: Vec<Vec<String>> = report
         .stats
         .iter()

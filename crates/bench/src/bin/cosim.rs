@@ -14,9 +14,9 @@
 use std::time::Instant;
 
 use autoplat_bench::format::render_table;
+use autoplat_bench::perf::sparse_noc;
 use autoplat_bench::ExportOptions;
 use autoplat_core::platform::{CoSim, CoSimConfig, ControlCommand, QosReport};
-use autoplat_noc::{NocConfig, NocSim, NodeId, Packet};
 use autoplat_sim::{FaultPlan, SimTime};
 
 fn main() {
@@ -204,17 +204,6 @@ fn print_qos_summary(qos: &QosReport) {
         (Some(reason), None) => println!("degraded: {reason:?}"),
         _ => println!("loop healthy: no degradation"),
     }
-}
-
-/// Same sparse workload into a fresh 4x4 mesh: a 4-flit packet every
-/// `gap` cycles, round-robin over the west-edge sources.
-fn sparse_noc(cycles: u64, gap: u64) -> NocSim {
-    let mut n = NocSim::new(NocConfig::new(4, 4));
-    for (i, release) in (0..cycles).step_by(gap as usize).enumerate() {
-        let src = NodeId::at(0, (i as u32) % 4, 4);
-        n.inject(Packet::new(i as u64, src, NodeId(15), 4), release);
-    }
-    n
 }
 
 /// Times the tick-stepped reference against the event-driven kernel

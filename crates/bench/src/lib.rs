@@ -9,6 +9,7 @@
 pub mod experiments;
 pub mod export;
 pub mod format;
+pub mod perf;
 
 pub use experiments::*;
 pub use export::ExportOptions;

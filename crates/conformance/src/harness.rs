@@ -1,5 +1,12 @@
 //! Sweep driver: derive per-case seeds, generate scenarios, run the
 //! oracle, shrink failures and publish metrics.
+//!
+//! Sweeps run serially ([`run_sweep`]) or sharded across worker threads
+//! ([`run_sweep_parallel`]). Parallelism never changes the result: every
+//! case derives its own seed from `(master_seed, family, case_index)`, so
+//! cases are independent, and the shard merge reassembles tallies and
+//! failures in serial order — the two entry points return identical
+//! reports (and therefore byte-identical metrics exports).
 
 use autoplat_sim::{MetricsRegistry, SimRng};
 
@@ -128,40 +135,134 @@ pub fn run_case(oracle: &Oracle, family: Family, seed: u64) -> Result<CaseResult
     }
 }
 
-/// Runs the configured sweep.
-pub fn run_sweep(config: &SweepConfig) -> SweepReport {
-    let families: Vec<Family> = match config.family {
+/// Outcome of one indexed case: what the tally should count, plus the
+/// shrunk failure when the oracle was violated.
+fn run_indexed_case(
+    oracle: &Oracle,
+    master_seed: u64,
+    family: Family,
+    case_index: u64,
+) -> Result<CaseResult, Box<Failure>> {
+    let seed = case_seed(master_seed, family, case_index);
+    match run_case(oracle, family, seed) {
+        Ok(result) => Ok(result),
+        Err(shrunk) => {
+            let mut rng = SimRng::seed_from(seed);
+            let original = Scenario::generate(family, &mut rng);
+            let original_size = original.size();
+            Err(Box::new(Failure {
+                family,
+                case_index,
+                case_seed: seed,
+                original,
+                original_size,
+                shrunk,
+            }))
+        }
+    }
+}
+
+fn swept_families(config: &SweepConfig) -> Vec<Family> {
+    match config.family {
         Some(f) => vec![f],
         None => Family::ALL.to_vec(),
-    };
+    }
+}
+
+/// Runs the configured sweep serially.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
     let mut stats = Vec::new();
     let mut failures = Vec::new();
-    for family in families {
+    for family in swept_families(config) {
         let mut tally = FamilyStats::default();
         for case_index in 0..config.cases {
-            let seed = case_seed(config.seed, family, case_index);
             tally.cases += 1;
-            match run_case(&config.oracle, family, seed) {
+            match run_indexed_case(&config.oracle, config.seed, family, case_index) {
                 Ok(CaseResult::Pass) => tally.passed += 1,
                 Ok(CaseResult::Vacuous) => tally.vacuous += 1,
-                Err(shrunk) => {
+                Err(failure) => {
                     tally.violations += 1;
-                    let mut rng = SimRng::seed_from(seed);
-                    let original = Scenario::generate(family, &mut rng);
-                    let original_size = original.size();
-                    failures.push(Failure {
-                        family,
-                        case_index,
-                        case_seed: seed,
-                        original,
-                        original_size,
-                        shrunk,
-                    });
+                    failures.push(*failure);
                 }
             }
         }
         stats.push((family, tally));
     }
+    SweepReport { stats, failures }
+}
+
+/// Runs the configured sweep across `shards` worker threads.
+///
+/// Shard `s` takes every case whose `case_index % shards == s`, for every
+/// family, so work balances without any shared mutable state: each worker
+/// derives its case seeds independently (splitmix over the master seed)
+/// and collects its own tallies and failures. The merge then adds the
+/// per-shard [`FamilyStats`] (exact — counters commute) and reorders
+/// failures back into serial `(family, case_index)` order, so the report
+/// — and any [`MetricsRegistry`] export built from it — is byte-identical
+/// to [`run_sweep`]'s regardless of shard count or thread interleaving.
+pub fn run_sweep_parallel(config: &SweepConfig, shards: usize) -> SweepReport {
+    /// One worker's slice of the sweep: its per-family tallies (in the
+    /// serial sweep's family order) and the failures it hit.
+    type ShardOutput = (Vec<(Family, FamilyStats)>, Vec<Failure>);
+
+    let shards = shards.max(1);
+    if shards == 1 || config.cases == 0 {
+        return run_sweep(config);
+    }
+    let families = swept_families(config);
+    let mut shard_outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let families = &families;
+                let oracle = &config.oracle;
+                let (seed, cases) = (config.seed, config.cases);
+                scope.spawn(move || {
+                    let mut stats = Vec::new();
+                    let mut failures = Vec::new();
+                    for &family in families {
+                        let mut tally = FamilyStats::default();
+                        for case_index in (shard as u64..cases).step_by(shards) {
+                            tally.cases += 1;
+                            match run_indexed_case(oracle, seed, family, case_index) {
+                                Ok(CaseResult::Pass) => tally.passed += 1,
+                                Ok(CaseResult::Vacuous) => tally.vacuous += 1,
+                                Err(failure) => {
+                                    tally.violations += 1;
+                                    failures.push(*failure);
+                                }
+                            }
+                        }
+                        stats.push((family, tally));
+                    }
+                    (stats, failures)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep shard panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: family order is the serial sweep's, tallies add
+    // exactly, failures sort back into serial discovery order.
+    let mut stats: Vec<(Family, FamilyStats)> = families
+        .iter()
+        .map(|&f| (f, FamilyStats::default()))
+        .collect();
+    let mut failures = Vec::new();
+    for (shard_stats, shard_failures) in &mut shard_outputs {
+        for (slot, (family, tally)) in stats.iter_mut().zip(shard_stats.iter()) {
+            debug_assert_eq!(slot.0, *family, "shards sweep families in the same order");
+            slot.1.cases += tally.cases;
+            slot.1.passed += tally.passed;
+            slot.1.vacuous += tally.vacuous;
+            slot.1.violations += tally.violations;
+        }
+        failures.append(shard_failures);
+    }
+    failures.sort_by_key(|f| (f.family.index(), f.case_index));
     SweepReport { stats, failures }
 }
 
@@ -184,5 +285,68 @@ mod tests {
     fn case_seed_is_deterministic() {
         assert_eq!(case_seed(7, Family::Dram, 3), case_seed(7, Family::Dram, 3));
         assert_ne!(case_seed(7, Family::Dram, 3), case_seed(8, Family::Dram, 3));
+    }
+
+    fn reports_identical(a: &SweepReport, b: &SweepReport) {
+        assert_eq!(a.stats.len(), b.stats.len());
+        for ((fa, sa), (fb, sb)) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(fa, fb);
+            assert_eq!(
+                (sa.cases, sa.passed, sa.vacuous, sa.violations),
+                (sb.cases, sb.passed, sb.vacuous, sb.violations),
+                "family {} tallies diverge",
+                fa.name()
+            );
+        }
+        let key = |f: &Failure| (f.family.index(), f.case_index, f.case_seed);
+        assert_eq!(
+            a.failures.iter().map(key).collect::<Vec<_>>(),
+            b.failures.iter().map(key).collect::<Vec<_>>()
+        );
+        // The exports are what CI byte-compares, so check them too.
+        let mut ma = MetricsRegistry::new();
+        a.publish_metrics(&mut ma);
+        let mut mb = MetricsRegistry::new();
+        b.publish_metrics(&mut mb);
+        assert_eq!(ma.to_json(), mb.to_json());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_report() {
+        let config = SweepConfig::new(7, 6);
+        let serial = run_sweep(&config);
+        for shards in [2, 3, 5, 8] {
+            reports_identical(&serial, &run_sweep_parallel(&config, shards));
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_orders_failures_serially_under_a_broken_bound() {
+        // Halving the WCD upper bound makes violations common; the shard
+        // merge must hand them back in serial (family, case_index) order.
+        let config = SweepConfig {
+            seed: 7,
+            cases: 10,
+            family: Some(Family::Dram),
+            oracle: crate::oracle::Oracle {
+                wcd_upper_scale: 0.5,
+            },
+        };
+        let serial = run_sweep(&config);
+        assert!(
+            serial.total_violations() > 0,
+            "broken bound must produce failures for this test to bite"
+        );
+        reports_identical(&serial, &run_sweep_parallel(&config, 4));
+    }
+
+    #[test]
+    fn parallel_sweep_with_one_shard_or_zero_cases_degenerates() {
+        let config = SweepConfig::new(3, 2);
+        reports_identical(&run_sweep(&config), &run_sweep_parallel(&config, 1));
+        let empty = SweepConfig::new(3, 0);
+        let report = run_sweep_parallel(&empty, 4);
+        assert_eq!(report.total_cases(), 0);
+        assert!(report.all_passed());
     }
 }

@@ -29,7 +29,10 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
-pub use harness::{case_seed, run_case, run_sweep, Failure, FamilyStats, SweepConfig, SweepReport};
+pub use harness::{
+    case_seed, run_case, run_sweep, run_sweep_parallel, Failure, FamilyStats, SweepConfig,
+    SweepReport,
+};
 pub use oracle::{CaseResult, Oracle, Violation};
 pub use scenario::{Family, Scenario};
 pub use shrink::{shrink, Shrunk};

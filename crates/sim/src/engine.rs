@@ -298,8 +298,22 @@ impl<E> Engine<E> {
 
     /// Runs until the queue drains or the next event would fire after
     /// `deadline`. Events at exactly `deadline` are delivered.
+    ///
+    /// This is the batched hot path: one peek per *timestamp*, then the
+    /// whole same-instant batch drains through
+    /// [`EventQueue::pop_if_at`](crate::EventQueue::pop_if_at) — including
+    /// events a handler schedules at the instant being drained, which keep
+    /// their FIFO position behind the already-scheduled batch.
     pub fn run_until<P: Process<Event = E>>(&mut self, process: &mut P, deadline: SimTime) {
-        while self.step_until(process, deadline).is_some() {}
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                return;
+            }
+            assert!(at >= self.now, "event queue violated causality");
+            while let Some(event) = self.queue.pop_if_at(at) {
+                self.deliver(at, event, process);
+            }
+        }
     }
 
     /// Budgeted stepping: delivers at most `max_events` events at or before
@@ -340,22 +354,32 @@ impl<E> Engine<E> {
                 return None;
             }
             let (at, event) = self.queue.pop().expect("peeked event exists");
-            debug_assert!(at >= self.now, "event queue violated causality");
-            let tag = process.tag(&event);
-            let event = match self.filter(at, tag, event) {
-                Some(event) => event,
-                None => continue,
-            };
-            self.now = at;
-            self.delivered += 1;
-            *self.tag_counts.entry(tag).or_insert(0) += 1;
-            let mut sched = Scheduler {
-                now: self.now,
-                queue: &mut self.queue,
-            };
-            process.handle(event, &mut sched);
-            return Some(at);
+            assert!(at >= self.now, "event queue violated causality");
+            if self.deliver(at, event, process) {
+                return Some(at);
+            }
         }
+    }
+
+    /// Fires one popped event: advances the clock to `at` (the simulation
+    /// reached that instant even if the injector then discards the event),
+    /// filters through the fault injector, and on survival delivers to
+    /// `process`. Returns whether the event was actually delivered.
+    fn deliver<P: Process<Event = E>>(&mut self, at: SimTime, event: E, process: &mut P) -> bool {
+        self.now = at;
+        let tag = process.tag(&event);
+        let event = match self.filter(at, tag, event) {
+            Some(event) => event,
+            None => return false,
+        };
+        self.delivered += 1;
+        *self.tag_counts.entry(tag).or_insert(0) += 1;
+        let mut sched = Scheduler {
+            now: self.now,
+            queue: &mut self.queue,
+        };
+        process.handle(event, &mut sched);
+        true
     }
 
     /// Applies the fault injector to one popped event. Returns the event to
@@ -393,18 +417,21 @@ impl<E> Engine<E> {
     }
 
     /// Exports delivery counters: `engine.events_delivered`, per-tag
-    /// `engine.events.<tag>`, and fault-hook counters when an injector ran.
+    /// `engine.events.<tag>`, and the fault-hook counters. The fault
+    /// counters export unconditionally (zero without an injector), so
+    /// fault-free and faulty runs produce schema-consistent key sets.
     pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
         metrics.counter_add("engine.events_delivered", self.delivered);
         for (tag, n) in &self.tag_counts {
             metrics.counter_add(format!("engine.events.{tag}"), *n);
         }
-        if let Some(injector) = &self.injector {
-            metrics.counter_add("engine.events_dropped", self.dropped);
-            metrics.counter_add("engine.events_delayed", self.delayed);
-            metrics.counter_add("engine.events_duplicated", self.duplicated);
-            metrics.counter_add("engine.faults_injected", injector.injected());
-        }
+        metrics.counter_add("engine.events_dropped", self.dropped);
+        metrics.counter_add("engine.events_delayed", self.delayed);
+        metrics.counter_add("engine.events_duplicated", self.duplicated);
+        metrics.counter_add(
+            "engine.faults_injected",
+            self.injector.as_ref().map_or(0, |i| i.injected()),
+        );
     }
 }
 
@@ -515,6 +542,71 @@ mod tests {
         // 0 (even, delivered), 1, 2 (even, dropped) — chain stops at 2.
         assert_eq!(p.seen.len(), 2);
         assert_eq!(engine.dropped(), 1);
+    }
+
+    #[test]
+    fn dropped_trailing_event_still_advances_the_clock() {
+        // Regression: the chain 0..=3 fires at 5,6,7,8 ns; dropping the
+        // trailing event (value 3, second "odd" delivery) must still leave
+        // the clock at 8 ns — the simulation logically reached that instant
+        // even though nothing was delivered there.
+        let plan = FaultPlan::new().drop_nth("odd", 1);
+        let mut engine = Engine::new();
+        engine.attach_fault_injector(FaultInjector::new(plan, 7), SimDuration::from_ns(1.0));
+        engine.schedule_at(SimTime::from_ns(5.0), 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        assert_eq!(p.seen.len(), 3);
+        assert_eq!(engine.dropped(), 1);
+        assert_eq!(engine.now(), SimTime::from_ns(8.0));
+    }
+
+    #[test]
+    fn delayed_trailing_event_advances_the_clock_through_the_delay() {
+        // The trailing event (value 3 at 8 ns) is deferred 5 cycles; the
+        // clock must follow it to 13 ns, not stall at the original instant.
+        let plan = FaultPlan::new().delay_nth("odd", 1, 5);
+        let mut engine = Engine::new();
+        engine.attach_fault_injector(FaultInjector::new(plan, 7), SimDuration::from_ns(1.0));
+        engine.schedule_at(SimTime::from_ns(5.0), 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        assert_eq!(p.seen.len(), 4);
+        assert_eq!(engine.now(), SimTime::from_ns(13.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "event queue violated causality")]
+    fn causality_violation_panics_even_in_release() {
+        // The public API cannot schedule into the past, so corrupt the
+        // queue directly (same-module access) to pin that the check is a
+        // real assert, not a debug_assert compiled out of release builds.
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_ns(10.0), 0u32);
+        let mut p = Recorder::default();
+        engine.step(&mut p);
+        assert_eq!(engine.now(), SimTime::from_ns(10.0));
+        engine.queue.schedule(SimTime::from_ns(1.0), 9);
+        engine.step(&mut p);
+    }
+
+    #[test]
+    fn fault_counters_export_even_without_an_injector() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut p = Recorder::default();
+        engine.run(&mut p);
+        let mut metrics = MetricsRegistry::new();
+        engine.publish_metrics(&mut metrics);
+        // Schema consistency: a fault-free export carries the same keys a
+        // faulty one does, just zero-valued.
+        assert_eq!(metrics.counter("engine.events_dropped"), 0);
+        assert_eq!(metrics.counter("engine.events_delayed"), 0);
+        assert_eq!(metrics.counter("engine.events_duplicated"), 0);
+        assert_eq!(metrics.counter("engine.faults_injected"), 0);
+        let json = metrics.to_json();
+        assert!(json.contains("engine.events_dropped"));
+        assert!(json.contains("engine.faults_injected"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the simulation kernel.
 
 use autoplat_sim::engine::EventSink;
+use autoplat_sim::event::HeapEventQueue;
 use autoplat_sim::{Engine, EventQueue, Process, SimDuration, SimTime, Summary};
 use proptest::prelude::*;
 
@@ -81,6 +82,108 @@ proptest! {
                 }
             }
             last = Some((t, idx));
+        }
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap_reference_on_bulk_schedules(
+        times in proptest::collection::vec(0u64..500, 1..300),
+    ) {
+        // Heavy same-timestamp collisions: the FIFO seq tie-break carries
+        // the ordering, and the calendar queue must reproduce the heap's
+        // pop sequence payload-for-payload.
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_ps(t), i);
+            heap.schedule(SimTime::from_ps(t), i);
+        }
+        for _ in 0..times.len() {
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            prop_assert_eq!(cal.pop(), heap.pop());
+        }
+        prop_assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap_reference_with_far_future_overflow(
+        ops in proptest::collection::vec(
+            // (schedule?, near time, far multiplier) — far times land well
+            // beyond the calendar's near window, exercising the sorted
+            // overflow tier and adaptive re-centers.
+            (any::<bool>(), 0u64..2_000, 0u64..8),
+            1..200,
+        ),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut payload = 0usize;
+        for &(is_pop, near, far) in &ops {
+            if is_pop {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            } else {
+                let t = near + far * 50_000_000; // 0, 50 µs, 100 µs, ...
+                cal.schedule(SimTime::from_ps(t), payload);
+                heap.schedule(SimTime::from_ps(t), payload);
+                payload += 1;
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        // Drain both: the tails must agree too.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pop_if_at_batches_reproduce_plain_pop_order(
+        times in proptest::collection::vec(0u64..200, 1..200),
+    ) {
+        let mut plain = EventQueue::new();
+        let mut batched = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            plain.schedule(SimTime::from_ps(t), i);
+            batched.schedule(SimTime::from_ps(t), i);
+        }
+        let mut by_pop = Vec::new();
+        while let Some((t, e)) = plain.pop() {
+            by_pop.push((t, e));
+        }
+        let mut by_batch = Vec::new();
+        while let Some(t) = batched.peek_time() {
+            while let Some(e) = batched.pop_if_at(t) {
+                by_batch.push((t, e));
+            }
+        }
+        prop_assert_eq!(by_pop, by_batch);
+    }
+
+    #[test]
+    fn next_seq_is_monotonic_across_bucket_epoch_rollovers(
+        rounds in proptest::collection::vec(0u64..4, 2..40),
+    ) {
+        // Each round schedules into a window ~80 µs past the previous pops,
+        // forcing the calendar ring to roll its epoch (re-center off the
+        // overflow tier) repeatedly. Sequence numbers must keep strictly
+        // increasing the whole way — they are the FIFO tie-break and may
+        // never reset with the epoch.
+        let mut q = EventQueue::new();
+        let mut last_seq = q.next_seq();
+        let mut base = 0u64;
+        for (i, &extra) in rounds.iter().enumerate() {
+            for j in 0..=extra {
+                q.schedule(SimTime::from_ps(base + j), i);
+                let seq = q.next_seq();
+                prop_assert!(seq > last_seq, "next_seq must grow on every schedule");
+                last_seq = seq;
+            }
+            while q.pop().is_some() {}
+            base += 80_000_000; // ~80 µs: far outside the near window
         }
     }
 
