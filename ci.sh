@@ -49,6 +49,21 @@ cargo run -q -p autoplat-bench --bin conformance -- \
     --export-json "$SMOKE_DIR/conformance_reshard.json" >/dev/null
 cmp "$SMOKE_DIR/conformance.json" "$SMOKE_DIR/conformance_reshard.json"
 
+echo "== arbiter-family conformance (dpq/perbank/diff sweeps + shard determinism) =="
+# The diff family also exports cross-arbiter tightness/throughput
+# observations as histograms; the reshard cmp proves those merge
+# byte-identically for any shard count.
+for fam in dpq perbank diff; do
+    cargo run -q -p autoplat-bench --bin conformance -- \
+        --family "$fam" --cases "${CONFORMANCE_CASES:-5}" --seed 7 --shards 4 \
+        --export-json "$SMOKE_DIR/conformance_$fam.json" >/dev/null
+    cargo run -q -p autoplat-bench --bin conformance -- \
+        --family "$fam" --cases "${CONFORMANCE_CASES:-5}" --seed 7 --shards 3 \
+        --export-json "$SMOKE_DIR/conformance_${fam}_reshard.json" >/dev/null
+    cmp "$SMOKE_DIR/conformance_$fam.json" "$SMOKE_DIR/conformance_${fam}_reshard.json"
+    cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/conformance_$fam.json"
+done
+
 echo "== perf baseline smoke (queue/engine/cosim throughput + schema gate) =="
 # Quick scale; the perf binary itself enforces calendar >= heap throughput
 # and refuses to run unoptimized, so this gate needs --release.
@@ -57,5 +72,16 @@ cargo run -q --release -p autoplat-bench --bin perf -- --quick \
     --export-cosim "$SMOKE_DIR/bench_cosim.json" >/dev/null
 cargo run -q -p autoplat-bench --bin schema_check -- \
     "$SMOKE_DIR/bench_kernel.json" "$SMOKE_DIR/bench_cosim.json"
+
+echo "== perf regression gate (fresh throughput vs committed baselines) =="
+# The committed BENCH_*.json were measured at full scale on a quiet
+# machine; the smoke runs at --quick on shared CI, so the floor is
+# deliberately loose (override with PERF_BASELINE_RATIO=0.5 ./ci.sh).
+cargo run -q -p autoplat-bench --bin perf_check -- \
+    --baseline BENCH_kernel.json --fresh "$SMOKE_DIR/bench_kernel.json" \
+    --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
+cargo run -q -p autoplat-bench --bin perf_check -- \
+    --baseline BENCH_cosim.json --fresh "$SMOKE_DIR/bench_cosim.json" \
+    --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
 
 echo "ci: OK"

@@ -10,7 +10,7 @@
 
 use autoplat_sim::{MetricsRegistry, SimRng};
 
-use crate::oracle::{CaseResult, Oracle};
+use crate::oracle::{CaseResult, Observations, Oracle};
 use crate::scenario::{Family, Scenario};
 use crate::shrink::{shrink, Shrunk};
 
@@ -88,11 +88,23 @@ pub struct FamilyStats {
     pub violations: u64,
 }
 
+/// The numeric observations one passing case emitted, kept raw (not
+/// pre-aggregated) so the shard merge can reassemble them in serial
+/// case order before any order-sensitive histogram fold happens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseObservations {
+    pub family: Family,
+    pub case_index: u64,
+    pub values: Observations,
+}
+
 /// Outcome of a full sweep.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     pub stats: Vec<(Family, FamilyStats)>,
     pub failures: Vec<Failure>,
+    /// Raw per-case observations in serial `(family, case_index)` order.
+    pub observations: Vec<CaseObservations>,
 }
 
 impl SweepReport {
@@ -109,7 +121,9 @@ impl SweepReport {
     }
 
     /// Publishes sweep tallies into the shared metrics registry under
-    /// the `conformance.*` namespace.
+    /// the `conformance.*` namespace. Per-case observations fold into
+    /// histograms serially, in the report's (already deterministic)
+    /// case order, so the export is byte-identical for any shard count.
     pub fn publish_metrics(&self, metrics: &mut MetricsRegistry) {
         metrics.counter_add("conformance.cases", self.total_cases());
         metrics.counter_add("conformance.violations", self.total_violations());
@@ -120,6 +134,11 @@ impl SweepReport {
             metrics.counter_add(format!("conformance.{name}.vacuous"), stats.vacuous);
             metrics.counter_add(format!("conformance.{name}.violations"), stats.violations);
         }
+        for case in &self.observations {
+            for &(name, value) in &case.values {
+                metrics.observe(name, value);
+            }
+        }
     }
 }
 
@@ -127,10 +146,19 @@ impl SweepReport {
 /// shrinking on failure. Returns `Ok` with the pass kind or the shrunk
 /// failure.
 pub fn run_case(oracle: &Oracle, family: Family, seed: u64) -> Result<CaseResult, Shrunk> {
+    run_case_observed(oracle, family, seed).map(|(result, _)| result)
+}
+
+/// Like [`run_case`], but also returns the case's numeric observations.
+pub fn run_case_observed(
+    oracle: &Oracle,
+    family: Family,
+    seed: u64,
+) -> Result<(CaseResult, Observations), Shrunk> {
     let mut rng = SimRng::seed_from(seed);
     let scenario = Scenario::generate(family, &mut rng);
-    match oracle.check(&scenario) {
-        Ok(result) => Ok(result),
+    match oracle.check_observed(&scenario) {
+        Ok(pair) => Ok(pair),
         Err(violation) => Err(shrink(oracle, scenario, violation)),
     }
 }
@@ -142,10 +170,10 @@ fn run_indexed_case(
     master_seed: u64,
     family: Family,
     case_index: u64,
-) -> Result<CaseResult, Box<Failure>> {
+) -> Result<(CaseResult, Observations), Box<Failure>> {
     let seed = case_seed(master_seed, family, case_index);
-    match run_case(oracle, family, seed) {
-        Ok(result) => Ok(result),
+    match run_case_observed(oracle, family, seed) {
+        Ok(pair) => Ok(pair),
         Err(shrunk) => {
             let mut rng = SimRng::seed_from(seed);
             let original = Scenario::generate(family, &mut rng);
@@ -169,17 +197,40 @@ fn swept_families(config: &SweepConfig) -> Vec<Family> {
     }
 }
 
+/// Records a passing case's observations (if it emitted any).
+fn push_observations(
+    out: &mut Vec<CaseObservations>,
+    family: Family,
+    case_index: u64,
+    values: Observations,
+) {
+    if !values.is_empty() {
+        out.push(CaseObservations {
+            family,
+            case_index,
+            values,
+        });
+    }
+}
+
 /// Runs the configured sweep serially.
 pub fn run_sweep(config: &SweepConfig) -> SweepReport {
     let mut stats = Vec::new();
     let mut failures = Vec::new();
+    let mut observations = Vec::new();
     for family in swept_families(config) {
         let mut tally = FamilyStats::default();
         for case_index in 0..config.cases {
             tally.cases += 1;
             match run_indexed_case(&config.oracle, config.seed, family, case_index) {
-                Ok(CaseResult::Pass) => tally.passed += 1,
-                Ok(CaseResult::Vacuous) => tally.vacuous += 1,
+                Ok((CaseResult::Pass, values)) => {
+                    tally.passed += 1;
+                    push_observations(&mut observations, family, case_index, values);
+                }
+                Ok((CaseResult::Vacuous, values)) => {
+                    tally.vacuous += 1;
+                    push_observations(&mut observations, family, case_index, values);
+                }
                 Err(failure) => {
                     tally.violations += 1;
                     failures.push(*failure);
@@ -188,7 +239,11 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
         }
         stats.push((family, tally));
     }
-    SweepReport { stats, failures }
+    SweepReport {
+        stats,
+        failures,
+        observations,
+    }
 }
 
 /// Runs the configured sweep across `shards` worker threads.
@@ -203,8 +258,13 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
 /// to [`run_sweep`]'s regardless of shard count or thread interleaving.
 pub fn run_sweep_parallel(config: &SweepConfig, shards: usize) -> SweepReport {
     /// One worker's slice of the sweep: its per-family tallies (in the
-    /// serial sweep's family order) and the failures it hit.
-    type ShardOutput = (Vec<(Family, FamilyStats)>, Vec<Failure>);
+    /// serial sweep's family order), the failures it hit and the raw
+    /// observations its passing cases emitted.
+    type ShardOutput = (
+        Vec<(Family, FamilyStats)>,
+        Vec<Failure>,
+        Vec<CaseObservations>,
+    );
 
     let shards = shards.max(1);
     if shards == 1 || config.cases == 0 {
@@ -220,13 +280,30 @@ pub fn run_sweep_parallel(config: &SweepConfig, shards: usize) -> SweepReport {
                 scope.spawn(move || {
                     let mut stats = Vec::new();
                     let mut failures = Vec::new();
+                    let mut observations = Vec::new();
                     for &family in families {
                         let mut tally = FamilyStats::default();
                         for case_index in (shard as u64..cases).step_by(shards) {
                             tally.cases += 1;
                             match run_indexed_case(oracle, seed, family, case_index) {
-                                Ok(CaseResult::Pass) => tally.passed += 1,
-                                Ok(CaseResult::Vacuous) => tally.vacuous += 1,
+                                Ok((CaseResult::Pass, values)) => {
+                                    tally.passed += 1;
+                                    push_observations(
+                                        &mut observations,
+                                        family,
+                                        case_index,
+                                        values,
+                                    );
+                                }
+                                Ok((CaseResult::Vacuous, values)) => {
+                                    tally.vacuous += 1;
+                                    push_observations(
+                                        &mut observations,
+                                        family,
+                                        case_index,
+                                        values,
+                                    );
+                                }
                                 Err(failure) => {
                                     tally.violations += 1;
                                     failures.push(*failure);
@@ -235,7 +312,7 @@ pub fn run_sweep_parallel(config: &SweepConfig, shards: usize) -> SweepReport {
                         }
                         stats.push((family, tally));
                     }
-                    (stats, failures)
+                    (stats, failures, observations)
                 })
             })
             .collect();
@@ -252,7 +329,8 @@ pub fn run_sweep_parallel(config: &SweepConfig, shards: usize) -> SweepReport {
         .map(|&f| (f, FamilyStats::default()))
         .collect();
     let mut failures = Vec::new();
-    for (shard_stats, shard_failures) in &mut shard_outputs {
+    let mut observations = Vec::new();
+    for (shard_stats, shard_failures, shard_observations) in &mut shard_outputs {
         for (slot, (family, tally)) in stats.iter_mut().zip(shard_stats.iter()) {
             debug_assert_eq!(slot.0, *family, "shards sweep families in the same order");
             slot.1.cases += tally.cases;
@@ -261,9 +339,15 @@ pub fn run_sweep_parallel(config: &SweepConfig, shards: usize) -> SweepReport {
             slot.1.violations += tally.violations;
         }
         failures.append(shard_failures);
+        observations.append(shard_observations);
     }
     failures.sort_by_key(|f| (f.family.index(), f.case_index));
-    SweepReport { stats, failures }
+    observations.sort_by_key(|o| (o.family.index(), o.case_index));
+    SweepReport {
+        stats,
+        failures,
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -278,7 +362,7 @@ mod tests {
                 assert!(seen.insert(case_seed(42, family, idx)));
             }
         }
-        assert_eq!(seen.len(), 6 * 64);
+        assert_eq!(seen.len(), Family::ALL.len() * 64);
     }
 
     #[test]
@@ -302,6 +386,10 @@ mod tests {
         assert_eq!(
             a.failures.iter().map(key).collect::<Vec<_>>(),
             b.failures.iter().map(key).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.observations, b.observations,
+            "raw observations diverge between sweeps"
         );
         // The exports are what CI byte-compares, so check them too.
         let mut ma = MetricsRegistry::new();
@@ -330,6 +418,7 @@ mod tests {
             family: Some(Family::Dram),
             oracle: crate::oracle::Oracle {
                 wcd_upper_scale: 0.5,
+                ..crate::oracle::Oracle::default()
             },
         };
         let serial = run_sweep(&config);

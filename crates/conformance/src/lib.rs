@@ -11,8 +11,9 @@
 //! 1. [`scenario`] generates random-but-valid scenarios per family
 //!    (DRAM configs + request streams, NoC topologies + flows, MemGuard
 //!    budgets + access traces, task sets, fault plans, closed-loop QoS
-//!    compositions under sensor-fault storms), each fully determined by
-//!    a single `u64` case seed;
+//!    compositions under sensor-fault storms, DPQ arbitration setups,
+//!    per-bank regulation traces and cross-arbiter differential
+//!    streams), each fully determined by a single `u64` case seed;
 //! 2. [`oracle`] replays each scenario through both the analysis and
 //!    the event-kernel simulator and checks the dominance invariants;
 //! 3. [`shrink`] greedily minimises any failing scenario;
@@ -30,9 +31,9 @@ pub mod scenario;
 pub mod shrink;
 
 pub use harness::{
-    case_seed, run_case, run_sweep, run_sweep_parallel, Failure, FamilyStats, SweepConfig,
-    SweepReport,
+    case_seed, run_case, run_case_observed, run_sweep, run_sweep_parallel, CaseObservations,
+    Failure, FamilyStats, SweepConfig, SweepReport,
 };
-pub use oracle::{CaseResult, Oracle, Violation};
+pub use oracle::{CaseResult, Observations, Oracle, Violation};
 pub use scenario::{Family, Scenario};
 pub use shrink::{shrink, Shrunk};

@@ -13,7 +13,7 @@ use autoplat_dram::{ControllerConfig, DramTiming};
 use autoplat_netcalc::TokenBucket;
 use autoplat_sim::SimRng;
 
-/// The six oracle families, each pairing an analytic bound with its
+/// The nine oracle families, each pairing an analytic bound with its
 /// event-kernel simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
@@ -33,17 +33,32 @@ pub enum Family {
     /// partitions isolate, and sensor-fault storms reach safe mode
     /// within a bounded number of epochs.
     ClosedLoop,
+    /// DPQ bounded-access-latency (Shah et al.) vs the DPQ arbiter
+    /// simulator.
+    Dpq,
+    /// Per-bank MemGuard guarantees (Sullivan et al.) vs the per-bank
+    /// regulator and its replenishment process.
+    PerBank,
+    /// Cross-arbiter differential: the same adversarial request stream
+    /// through FR-FCFS, DPQ and per-bank-regulated FR-FCFS, each checked
+    /// against its own analytic bound, with WCD-tightness and throughput
+    /// deltas exported as metrics.
+    Diff,
 }
 
 impl Family {
-    /// All families, in sweep order.
-    pub const ALL: [Family; 6] = [
+    /// All families, in sweep order. New families append at the end so
+    /// existing `(family, case index)` seeds stay stable.
+    pub const ALL: [Family; 9] = [
         Family::Dram,
         Family::Noc,
         Family::MemGuard,
         Family::Sched,
         Family::Determinism,
         Family::ClosedLoop,
+        Family::Dpq,
+        Family::PerBank,
+        Family::Diff,
     ];
 
     /// Stable lowercase name used in CLI flags, metrics and the corpus.
@@ -55,6 +70,9 @@ impl Family {
             Family::Sched => "sched",
             Family::Determinism => "determinism",
             Family::ClosedLoop => "closedloop",
+            Family::Dpq => "dpq",
+            Family::PerBank => "perbank",
+            Family::Diff => "diff",
         }
     }
 
@@ -629,6 +647,224 @@ impl ClosedLoopScenario {
     }
 }
 
+/// A DPQ arbitration scenario: device preset, master count and the
+/// per-master backlog depth of the adversarial workload (every master
+/// issues `depth` close-page reads to its own bank at `t = 0`, so the
+/// probe — the last request of the last master — is admitted at depth
+/// `depth` and saturates the round-robin window of the bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpqScenario {
+    /// Timing preset: 0 = DDR3-1600, 1 = DDR4-2400, 2 = LPDDR4-3200.
+    pub preset: u8,
+    /// Number of masters arbitrated.
+    pub masters: u32,
+    /// Requests per master (the probe's admission depth).
+    pub depth: u32,
+}
+
+impl DpqScenario {
+    /// The device timing this scenario runs on.
+    pub fn timing(&self) -> DramTiming {
+        match self.preset {
+            0 => ddr3_1600(),
+            1 => ddr4_2400(),
+            _ => lpddr4_3200(),
+        }
+    }
+
+    fn generate(rng: &mut SimRng) -> DpqScenario {
+        DpqScenario {
+            preset: rng.gen_range(0u32..3) as u8,
+            masters: rng.gen_range(2u32..=4),
+            depth: rng.gen_range(2u32..=32),
+        }
+    }
+
+    fn shrink(&self) -> Vec<DpqScenario> {
+        let mut out = Vec::new();
+        let mut push = |s: DpqScenario| {
+            if s != *self {
+                out.push(s);
+            }
+        };
+        push(DpqScenario {
+            depth: (self.depth / 2).max(1),
+            ..self.clone()
+        });
+        push(DpqScenario {
+            depth: (self.depth - 1).max(1),
+            ..self.clone()
+        });
+        push(DpqScenario {
+            masters: (self.masters - 1).max(1),
+            ..self.clone()
+        });
+        push(DpqScenario {
+            preset: 0,
+            ..self.clone()
+        });
+        out
+    }
+
+    fn size(&self) -> u64 {
+        self.preset as u64 + self.masters as u64 * 64 + self.depth as u64
+    }
+}
+
+/// One regulated access in a [`PerBankScenario`] trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbAccess {
+    /// Target bank.
+    pub bank: u8,
+    /// Access size in bytes.
+    pub bytes: u64,
+    /// Gap since the previous access in the trace, in nanoseconds.
+    pub gap_ns: u64,
+}
+
+/// A per-bank regulation scenario: per-bank budgets (possibly zero), an
+/// access trace replayed against the lazy and event-driven replenishment
+/// paths, and a horizon over which the saturated-demand service guarantee
+/// is checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerBankScenario {
+    /// Regulation period in nanoseconds.
+    pub period_ns: u64,
+    /// Per-bank budgets in bytes per period; zero means always throttled.
+    pub budgets: Vec<u64>,
+    /// The access trace (times are cumulative gaps).
+    pub accesses: Vec<PbAccess>,
+    /// Horizon for the guarantee replay and the event-driven run, in full
+    /// periods.
+    pub horizon_periods: u32,
+}
+
+impl PerBankScenario {
+    fn generate(rng: &mut SimRng) -> PerBankScenario {
+        let banks = rng.gen_range(1usize..=4);
+        let budgets = (0..banks)
+            .map(|_| {
+                if rng.gen_bool(0.15) {
+                    0
+                } else {
+                    rng.gen_range(64u64..=4096)
+                }
+            })
+            .collect();
+        let period_ns = rng.gen_range(1_000u64..=20_000);
+        let n_accesses = rng.gen_range(5usize..=60);
+        let accesses = (0..n_accesses)
+            .map(|_| PbAccess {
+                bank: rng.gen_range(0u32..banks as u32) as u8,
+                bytes: rng.gen_range(1u64..=512),
+                gap_ns: rng.gen_range(0u64..=2_000),
+            })
+            .collect();
+        PerBankScenario {
+            period_ns,
+            budgets,
+            accesses,
+            horizon_periods: rng.gen_range(2u32..=6),
+        }
+    }
+
+    fn shrink(&self) -> Vec<PerBankScenario> {
+        let mut out = Vec::new();
+        if self.accesses.len() > 1 {
+            let half = self.accesses.len() / 2;
+            out.push(PerBankScenario {
+                accesses: self.accesses[..half].to_vec(),
+                ..self.clone()
+            });
+            out.push(PerBankScenario {
+                accesses: self.accesses[half..].to_vec(),
+                ..self.clone()
+            });
+        }
+        if self.budgets.len() > 1 {
+            let banks = self.budgets.len() - 1;
+            out.push(PerBankScenario {
+                budgets: self.budgets[..banks].to_vec(),
+                accesses: self
+                    .accesses
+                    .iter()
+                    .copied()
+                    .filter(|a| (a.bank as usize) < banks)
+                    .collect(),
+                ..self.clone()
+            });
+        }
+        if self.horizon_periods > 2 {
+            out.push(PerBankScenario {
+                horizon_periods: self.horizon_periods / 2,
+                ..self.clone()
+            });
+        }
+        out.retain(|s| s != self && !s.accesses.is_empty());
+        out
+    }
+
+    fn size(&self) -> u64 {
+        self.accesses.len() as u64 * 8 + self.budgets.len() as u64 + self.horizon_periods as u64
+    }
+}
+
+/// A cross-arbiter differential scenario: one adversarial FR-FCFS stream
+/// (embedded [`DramScenario`]) replayed through three arbitration
+/// regimes — FR-FCFS, DPQ (reads and writes as separate masters) and
+/// per-bank-regulated FR-FCFS (the write bank capped at `write_budget`
+/// bytes per `period_ns`) — each checked against its own bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffScenario {
+    /// The shared request stream and FR-FCFS operating point.
+    pub dram: DramScenario,
+    /// Per-period byte budget of the write bank in the regulated regime
+    /// (8 bytes per write request).
+    pub write_budget: u64,
+    /// Regulation period, nanoseconds.
+    pub period_ns: u64,
+}
+
+impl DiffScenario {
+    fn generate(rng: &mut SimRng) -> DiffScenario {
+        DiffScenario {
+            dram: DramScenario::generate(rng),
+            write_budget: rng.gen_range(2u64..=32) * 8,
+            period_ns: rng.gen_range(500u64..=5_000),
+        }
+    }
+
+    fn shrink(&self) -> Vec<DiffScenario> {
+        let mut out: Vec<DiffScenario> = self
+            .dram
+            .shrink()
+            .into_iter()
+            .map(|d| DiffScenario {
+                dram: d,
+                ..self.clone()
+            })
+            .collect();
+        let mut push = |s: DiffScenario| {
+            if s != *self {
+                out.push(s);
+            }
+        };
+        push(DiffScenario {
+            write_budget: (self.write_budget / 2).max(16),
+            ..self.clone()
+        });
+        push(DiffScenario {
+            period_ns: (self.period_ns / 2).max(500),
+            ..self.clone()
+        });
+        out
+    }
+
+    fn size(&self) -> u64 {
+        self.dram.size() + self.write_budget / 8 + self.period_ns / 250
+    }
+}
+
 /// A generated scenario of any family.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scenario {
@@ -644,6 +880,12 @@ pub enum Scenario {
     Determinism(DeterminismScenario),
     /// See [`ClosedLoopScenario`].
     ClosedLoop(ClosedLoopScenario),
+    /// See [`DpqScenario`].
+    Dpq(DpqScenario),
+    /// See [`PerBankScenario`].
+    PerBank(PerBankScenario),
+    /// See [`DiffScenario`].
+    Diff(DiffScenario),
 }
 
 impl Scenario {
@@ -656,6 +898,9 @@ impl Scenario {
             Family::Sched => Scenario::Sched(SchedScenario::generate(rng)),
             Family::Determinism => Scenario::Determinism(DeterminismScenario::generate(rng)),
             Family::ClosedLoop => Scenario::ClosedLoop(ClosedLoopScenario::generate(rng)),
+            Family::Dpq => Scenario::Dpq(DpqScenario::generate(rng)),
+            Family::PerBank => Scenario::PerBank(PerBankScenario::generate(rng)),
+            Family::Diff => Scenario::Diff(DiffScenario::generate(rng)),
         }
     }
 
@@ -668,6 +913,9 @@ impl Scenario {
             Scenario::Sched(_) => Family::Sched,
             Scenario::Determinism(_) => Family::Determinism,
             Scenario::ClosedLoop(_) => Family::ClosedLoop,
+            Scenario::Dpq(_) => Family::Dpq,
+            Scenario::PerBank(_) => Family::PerBank,
+            Scenario::Diff(_) => Family::Diff,
         }
     }
 
@@ -683,6 +931,9 @@ impl Scenario {
             Scenario::Sched(s) => s.shrink().into_iter().map(Scenario::Sched).collect(),
             Scenario::Determinism(s) => s.shrink().into_iter().map(Scenario::Determinism).collect(),
             Scenario::ClosedLoop(s) => s.shrink().into_iter().map(Scenario::ClosedLoop).collect(),
+            Scenario::Dpq(s) => s.shrink().into_iter().map(Scenario::Dpq).collect(),
+            Scenario::PerBank(s) => s.shrink().into_iter().map(Scenario::PerBank).collect(),
+            Scenario::Diff(s) => s.shrink().into_iter().map(Scenario::Diff).collect(),
         };
         all.into_iter().filter(|s| s.size() < current).collect()
     }
@@ -696,6 +947,9 @@ impl Scenario {
             Scenario::Sched(s) => s.size(),
             Scenario::Determinism(s) => s.size(),
             Scenario::ClosedLoop(s) => s.size(),
+            Scenario::Dpq(s) => s.size(),
+            Scenario::PerBank(s) => s.size(),
+            Scenario::Diff(s) => s.size(),
         }
     }
 }

@@ -1,35 +1,37 @@
 //! Meta-test: the harness must actually catch a broken bound. We
-//! deliberately halve the WCD upper bound via `Oracle::wcd_upper_scale`
-//! and require the sweep to produce a shrunk, replayable failure.
+//! deliberately weaken an analytic bound via the `Oracle` scale knobs
+//! (`wcd_upper_scale`, `dpq_upper_scale`, `perbank_cap_scale`) and
+//! require the sweep to produce a shrunk, replayable failure for the
+//! matching family.
 
 use autoplat_conformance::{case_seed, run_case, Family, Oracle, Scenario, SweepConfig};
 
 const CASES: u64 = 50;
 const MASTER_SEED: u64 = 7;
 
-#[test]
-fn halved_wcd_upper_bound_is_caught_and_shrunk() {
-    let broken = Oracle {
-        wcd_upper_scale: 0.5,
-    };
+/// Runs `CASES` cases of `family` under a deliberately broken oracle and
+/// asserts that (a) at least half get caught with `invariant`, (b) every
+/// shrunk reproducer is no larger than its original, still fails under
+/// the broken oracle, and passes the sound one.
+fn assert_breakage_is_caught(family: Family, broken: &Oracle, invariant: &str) {
     let sound = Oracle::default();
     let mut caught = 0;
     for case in 0..CASES {
-        let seed = case_seed(MASTER_SEED, Family::Dram, case);
-        let Err(shrunk) = run_case(&broken, Family::Dram, seed) else {
+        let seed = case_seed(MASTER_SEED, family, case);
+        let Err(shrunk) = run_case(broken, family, seed) else {
             continue;
         };
         caught += 1;
         assert_eq!(
-            shrunk.violation.invariant, "dram.upper_dominates_sim",
-            "halving the upper bound must trip the dominance check, got {}",
+            shrunk.violation.invariant, invariant,
+            "the weakened bound must trip its dominance check, got {}",
             shrunk.violation
         );
         // The shrunk reproducer is no larger than the original scenario
         // and still fails on its own — i.e. it replays.
         let original = {
             let mut rng = autoplat_sim::SimRng::seed_from(seed);
-            Scenario::generate(Family::Dram, &mut rng)
+            Scenario::generate(family, &mut rng)
         };
         assert!(shrunk.scenario.size() <= original.size());
         let replayed = broken.check(&shrunk.scenario);
@@ -42,8 +44,39 @@ fn halved_wcd_upper_bound_is_caught_and_shrunk() {
     }
     assert!(
         caught >= CASES / 2,
-        "a halved upper bound must be caught broadly, caught only {caught}/{CASES}"
+        "a weakened bound must be caught broadly for {}, caught only {caught}/{CASES}",
+        family.name()
     );
+}
+
+#[test]
+fn halved_wcd_upper_bound_is_caught_and_shrunk() {
+    let broken = Oracle {
+        wcd_upper_scale: 0.5,
+        ..Oracle::default()
+    };
+    assert_breakage_is_caught(Family::Dram, &broken, "dram.upper_dominates_sim");
+}
+
+#[test]
+fn halved_dpq_upper_bound_is_caught_and_shrunk() {
+    let broken = Oracle {
+        dpq_upper_scale: 0.5,
+        ..Oracle::default()
+    };
+    assert_breakage_is_caught(Family::Dpq, &broken, "dpq.upper_dominates_sim");
+}
+
+#[test]
+fn halved_perbank_grant_cap_is_caught_and_shrunk() {
+    // Halving the per-period grant cap makes the legitimate guaranteed
+    // service look like an overshoot for every bank with budget >= the
+    // replay chunk — which generation guarantees for nonzero budgets.
+    let broken = Oracle {
+        perbank_cap_scale: 0.5,
+        ..Oracle::default()
+    };
+    assert_breakage_is_caught(Family::PerBank, &broken, "perbank.guarantee_cap");
 }
 
 #[test]
@@ -54,6 +87,7 @@ fn sweep_reports_broken_bound_failures_with_reproducers() {
         family: Some(Family::Dram),
         oracle: Oracle {
             wcd_upper_scale: 0.5,
+            ..Oracle::default()
         },
     };
     let report = autoplat_conformance::run_sweep(&config);

@@ -11,8 +11,14 @@
 //!   coupling effect (a bigger critical partition squeezes the others,
 //!   driving *their* DRAM traffic up);
 //! * [`search_memguard_budget`] — the largest hog budget for which the
-//!   critical contract still holds (utilization-friendliest regulation).
+//!   critical contract still holds (utilization-friendliest regulation);
+//! * [`search_arbiter_policy`] — which SDRAM arbitration policy
+//!   (throughput-oriented FR-FCFS vs predictability-oriented DPQ) gives
+//!   the tighter worst-case latency bound at a given operating point,
+//!   purely analytically (no simulation).
 
+use autoplat_dram::wcd::{bounds, dpq_upper_bound, DpqParams, WcdParams};
+use autoplat_dram::ArbiterPolicy;
 use autoplat_sim::SimDuration;
 
 use crate::platform::{Platform, PlatformConfig, PlatformReport};
@@ -113,9 +119,83 @@ pub fn search_memguard_budget(
     }
 }
 
+/// Outcome of an arbiter-policy search: the policy with the tightest
+/// finite worst-case latency bound, plus every candidate evaluated.
+#[derive(Debug, Clone)]
+pub struct ArbiterChoice {
+    /// The policy with the tightest finite bound ([`ArbiterPolicy::FrFcfs`]
+    /// wins exact ties, being the throughput-friendlier default).
+    pub chosen: ArbiterPolicy,
+    /// The chosen policy's bound, in nanoseconds.
+    pub bound_ns: f64,
+    /// Every `(policy, bound_ns)` evaluated, in [`ArbiterPolicy::ALL`]
+    /// order; `None` means no finite bound exists at this operating point
+    /// (e.g. FR-FCFS under saturating write traffic).
+    pub evaluated: Vec<(ArbiterPolicy, Option<f64>)>,
+}
+
+/// Picks the SDRAM arbitration policy with the tighter analytic
+/// worst-case latency bound at the operating point described by `params`.
+///
+/// FR-FCFS is judged by its WCD upper bound ([`bounds`], §IV): tight
+/// under light write traffic, but it grows with the write token bucket
+/// and ceases to exist once write-batch work saturates the device. DPQ
+/// is judged by its bounded-access-latency bound ([`dpq_upper_bound`])
+/// for the same queue position among `masters` contenders: larger under
+/// light load (every access pays the close-page worst case times the
+/// round-robin window) but immune to write saturation. The crossover is
+/// exactly the trade the paper's §IV discussion anticipates, and this
+/// search resolves it per operating point without running a simulator.
+///
+/// Returns `None` only when *neither* policy admits a finite bound,
+/// which cannot happen for valid timing (the DPQ fixpoint always
+/// converges).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_core::config_search::search_arbiter_policy;
+/// use autoplat_dram::timing::presets::ddr3_1600;
+/// use autoplat_dram::wcd::WcdParams;
+/// use autoplat_dram::{ArbiterPolicy, ControllerConfig};
+/// use autoplat_netcalc::TokenBucket;
+///
+/// let params = WcdParams {
+///     timing: ddr3_1600(),
+///     config: ControllerConfig::default(),
+///     writes: TokenBucket::new(64.0, 1.0), // saturating write stream
+///     queue_position: 8,
+/// };
+/// let out = search_arbiter_policy(&params, 4).unwrap();
+/// assert_eq!(out.chosen, ArbiterPolicy::Dpq);
+/// ```
+pub fn search_arbiter_policy(params: &WcdParams, masters: u32) -> Option<ArbiterChoice> {
+    let frfcfs = bounds(params).ok().map(|(_, upper)| upper.delay_ns);
+    let dpq = dpq_upper_bound(&DpqParams {
+        timing: params.timing.clone(),
+        masters,
+        queue_depth: params.queue_position,
+    })
+    .ok()
+    .map(|b| b.delay_ns);
+    let evaluated = vec![(ArbiterPolicy::FrFcfs, frfcfs), (ArbiterPolicy::Dpq, dpq)];
+    let best = evaluated
+        .iter()
+        .filter_map(|(policy, bound)| bound.map(|b| (*policy, b)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("bounds are finite"));
+    best.map(|(chosen, bound_ns)| ArbiterChoice {
+        chosen,
+        bound_ns,
+        evaluated,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autoplat_dram::timing::presets::ddr3_1600;
+    use autoplat_dram::ControllerConfig;
+    use autoplat_netcalc::TokenBucket;
 
     fn scenario() -> Vec<Workload> {
         vec![
@@ -166,6 +246,47 @@ mod tests {
         .expect("some budget must achieve a 20% improvement");
         assert!(contract.holds_on(&out.report));
         assert!(out.chosen >= 64);
+    }
+
+    #[test]
+    fn saturating_writes_steer_to_dpq() {
+        // A write stream dense enough that FR-FCFS write batching
+        // saturates the device: no finite FR-FCFS bound exists, so the
+        // search must fall back to DPQ (whose bound ignores writes).
+        let params = WcdParams {
+            timing: ddr3_1600(),
+            config: ControllerConfig::default(),
+            writes: TokenBucket::new(64.0, 1.0),
+            queue_position: 8,
+        };
+        let out = search_arbiter_policy(&params, 4).expect("DPQ bound always exists");
+        assert_eq!(out.chosen, ArbiterPolicy::Dpq);
+        assert!(out.bound_ns > 0.0);
+        let frfcfs = out
+            .evaluated
+            .iter()
+            .find(|(p, _)| *p == ArbiterPolicy::FrFcfs)
+            .expect("FR-FCFS evaluated");
+        assert!(frfcfs.1.is_none(), "saturated FR-FCFS must have no bound");
+    }
+
+    #[test]
+    fn light_writes_and_shallow_queue_keep_frfcfs() {
+        // Nearly write-free traffic with the request at the queue head:
+        // the FR-FCFS bound is a handful of accesses while DPQ still
+        // pays the full close-page round-robin window over 8 masters.
+        let params = WcdParams {
+            timing: ddr3_1600(),
+            config: ControllerConfig::default(),
+            writes: TokenBucket::new(1.0, 1e-6),
+            queue_position: 1,
+        };
+        let out = search_arbiter_policy(&params, 8).expect("both bounds exist");
+        assert_eq!(out.chosen, ArbiterPolicy::FrFcfs);
+        for (policy, bound) in &out.evaluated {
+            let b = bound.unwrap_or_else(|| panic!("{} bound missing", policy.name()));
+            assert!(b >= out.bound_ns, "chosen bound must be the minimum");
+        }
     }
 
     #[test]

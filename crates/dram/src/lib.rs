@@ -51,6 +51,7 @@ pub mod channel;
 pub mod config;
 pub mod controller;
 pub mod design;
+pub mod dpq;
 pub mod request;
 pub mod service_curve;
 pub mod timing;
@@ -60,6 +61,9 @@ pub use channel::{ChannelAccess, DramChannel};
 pub use config::ControllerConfig;
 pub use controller::{
     adversarial_wcd_workload, validation_controller, DramEvent, FrFcfsController,
+};
+pub use dpq::{
+    adversarial_dpq_probe, adversarial_dpq_workload, ArbiterPolicy, DpqArbiter, DpqOutcome,
 };
 pub use request::{Request, RequestKind};
 pub use timing::DramTiming;

@@ -317,6 +317,109 @@ pub fn bounds(params: &WcdParams) -> Result<(WcdBound, WcdBound), WcdError> {
     Ok((lower, upper))
 }
 
+/// Inputs of the DPQ bounded-access-latency analysis (Shah et al.).
+#[derive(Debug, Clone)]
+pub struct DpqParams {
+    /// Device timing parameters (Table I).
+    pub timing: DramTiming,
+    /// Number of masters arbitrated (`m`).
+    pub masters: u32,
+    /// Queue depth `d` of the request under study at admission, 1-based
+    /// and counting the request itself (the `d`-th pending request of its
+    /// master). Matches
+    /// [`DpqOutcome::depth_at_admission`](crate::dpq::DpqOutcome).
+    pub queue_depth: u32,
+}
+
+/// Upper bound on the end-to-end latency of the `d`-th queued request of
+/// a master under the [DPQ arbiter](crate::dpq::DpqArbiter).
+///
+/// The least-recently-served rotation guarantees that, while a master
+/// stays backlogged, every other master is granted at most once between
+/// two consecutive grants to it (a granted master drops behind all
+/// waiters). The `d`-th request of a master is therefore served within
+/// `d·m` accesses of its arrival, plus one access that may already be in
+/// flight (which also covers the admission gap to the next arbitration
+/// decision). Every close-page access costs at most
+/// `C_acc = max(tRC, tRP + tRCD + tCL + tBurst)`
+/// ([`DramTiming::read_miss_cost`]), so
+///
+/// ```text
+/// T = (d·m + 1)·C_acc + R(T)·tRFC,   R(T) = ⌊T / tREFI⌋ + 1
+/// ```
+///
+/// iterated to a fixpoint exactly like the FR-FCFS refresh accounting
+/// ([`upper_bound`] step 4). Unlike FR-FCFS, no write-batch term exists:
+/// DPQ has no mode switching, writes are ordinary accesses already
+/// counted in the `d·m` window. The fixpoint always converges for valid
+/// timing (`tRFC < tREFI`).
+///
+/// In the returned [`WcdBound`], `miss_time_ns` carries the
+/// `(d·m + 1)·C_acc` access term, `hit_time_ns` is zero (close-page:
+/// there are no row hits) and `write_batches` is zero.
+///
+/// # Errors
+///
+/// Returns [`WcdError::Invalid`] for invalid timing, `masters == 0` or
+/// `queue_depth == 0`, and [`WcdError::NotConverged`] if the refresh
+/// fixpoint hits the internal iteration limit (unreachable for valid
+/// timing).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_dram::wcd::{dpq_upper_bound, DpqParams};
+/// use autoplat_dram::timing::presets::ddr3_1600;
+///
+/// let bound = dpq_upper_bound(&DpqParams {
+///     timing: ddr3_1600(),
+///     masters: 4,
+///     queue_depth: 1,
+/// })?;
+/// // Head-of-queue request among 4 masters: 5 accesses + 1 refresh.
+/// assert!(bound.delay_ns > 4.0 * ddr3_1600().read_miss_cost());
+/// # Ok::<(), autoplat_dram::wcd::WcdError>(())
+/// ```
+pub fn dpq_upper_bound(params: &DpqParams) -> Result<WcdBound, WcdError> {
+    params.timing.validate().map_err(WcdError::Invalid)?;
+    if params.masters == 0 {
+        return Err(WcdError::Invalid("need at least one master".into()));
+    }
+    if params.queue_depth == 0 {
+        return Err(WcdError::Invalid("queue depth d must be >= 1".into()));
+    }
+    let t = &params.timing;
+    let c_acc = t.read_miss_cost();
+    let accesses = params.queue_depth as f64 * params.masters as f64 + 1.0;
+    let base = accesses * c_acc;
+
+    let mut delay = base;
+    let mut refreshes: u64 = 0;
+    const MAX_ITER: u32 = 100_000;
+    for iter in 1..=MAX_ITER {
+        let new_refreshes = (delay / t.t_refi).floor() as u64 + 1;
+        let new_delay = base + new_refreshes as f64 * t.t_rfc;
+        if new_refreshes == refreshes {
+            return Ok(WcdBound {
+                delay_ns: new_delay,
+                miss_time_ns: base,
+                hit_time_ns: 0.0,
+                write_batches: 0,
+                refreshes,
+                iterations: iter,
+            });
+        }
+        refreshes = new_refreshes;
+        delay = new_delay;
+    }
+    Err(WcdError::NotConverged {
+        last_delay_ns: delay,
+        iterations: MAX_ITER,
+        write_batches: 0,
+        refreshes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +633,92 @@ mod tests {
                 assert!(refreshes >= 1, "the in-flight refresh is always counted");
             }
             other => panic!("expected NotConverged with diagnostics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dpq_bound_counts_accesses_and_refreshes() {
+        let t = ddr3_1600();
+        let b = dpq_upper_bound(&DpqParams {
+            timing: t.clone(),
+            masters: 3,
+            queue_depth: 2,
+        })
+        .expect("converges");
+        // (2·3 + 1) accesses + the in-flight refresh; the window is far
+        // shorter than tREFI so exactly one refresh is accounted.
+        let expect = 7.0 * t.read_miss_cost() + t.t_rfc;
+        assert!((b.delay_ns - expect).abs() < 1e-9, "got {}", b.delay_ns);
+        assert_eq!(b.refreshes, 1);
+        assert_eq!(b.write_batches, 0);
+        assert_eq!(b.hit_time_ns, 0.0);
+    }
+
+    #[test]
+    fn dpq_bound_monotone_in_depth_and_masters() {
+        let t = ddr3_1600();
+        let bound = |m: u32, d: u32| {
+            dpq_upper_bound(&DpqParams {
+                timing: t.clone(),
+                masters: m,
+                queue_depth: d,
+            })
+            .expect("converges")
+            .delay_ns
+        };
+        let mut last = 0.0;
+        for d in 1..=32 {
+            let b = bound(4, d);
+            assert!(b > last, "bound must grow with depth");
+            last = b;
+        }
+        let mut last = 0.0;
+        for m in 1..=8 {
+            let b = bound(m, 8);
+            assert!(b > last, "bound must grow with master count");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn dpq_bound_rejects_degenerate_inputs() {
+        let t = ddr3_1600();
+        for (m, d) in [(0, 1), (1, 0)] {
+            let r = dpq_upper_bound(&DpqParams {
+                timing: t.clone(),
+                masters: m,
+                queue_depth: d,
+            });
+            assert!(matches!(r, Err(WcdError::Invalid(_))));
+        }
+    }
+
+    #[test]
+    fn dpq_simulation_never_exceeds_its_bound() {
+        use crate::dpq::{adversarial_dpq_workload, DpqArbiter};
+        use crate::timing::presets::{ddr4_2400, lpddr4_3200};
+        for timing in [ddr3_1600(), ddr4_2400(), lpddr4_3200()] {
+            for masters in [1u32, 2, 4] {
+                for depth in [1u32, 4, 16, 32] {
+                    let arb = DpqArbiter::new(timing.clone(), masters, masters);
+                    let out = arb.simulate(adversarial_dpq_workload(masters, depth), false);
+                    for c in &out.completions {
+                        let d = out.depth_of(c.request.id).expect("depth recorded");
+                        let b = dpq_upper_bound(&DpqParams {
+                            timing: timing.clone(),
+                            masters,
+                            queue_depth: d,
+                        })
+                        .expect("converges");
+                        let lat = c.finished.saturating_since(c.request.arrival).as_ns();
+                        assert!(
+                            lat <= b.delay_ns + 1e-6,
+                            "m={masters} d={d}: sim {lat} > bound {}",
+                            b.delay_ns
+                        );
+                    }
+                }
+            }
         }
     }
 

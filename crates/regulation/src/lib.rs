@@ -46,7 +46,7 @@ pub use closed_loop::{
     ClosedLoopConfig, ClosedLoopController, DegradationReason, LoopAction, MonitorCapture,
     PartitionTarget, SensorWatchdogConfig,
 };
-pub use memguard::{AccessDecision, MemGuard};
+pub use memguard::{AccessDecision, MemGuard, PerBankMemGuard};
 pub use perf::PerfCounters;
-pub use process::{MemGuardProcess, RegulationEvent};
+pub use process::{MemGuardProcess, PerBankProcess, RegulationEvent};
 pub use shaper::TrafficShaper;

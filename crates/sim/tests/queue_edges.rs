@@ -1,0 +1,210 @@
+//! Edge-path tests for the calendar [`EventQueue`], differential against
+//! the [`HeapEventQueue`] reference: the adaptive re-center with a
+//! zero-width overflow span, the fat-bucket rebuild triggered by inserts
+//! behind the cursor, and `pop_if_at` batches that straddle a bucket
+//! boundary. These paths only fire under specific insert/pop patterns
+//! that the broad property tests hit rarely, so they are pinned here.
+
+use autoplat_sim::event::HeapEventQueue;
+use autoplat_sim::{EventQueue, SimTime};
+
+/// Default bucket width (`2^10` ps) of a fresh queue, from the module
+/// docs; the boundary tests below place events in adjacent buckets.
+const BUCKET_PS: u64 = 1024;
+
+/// Drains both queues in lockstep, asserting identical `(time, event)`
+/// streams.
+fn assert_same_drain(cal: &mut EventQueue<u32>, heap: &mut HeapEventQueue<u32>) {
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "calendar and heap queues diverged");
+        if a.is_none() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn zero_span_recenter_when_all_overflow_events_share_one_timestamp() {
+    // One near event, then a pile of far-future events at a single
+    // instant: they all land in the overflow tier. Popping the near
+    // event drains the ring, so the queue re-centers on an overflow
+    // span of exactly zero — the degenerate case of the width
+    // re-derivation (shift loop must not underflow or spin) — and the
+    // pile must come back in FIFO order.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let far = SimTime::from_us(9_000.0); // ~9 ms, way past the ~1 µs window
+    cal.schedule(SimTime::from_ns(1.0), 0);
+    heap.schedule(SimTime::from_ns(1.0), 0);
+    for i in 1..=200u32 {
+        cal.schedule(far, i);
+        heap.schedule(far, i);
+    }
+    assert_eq!(cal.pop().map(|(_, e)| e), Some(0));
+    assert_eq!(heap.pop().map(|(_, e)| e), Some(0));
+    // The re-center happens on the pop above; everything after is a
+    // plain FIFO drain of the single-instant batch.
+    assert_eq!(cal.peek_time(), Some(far));
+    assert_same_drain(&mut cal, &mut heap);
+    assert!(cal.is_empty());
+}
+
+#[test]
+fn recenter_with_all_events_in_overflow_tier_and_wide_span() {
+    // Every remaining event lives in the overflow tier, spread over a
+    // span so wide the re-center must coarsen the bucket width to fit
+    // the window. Interleave a second overflow wave after the first
+    // re-center to cross the adaptive path twice.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    cal.schedule(SimTime::from_ns(2.0), 0);
+    heap.schedule(SimTime::from_ns(2.0), 0);
+    // First wave: 1 s .. ~1.0001 s — far beyond the default window, and
+    // spanning ~100 µs, far beyond it too.
+    for i in 0..100u32 {
+        let t = SimTime::from_us(1_000_000.0 + f64::from(i));
+        cal.schedule(t, 100 + i);
+        heap.schedule(t, 100 + i);
+    }
+    assert_eq!(cal.pop().map(|(_, e)| e), Some(0));
+    assert_eq!(heap.pop().map(|(_, e)| e), Some(0));
+    // Second wave lands beyond the re-centered window while the first
+    // wave is mid-drain.
+    for i in 0..100u32 {
+        let t = SimTime::from_us(3_000_000.0 + 1_000.0 * f64::from(i));
+        cal.schedule(t, 300 + i);
+        heap.schedule(t, 300 + i);
+    }
+    assert_same_drain(&mut cal, &mut heap);
+}
+
+#[test]
+fn fat_bucket_rebuild_from_single_timestamp_pile_behind_cursor() {
+    // Advance the cursor past the first bucket, then pile > 64 inserts
+    // at one earlier instant: they all clamp into the cursor bucket,
+    // trip the fat-bucket threshold and force a rebuild around the true
+    // minimum with a minimal (sub-bucket) span. Order must be exactly
+    // the heap's: the whole pile FIFO, then the anchor.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let first = SimTime::from_ps(10 * BUCKET_PS);
+    let anchor = SimTime::from_ps(12 * BUCKET_PS);
+    let pile = SimTime::from_ps(9 * BUCKET_PS);
+    cal.schedule(first, 0);
+    heap.schedule(first, 0);
+    cal.schedule(anchor, 1);
+    heap.schedule(anchor, 1);
+    assert_eq!(cal.pop().map(|(_, e)| e), Some(0));
+    assert_eq!(heap.pop().map(|(_, e)| e), Some(0));
+    // Cursor now sits on the anchor's bucket; each pile insert lands
+    // behind it. The 100-element pile comfortably crosses the >64
+    // rebuild threshold mid-loop.
+    for i in 0..100u32 {
+        cal.schedule(pile, 10 + i);
+        heap.schedule(pile, 10 + i);
+    }
+    assert_eq!(cal.peek_time(), Some(pile));
+    assert_same_drain(&mut cal, &mut heap);
+}
+
+#[test]
+fn rebuild_keeps_far_future_overflow_events() {
+    // Same fat-bucket trigger, but with events parked in the overflow
+    // tier when the rebuild fires: the redistribution must fold them
+    // into the new (much coarser) window without losing or reordering
+    // anything.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let first = SimTime::from_ps(10 * BUCKET_PS);
+    let anchor = SimTime::from_ps(12 * BUCKET_PS);
+    let far = SimTime::from_us(50_000.0);
+    let pile = SimTime::from_ps(9 * BUCKET_PS);
+    cal.schedule(first, 0);
+    heap.schedule(first, 0);
+    cal.schedule(anchor, 1);
+    heap.schedule(anchor, 1);
+    cal.schedule(far, 2);
+    heap.schedule(far, 2);
+    assert_eq!(cal.pop().map(|(_, e)| e), Some(0));
+    assert_eq!(heap.pop().map(|(_, e)| e), Some(0));
+    for i in 0..100u32 {
+        cal.schedule(pile, 10 + i);
+        heap.schedule(pile, 10 + i);
+    }
+    assert_same_drain(&mut cal, &mut heap);
+}
+
+#[test]
+fn pop_if_at_batches_across_a_bucket_boundary() {
+    // Two same-instant batches in adjacent calendar buckets. Draining
+    // the first via pop_if_at advances the cursor across the bucket
+    // boundary inside the final call's normalize; the very next
+    // pop_if_at must see the next bucket sorted and keep draining. The
+    // heap mirror pops only when its peek matches, proving both agree
+    // call-for-call, including the refusals.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let t_a = SimTime::from_ps(5 * BUCKET_PS);
+    let t_b = SimTime::from_ps(6 * BUCKET_PS);
+    for i in 0..3u32 {
+        cal.schedule(t_a, i);
+        heap.schedule(t_a, i);
+        cal.schedule(t_b, 10 + i);
+        heap.schedule(t_b, 10 + i);
+    }
+    // Mirror of pop_if_at for the reference queue.
+    let heap_pop_if_at = |heap: &mut HeapEventQueue<u32>, at: SimTime| {
+        if heap.peek_time() == Some(at) {
+            heap.pop().map(|(_, e)| e)
+        } else {
+            None
+        }
+    };
+    // The second batch must refuse while the first is pending.
+    assert_eq!(cal.pop_if_at(t_b), None);
+    assert_eq!(heap_pop_if_at(&mut heap, t_b), None);
+    for _ in 0..3 {
+        let a = cal.pop_if_at(t_a);
+        assert_eq!(a, heap_pop_if_at(&mut heap, t_a));
+        assert!(a.is_some());
+    }
+    // First batch exhausted: same-time refusal, then the boundary
+    // crossing — the cursor has moved one bucket, and batch B drains.
+    assert_eq!(cal.pop_if_at(t_a), None);
+    assert_eq!(heap_pop_if_at(&mut heap, t_a), None);
+    assert_eq!(cal.peek_time(), Some(t_b));
+    for _ in 0..3 {
+        let b = cal.pop_if_at(t_b);
+        assert_eq!(b, heap_pop_if_at(&mut heap, t_b));
+        assert!(b.is_some());
+    }
+    assert!(cal.is_empty());
+    assert!(heap.is_empty());
+}
+
+#[test]
+fn pop_if_at_batch_straddling_an_overflow_recenter() {
+    // A batch whose first half lives in the ring and second half arrives
+    // via the overflow tier after a re-center must still drain with
+    // pop_if_at as one seamless batch.
+    let mut cal = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let far = SimTime::from_us(7_777.0);
+    cal.schedule(SimTime::from_ns(3.0), 0);
+    heap.schedule(SimTime::from_ns(3.0), 0);
+    for i in 1..=5u32 {
+        cal.schedule(far, i);
+        heap.schedule(far, i);
+    }
+    assert_eq!(cal.pop().map(|(_, e)| e), Some(0));
+    assert_eq!(heap.pop().map(|(_, e)| e), Some(0));
+    assert_eq!(cal.peek_time(), Some(far));
+    for expect in 1..=5u32 {
+        assert_eq!(cal.pop_if_at(far), Some(expect));
+        assert_eq!(heap.pop().map(|(_, e)| e), Some(expect));
+    }
+    assert_eq!(cal.pop_if_at(far), None);
+    assert!(cal.is_empty());
+}
