@@ -49,11 +49,12 @@ cargo run -q -p autoplat-bench --bin conformance -- \
     --export-json "$SMOKE_DIR/conformance_reshard.json" >/dev/null
 cmp "$SMOKE_DIR/conformance.json" "$SMOKE_DIR/conformance_reshard.json"
 
-echo "== arbiter-family conformance (dpq/perbank/diff sweeps + shard determinism) =="
+echo "== arbiter-family conformance (dpq/perbank/diff/fleet sweeps + shard determinism) =="
 # The diff family also exports cross-arbiter tightness/throughput
 # observations as histograms; the reshard cmp proves those merge
-# byte-identically for any shard count.
-for fam in dpq perbank diff; do
+# byte-identically for any shard count. The fleet family runs the
+# flat-RM-vs-hierarchy differential under seeded faults.
+for fam in dpq perbank diff fleet; do
     cargo run -q -p autoplat-bench --bin conformance -- \
         --family "$fam" --cases "${CONFORMANCE_CASES:-5}" --seed 7 --shards 4 \
         --export-json "$SMOKE_DIR/conformance_$fam.json" >/dev/null
@@ -63,6 +64,23 @@ for fam in dpq perbank diff; do
     cmp "$SMOKE_DIR/conformance_$fam.json" "$SMOKE_DIR/conformance_${fam}_reshard.json"
     cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/conformance_$fam.json"
 done
+
+echo "== fleet bench smoke (sharded hierarchy + flat differential + schema gate) =="
+# 10^4 clients through the cluster/root hierarchy under seeded
+# delay/duplication faults and a crash storm; the binary itself enforces
+# the flat-RM differential and the root-ledger conservation check, and
+# refuses wall-clock timing from a debug build, so this gate needs
+# --release.
+cargo run -q --release -p autoplat-bench --bin fleet -- --smoke \
+    --export-json "$SMOKE_DIR/fleet.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/fleet.json"
+
+echo "== fleet replay determinism (byte-identical timing-free double run) =="
+cargo run -q --release -p autoplat-bench --bin fleet -- --smoke --deterministic \
+    --export-json "$SMOKE_DIR/fleet_replay_a.json" >/dev/null
+cargo run -q --release -p autoplat-bench --bin fleet -- --smoke --deterministic \
+    --export-json "$SMOKE_DIR/fleet_replay_b.json" >/dev/null
+cmp "$SMOKE_DIR/fleet_replay_a.json" "$SMOKE_DIR/fleet_replay_b.json"
 
 echo "== perf baseline smoke (queue/engine/cosim throughput + schema gate) =="
 # Quick scale; the perf binary itself enforces calendar >= heap throughput
@@ -82,6 +100,11 @@ cargo run -q -p autoplat-bench --bin perf_check -- \
     --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
 cargo run -q -p autoplat-bench --bin perf_check -- \
     --baseline BENCH_cosim.json --fresh "$SMOKE_DIR/bench_cosim.json" \
+    --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
+# The committed fleet baseline is 10^6 clients; the smoke run is 10^4,
+# where per-admission cost is lower, so the same loose floor holds.
+cargo run -q -p autoplat-bench --bin perf_check -- \
+    --baseline BENCH_fleet.json --fresh "$SMOKE_DIR/fleet.json" \
     --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
 
 echo "ci: OK"

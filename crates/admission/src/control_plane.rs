@@ -1,19 +1,52 @@
-//! A lossy, latency-modelled control plane between the RM and clients.
+//! A lossy, latency-modelled control plane between the RM and clients —
+//! and, generically, between any two control endpoints.
 //!
 //! The instantaneous simulation path pretends control messages arrive the
 //! moment they are logged. Under fault injection this module carries each
-//! [`Envelope`] explicitly: every send is submitted to an
+//! payload explicitly: every send is submitted to an
 //! `autoplat_sim::FaultInjector`, which may deliver it after the nominal
 //! latency, drop it, delay it further, or duplicate it. Deliveries come
-//! back out of [`ControlPlane::take_due`] in deterministic `(cycle, send
-//! order)` order, so a scenario with the same fault seed replays
-//! bit-identically.
+//! back out of [`Link::take_due`] in deterministic `(cycle, send order)`
+//! order, so a scenario with the same fault seed replays bit-identically.
+//!
+//! The link is generic over its payload: [`ControlPlane`] carries
+//! per-client [`Envelope`]s (classed by `ControlMessage::name`), and
+//! [`BundlePlane`] carries the hierarchical [`BundleFrame`]s (classed
+//! `bundleMsg`/`grantMsg`), so the exact same fault model — including
+//! scripted `drop_nth`/`delay_nth`/`duplicate_nth` per class — governs
+//! both layers of the control hierarchy.
 
 use std::collections::BTreeMap;
 
 use autoplat_sim::{FaultInjector, FaultPlan, MessageFault};
 
-use crate::protocol::Envelope;
+use crate::protocol::{BundleFrame, Envelope};
+
+/// A payload the lossy link can carry: anything cloneable (for duplicate
+/// faults) with a fault-injection class name.
+pub trait Payload: Clone {
+    /// The class the fault injector keys scripted and probabilistic
+    /// message faults on.
+    fn class(&self) -> &'static str;
+}
+
+impl Payload for Envelope {
+    fn class(&self) -> &'static str {
+        self.message.name()
+    }
+}
+
+impl Payload for BundleFrame {
+    fn class(&self) -> &'static str {
+        BundleFrame::class(self)
+    }
+}
+
+/// The per-client control plane: a [`Link`] of [`Envelope`]s.
+pub type ControlPlane = Link<Envelope>;
+
+/// The hierarchical control plane: a [`Link`] of [`BundleFrame`]s.
+pub type BundlePlane = Link<BundleFrame>;
 
 /// The in-flight control-message network.
 ///
@@ -38,13 +71,13 @@ use crate::protocol::Envelope;
 /// assert!(cp.is_empty());
 /// ```
 #[derive(Debug)]
-pub struct ControlPlane {
+pub struct Link<T> {
     injector: FaultInjector,
     latency_cycles: u64,
     /// In-flight messages keyed by `(deliver_cycle, submission id)`: the
     /// BTreeMap iteration order *is* the delivery order, deterministic for
     /// a given seed.
-    in_flight: BTreeMap<(u64, u64), Envelope>,
+    in_flight: BTreeMap<(u64, u64), T>,
     next_uid: u64,
     sent: u64,
     dropped: u64,
@@ -52,11 +85,11 @@ pub struct ControlPlane {
     duplicated: u64,
 }
 
-impl ControlPlane {
-    /// Creates a control plane with the given fault plan, fault seed and
-    /// nominal one-way latency in cycles.
+impl<T: Payload> Link<T> {
+    /// Creates a link with the given fault plan, fault seed and nominal
+    /// one-way latency in cycles.
     pub fn new(plan: FaultPlan, seed: u64, latency_cycles: u64) -> Self {
-        ControlPlane {
+        Link {
             injector: FaultInjector::new(plan, seed),
             latency_cycles,
             in_flight: BTreeMap::new(),
@@ -78,32 +111,32 @@ impl ControlPlane {
         self.injector.take_client_faults_due(now_cycle)
     }
 
-    /// Submits `envelope` at `now_cycle`; the injector decides its fate.
-    pub fn send(&mut self, now_cycle: u64, envelope: Envelope) {
+    /// Submits `payload` at `now_cycle`; the injector decides its fate.
+    pub fn send(&mut self, now_cycle: u64, payload: T) {
         self.sent += 1;
-        match self.injector.on_message(now_cycle, envelope.message.name()) {
+        match self.injector.on_message(now_cycle, payload.class()) {
             MessageFault::Deliver => {
-                self.enqueue(now_cycle + self.latency_cycles, envelope);
+                self.enqueue(now_cycle + self.latency_cycles, payload);
             }
             MessageFault::Drop => {
                 self.dropped += 1;
             }
             MessageFault::Delay(extra) => {
                 self.delayed += 1;
-                self.enqueue(now_cycle + self.latency_cycles + extra, envelope);
+                self.enqueue(now_cycle + self.latency_cycles + extra, payload);
             }
             MessageFault::Duplicate(extra) => {
                 self.duplicated += 1;
-                self.enqueue(now_cycle + self.latency_cycles, envelope);
-                self.enqueue(now_cycle + self.latency_cycles + extra, envelope);
+                self.enqueue(now_cycle + self.latency_cycles, payload.clone());
+                self.enqueue(now_cycle + self.latency_cycles + extra, payload);
             }
         }
     }
 
-    fn enqueue(&mut self, deliver_cycle: u64, envelope: Envelope) {
+    fn enqueue(&mut self, deliver_cycle: u64, payload: T) {
         let uid = self.next_uid;
         self.next_uid += 1;
-        self.in_flight.insert((deliver_cycle, uid), envelope);
+        self.in_flight.insert((deliver_cycle, uid), payload);
     }
 
     /// The earliest pending delivery, if any.
@@ -111,9 +144,9 @@ impl ControlPlane {
         self.in_flight.keys().next().map(|&(cycle, _)| cycle)
     }
 
-    /// Removes and returns every envelope due at or before `now_cycle`,
+    /// Removes and returns every payload due at or before `now_cycle`,
     /// in deterministic delivery order.
-    pub fn take_due(&mut self, now_cycle: u64) -> Vec<Envelope> {
+    pub fn take_due(&mut self, now_cycle: u64) -> Vec<T> {
         let later = self.in_flight.split_off(&(now_cycle + 1, 0));
         let due = std::mem::replace(&mut self.in_flight, later);
         due.into_values().collect()
@@ -159,7 +192,9 @@ impl ControlPlane {
 mod tests {
     use super::*;
     use crate::app::AppId;
-    use crate::protocol::{ControlMessage, Endpoint};
+    use crate::protocol::{
+        BundleItem, ClusterBundle, ClusterId, ControlMessage, Endpoint, GrantDecision, RootBundle,
+    };
 
     fn stop(app: u32) -> Envelope {
         Envelope {
@@ -238,5 +273,78 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed, same fate");
         assert_ne!(run(42).2, run(43).2, "different seed, different fate");
+    }
+
+    fn up(seq: u64) -> BundleFrame {
+        BundleFrame::Up(ClusterBundle {
+            cluster: ClusterId(0),
+            seq,
+            sent_at_cycle: 0,
+            live_clients: 1,
+            items: vec![BundleItem::Request {
+                app: AppId(0),
+                rate_milli: 10,
+            }],
+        })
+    }
+
+    #[test]
+    fn bundle_plane_shares_the_fault_model() {
+        // Scripted faults key on the frame class exactly like envelopes.
+        let plan = FaultPlan::new()
+            .drop_nth("bundleMsg", 1)
+            .duplicate_nth("grantMsg", 0, 30);
+        let mut bp = BundlePlane::new(plan, 9, 10);
+        bp.send(0, up(0));
+        bp.send(0, up(1)); // dropped
+        bp.send(
+            0,
+            BundleFrame::Down(RootBundle {
+                to: ClusterId(0),
+                seq: 0,
+                sent_at_cycle: 0,
+                ack_of: Some(0),
+                decisions: vec![GrantDecision::Granted {
+                    app: AppId(0),
+                    rate_milli: 10,
+                }],
+            }),
+        ); // duplicated
+        assert_eq!(bp.dropped(), 1);
+        assert_eq!(bp.duplicated(), 1);
+        let due = bp.take_due(10);
+        assert_eq!(due.len(), 2, "one up-bundle survives plus first grant copy");
+        assert!(matches!(
+            due[0],
+            BundleFrame::Up(ClusterBundle { seq: 0, .. })
+        ));
+        assert_eq!(bp.next_delivery_cycle(), Some(40));
+        assert_eq!(bp.take_due(40).len(), 1, "the duplicate grant copy");
+        assert!(bp.is_empty());
+    }
+
+    #[test]
+    fn bundle_plane_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new()
+                .drop_probability(0.25)
+                .delay_probability(0.25)
+                .max_delay_cycles(17);
+            let mut bp = BundlePlane::new(plan, seed, 10);
+            for i in 0..40 {
+                bp.send(i, up(i));
+            }
+            let mut order = Vec::new();
+            while let Some(next) = bp.next_delivery_cycle() {
+                for f in bp.take_due(next) {
+                    if let BundleFrame::Up(b) = f {
+                        order.push((next, b.seq));
+                    }
+                }
+            }
+            order
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 }

@@ -171,6 +171,37 @@ pub fn noc_path_curve(
     RateLatency::new(rate_flits_per_cycle / cycle_ns, latency_cycles * cycle_ns)
 }
 
+/// The token-bucket envelope of a whole cluster's admitted flows, for
+/// arbitrating hierarchically at shard granularity: token buckets are
+/// closed under aggregation — the sum of `(b_i, r_i)` flows is exactly
+/// `(Σ b_i, Σ r_i)`-constrained — so a cluster RM can present one
+/// contract upstream and the root can bound the shard's interference on
+/// a shared resource without seeing individual clients.
+///
+/// Returns `None` for an empty set (no traffic means no contract, not a
+/// zero contract: a zero-rate bucket would still admit `b = 0` bursts
+/// into downstream arithmetic).
+///
+/// # Examples
+///
+/// ```
+/// use autoplat_admission::e2e::aggregate_contract;
+/// use autoplat_netcalc::TokenBucket;
+///
+/// let flows = [TokenBucket::new(8.0, 0.25), TokenBucket::new(4.0, 0.5)];
+/// let total = aggregate_contract(&flows).expect("non-empty");
+/// assert_eq!(total.burst(), 12.0);
+/// assert_eq!(total.rate(), 0.75);
+/// ```
+pub fn aggregate_contract(flows: &[TokenBucket]) -> Option<TokenBucket> {
+    if flows.is_empty() {
+        return None;
+    }
+    let burst = flows.iter().map(TokenBucket::burst).sum();
+    let rate = flows.iter().map(TokenBucket::rate).sum();
+    Some(TokenBucket::new(burst, rate))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +210,27 @@ mod tests {
         ResourceChain::new()
             .stage("noc", RateLatency::new(1.0, 20.0))
             .stage("dram", RateLatency::new(0.05, 400.0))
+    }
+
+    #[test]
+    fn aggregate_contract_sums_bursts_and_rates() {
+        assert!(aggregate_contract(&[]).is_none());
+        let flows = [
+            TokenBucket::new(2.0, 0.010),
+            TokenBucket::new(3.0, 0.015),
+            TokenBucket::new(5.0, 0.005),
+        ];
+        let total = aggregate_contract(&flows).expect("non-empty");
+        assert_eq!(total.burst(), 10.0);
+        assert!((total.rate() - 0.030).abs() < 1e-12);
+        // The aggregate is a valid arrival curve for the cluster: its
+        // delay bound through the chain dominates each member's own.
+        let c = chain();
+        let agg_delay = c.delay_bound(&total).expect("stable");
+        for flow in &flows {
+            let own = c.delay_bound(flow).expect("stable");
+            assert!(agg_delay >= own - 1e-12);
+        }
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! * [`rm`] — the Resource Manager: admission, termination, mode
 //!   transitions, reconfiguration rounds and their overhead accounting,
 //!   plus the heartbeat watchdog that reclaims dead clients' bandwidth;
+//! * [`rm::cluster`] / [`rm::root`] — the two-level hierarchy for fleet
+//!   scale: per-cluster RMs own disjoint client shards and coalesce
+//!   their control traffic into per-step bundles towards a root arbiter
+//!   that owns the global guaranteed-capacity budget;
+//! * [`fleet`] — the deterministic fleet simulation driving the
+//!   hierarchy (or a flat RM, for conformance) over lossy planes at up
+//!   to 10^6 synthetic clients;
 //! * [`error`] — typed [`AdmissionError`]s replacing panicking validation;
 //! * [`e2e`] — end-to-end latency guarantees for admitted flows across a
 //!   NoC + DRAM resource chain via network calculus.
@@ -53,6 +60,7 @@ pub mod client;
 pub mod control_plane;
 pub mod e2e;
 pub mod error;
+pub mod fleet;
 pub mod modes;
 pub mod protocol;
 pub mod rm;
@@ -60,8 +68,15 @@ pub mod simulation;
 
 pub use app::{AppId, Application, Importance};
 pub use client::{Liveness, RetryPolicy};
+pub use control_plane::{BundlePlane, ControlPlane, Link, Payload};
 pub use error::AdmissionError;
+pub use fleet::{FleetConfig, FleetOutcome, FleetSim, FleetTopology};
 pub use modes::{RatePolicy, SymmetricPolicy, SystemMode, WeightedPolicy};
-pub use protocol::{ControlMessage, Endpoint, Envelope, ReceiveState};
+pub use protocol::{
+    BundleFrame, BundleItem, ClusterBundle, ClusterId, ControlMessage, Endpoint, Envelope,
+    GrantDecision, ReceiveState, RootBundle,
+};
+pub use rm::cluster::{ClusterRm, ClusterStep};
+pub use rm::root::RootArbiter;
 pub use rm::{ResourceManager, WatchdogConfig};
 pub use simulation::{AdmissionEvent, Scenario, ScenarioEvent, ScenarioOutcome};

@@ -47,6 +47,21 @@ pub trait RatePolicy {
     /// must be refused).
     fn contract(&self, app: &Application, active: &[Application]) -> Option<TokenBucket>;
 
+    /// The contracts of every active application at once, in `active`
+    /// order, or `None` when the set is infeasible.
+    ///
+    /// Semantically identical to calling [`contract`](Self::contract) per
+    /// application; policies whose per-app contract scans the whole active
+    /// set should override this so a full reconfiguration round costs
+    /// O(n) instead of O(n²) — the difference between hundreds and a
+    /// million clients per mode transition.
+    fn contracts(&self, active: &[Application]) -> Option<Vec<(crate::app::AppId, TokenBucket)>> {
+        active
+            .iter()
+            .map(|a| self.contract(a, active).map(|tb| (a.id, tb)))
+            .collect()
+    }
+
     /// The aggregate capacity (items/cycle) the policy distributes.
     fn capacity(&self) -> f64;
 }
@@ -89,6 +104,12 @@ impl RatePolicy for SymmetricPolicy {
     fn contract(&self, _app: &Application, active: &[Application]) -> Option<TokenBucket> {
         let n = active.len().max(1);
         Some(TokenBucket::new(self.burst, self.capacity / n as f64))
+    }
+
+    fn contracts(&self, active: &[Application]) -> Option<Vec<(crate::app::AppId, TokenBucket)>> {
+        let n = active.len().max(1);
+        let tb = TokenBucket::new(self.burst, self.capacity / n as f64);
+        Some(active.iter().map(|a| (a.id, tb)).collect())
     }
 
     fn capacity(&self) -> f64 {
@@ -150,6 +171,35 @@ impl RatePolicy for WeightedPolicy {
             }
         };
         Some(TokenBucket::new(self.burst, rate))
+    }
+
+    fn contracts(&self, active: &[Application]) -> Option<Vec<(crate::app::AppId, TokenBucket)>> {
+        let guaranteed: f64 = active.iter().map(|a| a.importance.guaranteed_rate()).sum();
+        if guaranteed > self.capacity + 1e-12 {
+            return None;
+        }
+        let best_effort = active
+            .iter()
+            .filter(|a| !a.importance.is_critical())
+            .count();
+        let be_rate = if best_effort == 0 {
+            0.0
+        } else {
+            ((self.capacity - guaranteed) / best_effort as f64).max(self.best_effort_floor)
+        };
+        Some(
+            active
+                .iter()
+                .map(|a| {
+                    let rate = if a.importance.is_critical() {
+                        a.importance.guaranteed_rate()
+                    } else {
+                        be_rate
+                    };
+                    (a.id, TokenBucket::new(self.burst, rate))
+                })
+                .collect(),
+        )
     }
 
     fn capacity(&self) -> f64 {
@@ -268,6 +318,45 @@ mod tests {
         for w in be_rates.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }
+    }
+
+    #[test]
+    fn batch_contracts_match_per_app_contract() {
+        // The O(n) overrides must be observationally identical to the
+        // per-app path, including infeasibility.
+        let apps: Vec<_> = std::iter::once(Application::critical(AppId(0), 0, 300))
+            .chain((1..7).map(be))
+            .collect();
+        for p in [
+            WeightedPolicy::new(1.0, 4.0, 0.0),
+            WeightedPolicy::new(1.0, 4.0, 0.05),
+        ] {
+            for n in 1..=apps.len() {
+                let active = &apps[..n];
+                let batch = p.contracts(active).expect("feasible");
+                assert_eq!(batch.len(), n);
+                for (i, a) in active.iter().enumerate() {
+                    let single = p.contract(a, active).expect("feasible");
+                    assert_eq!(batch[i].0, a.id);
+                    assert_eq!(batch[i].1.rate(), single.rate());
+                    assert_eq!(batch[i].1.burst(), single.burst());
+                }
+            }
+        }
+        let sym = SymmetricPolicy::new(0.8, 2.0);
+        let batch = sym.contracts(&apps).expect("always serves");
+        for (i, a) in apps.iter().enumerate() {
+            let single = sym.contract(a, &apps).expect("always serves");
+            assert_eq!(batch[i], (a.id, single));
+        }
+        // Infeasible guarantee set: both paths refuse.
+        let heavy = vec![
+            Application::critical(AppId(0), 0, 600),
+            Application::critical(AppId(1), 1, 600),
+        ];
+        let w = WeightedPolicy::new(1.0, 4.0, 0.0);
+        assert!(w.contracts(&heavy).is_none());
+        assert!(w.contract(&heavy[0], &heavy).is_none());
     }
 
     #[test]

@@ -263,6 +263,153 @@ impl ReceiveState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bundle frames: the hierarchical (cluster ⇄ root) control plane
+// ---------------------------------------------------------------------
+
+/// A per-cluster Resource Manager in the two-level hierarchy.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct ClusterId(pub u32);
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+/// One entry of a cluster → root bundle. Budget amounts are integer
+/// milli-items/cycle so root-side accounting is exact (no float drift in
+/// the conservation invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BundleItem {
+    /// Acknowledges the root's decision bundle `of_seq` (bundle-level ack:
+    /// one ack covers every decision the bundle carried).
+    Ack {
+        /// The acknowledged root bundle sequence number.
+        of_seq: u64,
+    },
+    /// Requests `rate_milli` of guaranteed capacity so `app` can be
+    /// admitted into this cluster's shard.
+    Request {
+        /// The application awaiting admission.
+        app: AppId,
+        /// Requested guaranteed rate, in milli-items/cycle.
+        rate_milli: u64,
+    },
+    /// Returns capacity held for `app` after it terminated or was
+    /// reclaimed by the cluster's watchdog.
+    Release {
+        /// The departed application.
+        app: AppId,
+        /// Released guaranteed rate, in milli-items/cycle.
+        rate_milli: u64,
+    },
+}
+
+/// `bundleMsg`: the one coalesced frame a cluster RM emits per kernel
+/// step — acks of root decisions, a heartbeat digest, and any budget
+/// requests/releases — instead of per-client control messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterBundle {
+    /// The emitting cluster.
+    pub cluster: ClusterId,
+    /// Per-cluster bundle sequence number (the retransmission/dedup key).
+    pub seq: u64,
+    /// Cycle at which the cluster handed the bundle to the plane.
+    pub sent_at_cycle: u64,
+    /// Heartbeat digest: how many clients of the shard are live.
+    pub live_clients: u64,
+    /// The coalesced control items, in cluster-deterministic order.
+    pub items: Vec<BundleItem>,
+}
+
+impl ClusterBundle {
+    /// True when the bundle carries state the root must not lose (budget
+    /// requests or releases) and therefore must be acknowledged; ack- and
+    /// digest-only bundles are fire-and-forget.
+    pub fn needs_ack(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i, BundleItem::Request { .. } | BundleItem::Release { .. }))
+    }
+}
+
+/// The root arbiter's verdict on one budget request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantDecision {
+    /// The request fit the remaining global budget; the cluster may admit.
+    Granted {
+        /// The application whose request was granted.
+        app: AppId,
+        /// Granted guaranteed rate, in milli-items/cycle.
+        rate_milli: u64,
+    },
+    /// The request exceeded the remaining global budget; the cluster must
+    /// refuse the admission.
+    Denied {
+        /// The application whose request was denied.
+        app: AppId,
+    },
+}
+
+impl GrantDecision {
+    /// The application the decision concerns.
+    pub fn app(&self) -> AppId {
+        match self {
+            GrantDecision::Granted { app, .. } | GrantDecision::Denied { app } => *app,
+        }
+    }
+}
+
+/// `grantMsg`: the root arbiter's coalesced downstream frame — grant
+/// decisions plus the ack of a received cluster bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootBundle {
+    /// The destination cluster.
+    pub to: ClusterId,
+    /// Root-side bundle sequence number towards `to` (the
+    /// retransmission/dedup key).
+    pub seq: u64,
+    /// Cycle at which the root handed the bundle to the plane.
+    pub sent_at_cycle: u64,
+    /// Acknowledges the cluster bundle with this sequence number, if any.
+    pub ack_of: Option<u64>,
+    /// Decisions on this cluster's outstanding budget requests.
+    pub decisions: Vec<GrantDecision>,
+}
+
+impl RootBundle {
+    /// True when the bundle carries decisions the cluster must not lose;
+    /// pure acks are fire-and-forget.
+    pub fn needs_ack(&self) -> bool {
+        !self.decisions.is_empty()
+    }
+}
+
+/// A frame on the hierarchical control plane: the lossy link carries both
+/// directions so one fault injector (and one deterministic delivery
+/// order) governs the whole cluster ⇄ root exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BundleFrame {
+    /// Cluster → root.
+    Up(ClusterBundle),
+    /// Root → cluster.
+    Down(RootBundle),
+}
+
+impl BundleFrame {
+    /// The fault-injection class of the frame (`bundleMsg` upstream,
+    /// `grantMsg` downstream), mirroring [`ControlMessage::name`].
+    pub fn class(&self) -> &'static str {
+        match self {
+            BundleFrame::Up(_) => "bundleMsg",
+            BundleFrame::Down(_) => "grantMsg",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +482,63 @@ mod tests {
     fn endpoint_display() {
         assert_eq!(Endpoint::Rm.to_string(), "rm");
         assert_eq!(Endpoint::Client(AppId(4)).to_string(), "client:app4");
+    }
+
+    #[test]
+    fn bundle_ack_rules_and_classes() {
+        let digest = ClusterBundle {
+            cluster: ClusterId(3),
+            seq: 0,
+            sent_at_cycle: 10,
+            live_clients: 4,
+            items: vec![BundleItem::Ack { of_seq: 7 }],
+        };
+        assert!(
+            !digest.needs_ack(),
+            "ack/digest-only bundles fire and forget"
+        );
+        let stateful = ClusterBundle {
+            items: vec![
+                BundleItem::Ack { of_seq: 7 },
+                BundleItem::Request {
+                    app: AppId(1),
+                    rate_milli: 50,
+                },
+            ],
+            ..digest.clone()
+        };
+        assert!(stateful.needs_ack());
+        let release_only = ClusterBundle {
+            items: vec![BundleItem::Release {
+                app: AppId(1),
+                rate_milli: 50,
+            }],
+            ..digest.clone()
+        };
+        assert!(release_only.needs_ack(), "releases carry budget state");
+
+        let pure_ack = RootBundle {
+            to: ClusterId(3),
+            seq: 0,
+            sent_at_cycle: 20,
+            ack_of: Some(1),
+            decisions: vec![],
+        };
+        assert!(!pure_ack.needs_ack());
+        let decisions = RootBundle {
+            decisions: vec![GrantDecision::Granted {
+                app: AppId(1),
+                rate_milli: 50,
+            }],
+            ..pure_ack.clone()
+        };
+        assert!(decisions.needs_ack());
+        assert_eq!(decisions.decisions[0].app(), AppId(1));
+        assert_eq!(GrantDecision::Denied { app: AppId(9) }.app(), AppId(9));
+
+        assert_eq!(BundleFrame::Up(stateful).class(), "bundleMsg");
+        assert_eq!(BundleFrame::Down(decisions).class(), "grantMsg");
+        assert_eq!(ClusterId(2).to_string(), "cluster2");
     }
 
     #[test]

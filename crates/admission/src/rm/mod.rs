@@ -25,6 +25,14 @@
 //! [`terminate`]: ResourceManager::terminate
 //! [`receive`]: ResourceManager::receive
 //! [`poll`]: ResourceManager::poll
+//!
+//! At fleet scale a single RM is a wall; the [`cluster`] and [`root`]
+//! submodules layer N of these managers (one per disjoint client shard)
+//! under a [`root::RootArbiter`] that owns the global budget, with
+//! control traffic coalesced into per-step bundles.
+
+pub mod cluster;
+pub mod root;
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -146,6 +154,10 @@ pub struct ResourceManager<P> {
     known: BTreeMap<AppId, Application>,
     /// Last cycle each monitored client was heard from.
     last_heartbeat: BTreeMap<AppId, u64>,
+    /// `(heard_cycle, app)` index over `last_heartbeat`, so the watchdog
+    /// sweep and deadline query are O(log n) instead of scanning every
+    /// monitored client.
+    heartbeat_index: BTreeSet<(u64, AppId)>,
     /// Reclamation counts feeding the quarantine decision.
     reclaim_counts: BTreeMap<AppId, u32>,
     /// Quarantined applications and the first cycle they may return.
@@ -159,6 +171,30 @@ pub struct ResourceManager<P> {
     /// supersede older ones), keyed by client id so retransmission and
     /// give-up sweeps iterate in deterministic id order.
     pending_confs: BTreeMap<AppId, PendingConf>,
+    /// `(next_retry_cycle, app)` index over `pending_confs`, so due
+    /// retransmissions are found without scanning every pending conf.
+    conf_retry_index: BTreeSet<(u64, AppId)>,
+    /// The rate each active client was told in the last conf round; feeds
+    /// duplicate-activation re-confirmation without recomputing the
+    /// policy, and the delta-conf optimisation.
+    last_rates: BTreeMap<AppId, f64>,
+    /// When set, a reconfiguration round only sends `stopMsg`/`confMsg`
+    /// to clients whose rate actually changed (newly admitted clients
+    /// always get one). Off by default: the paper's protocol re-confirms
+    /// every client on every transition.
+    delta_confs: bool,
+    /// When cleared, the RM stops appending to its [`MessageLog`] (the
+    /// per-message trace is O(total messages) memory — prohibitive at
+    /// fleet scale).
+    logging: bool,
+    /// When set, activations skip the policy feasibility check (and its
+    /// O(active) candidate clone): an upstream arbiter — the root of the
+    /// hierarchy — has already guaranteed the set is feasible. Quarantine,
+    /// safe-mode and registration gates still apply.
+    preapproved: bool,
+    /// Clients that left the active set (termination or reclamation)
+    /// since the last [`take_departures`](Self::take_departures) call.
+    departures: Vec<AppId>,
     reclamations: u64,
     safe_mode_entries: u64,
     conf_retransmissions: u64,
@@ -191,12 +227,19 @@ impl<P: RatePolicy> ResourceManager<P> {
             retry: RetryPolicy::default(),
             known: BTreeMap::new(),
             last_heartbeat: BTreeMap::new(),
+            heartbeat_index: BTreeSet::new(),
             reclaim_counts: BTreeMap::new(),
             quarantined: BTreeMap::new(),
             degraded: BTreeSet::new(),
             next_seq: 0,
             rx: ReceiveState::new(),
             pending_confs: BTreeMap::new(),
+            conf_retry_index: BTreeSet::new(),
+            last_rates: BTreeMap::new(),
+            delta_confs: false,
+            logging: true,
+            preapproved: false,
+            departures: Vec::new(),
             reclamations: 0,
             safe_mode_entries: 0,
             conf_retransmissions: 0,
@@ -213,6 +256,26 @@ impl<P: RatePolicy> ResourceManager<P> {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Restricts reconfiguration rounds to clients whose rate changed.
+    pub fn with_delta_confs(mut self, on: bool) -> Self {
+        self.delta_confs = on;
+        self
+    }
+
+    /// Marks admissions as pre-approved by an upstream arbiter: the
+    /// per-activation policy feasibility check is skipped. Only sound
+    /// when every critical admission was granted against the same
+    /// capacity this RM's policy would enforce.
+    pub fn with_preapproved(mut self, on: bool) -> Self {
+        self.preapproved = on;
+        self
+    }
+
+    /// Enables or disables the per-message [`MessageLog`].
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
     }
 
     /// The current system mode.
@@ -279,8 +342,7 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// (the policy cannot serve the resulting set) the system state is
     /// unchanged.
     pub fn request_admission(&mut self, app: Application, now: SimTime) -> AdmissionOutcome {
-        self.log
-            .record(now, ControlMessage::Activation { app: app.id });
+        self.log_msg(now, ControlMessage::Activation { app: app.id });
         let mut candidate = self.active.clone();
         candidate.push(app);
         match self.compute_rates(&candidate) {
@@ -312,9 +374,10 @@ impl<P: RatePolicy> ResourceManager<P> {
     ///
     /// Unknown applications are ignored (idempotent termination).
     pub fn terminate(&mut self, app: AppId, now: SimTime) {
-        self.log.record(now, ControlMessage::Termination { app });
+        self.log_msg(now, ControlMessage::Termination { app });
         if self.deactivate(app) {
             self.mode_changes += 1;
+            self.departures.push(app);
             let mode = self.mode();
             if let Some(rates) = self.compute_rates(&self.active.clone()) {
                 self.reconfigure(now, &rates, mode);
@@ -326,10 +389,47 @@ impl<P: RatePolicy> ResourceManager<P> {
         &self,
         active: &[Application],
     ) -> Option<Vec<(AppId, autoplat_netcalc::TokenBucket)>> {
-        active
-            .iter()
-            .map(|a| self.policy.contract(a, active).map(|tb| (a.id, tb)))
-            .collect()
+        self.policy.contracts(active)
+    }
+
+    fn log_msg(&mut self, at: SimTime, message: ControlMessage) {
+        if self.logging {
+            self.log.record(at, message);
+        }
+    }
+
+    /// Records proof of life from `app`, keeping the watchdog index in
+    /// sync.
+    fn touch(&mut self, app: AppId, now_cycle: u64) {
+        if let Some(old) = self.last_heartbeat.insert(app, now_cycle) {
+            self.heartbeat_index.remove(&(old, app));
+        }
+        self.heartbeat_index.insert((now_cycle, app));
+    }
+
+    /// Stops monitoring `app`, keeping the watchdog index in sync.
+    fn untouch(&mut self, app: AppId) {
+        if let Some(old) = self.last_heartbeat.remove(&app) {
+            self.heartbeat_index.remove(&(old, app));
+        }
+    }
+
+    /// Installs (or supersedes) the pending conf towards `app`, keeping
+    /// the retry index in sync.
+    fn set_pending_conf(&mut self, app: AppId, pending: PendingConf) {
+        if let Some(old) = self.pending_confs.insert(app, pending) {
+            self.conf_retry_index.remove(&(old.next_retry_cycle, app));
+        }
+        self.conf_retry_index
+            .insert((pending.next_retry_cycle, app));
+    }
+
+    /// Clears any pending conf towards `app`, keeping the retry index in
+    /// sync.
+    fn clear_pending_conf(&mut self, app: AppId) {
+        if let Some(old) = self.pending_confs.remove(&app) {
+            self.conf_retry_index.remove(&(old.next_retry_cycle, app));
+        }
     }
 
     /// Runs a stop + configure round and accounts its overhead: each
@@ -343,11 +443,11 @@ impl<P: RatePolicy> ResourceManager<P> {
         mode: SystemMode,
     ) {
         for (app, _) in rates {
-            self.log.record(now, ControlMessage::Stop { app: *app });
+            self.log_msg(now, ControlMessage::Stop { app: *app });
         }
         let config_at = now + SimDuration::from_ns(self.message_latency_ns);
         for (app, tb) in rates {
-            self.log.record(
+            self.log_msg(
                 config_at,
                 ControlMessage::Config {
                     app: *app,
@@ -367,6 +467,11 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// only the id) can be resolved to criticality and demand.
     pub fn register(&mut self, app: Application) {
         self.known.insert(app.id, app);
+    }
+
+    /// The registered metadata for `app`, if any.
+    pub fn known_app(&self, app: AppId) -> Option<&Application> {
+        self.known.get(&app)
     }
 
     /// True while a `confMsg` retry budget is exhausted and the platform
@@ -435,30 +540,39 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// Emits the stop + config round as envelopes and arms retransmission
     /// for every `confMsg`. Also logs the round like the instantaneous
     /// path, so overhead accounting stays comparable.
+    ///
+    /// Under [`with_delta_confs`](Self::with_delta_confs) the round only
+    /// covers clients whose rate changed since the last round they were
+    /// told about (newly admitted clients always have).
     fn reconfigure_envelopes(&mut self, now_cycle: u64) -> Vec<Envelope> {
         let rates = self
             .compute_rates(&self.active.clone())
             .expect("active set was admitted, so rates exist");
         let mode = self.mode();
         let now = SimTime::from_ns(now_cycle as f64);
-        let mut out = Vec::new();
-        for (app, _) in &rates {
-            self.log.record(now, ControlMessage::Stop { app: *app });
-            out.push(self.envelope_to(*app, now_cycle, ControlMessage::Stop { app: *app }));
-        }
+        let mut round: Vec<(AppId, f64)> = Vec::with_capacity(rates.len());
         for (app, tb) in &rates {
-            let conf = ControlMessage::Config {
-                app: *app,
-                mode,
-                rate: tb.rate(),
-            };
-            self.log
-                .record(now + SimDuration::from_ns(self.message_latency_ns), conf);
-            let envelope = self.envelope_to(*app, now_cycle, conf);
+            let rate = tb.rate();
+            let unchanged = self.last_rates.get(app) == Some(&rate);
+            self.last_rates.insert(*app, rate);
+            if !self.delta_confs || !unchanged {
+                round.push((*app, rate));
+            }
+        }
+        let mut out = Vec::with_capacity(2 * round.len());
+        for &(app, _) in &round {
+            self.log_msg(now, ControlMessage::Stop { app });
+            out.push(self.envelope_to(app, now_cycle, ControlMessage::Stop { app }));
+        }
+        let conf_at = now + SimDuration::from_ns(self.message_latency_ns);
+        for &(app, rate) in &round {
+            let conf = ControlMessage::Config { app, mode, rate };
+            self.log_msg(conf_at, conf);
+            let envelope = self.envelope_to(app, now_cycle, conf);
             // A newer round supersedes any conf still in flight to the
             // same client.
-            self.pending_confs.insert(
-                *app,
+            self.set_pending_conf(
+                app,
                 PendingConf {
                     envelope,
                     attempts: 1,
@@ -477,7 +591,7 @@ impl<P: RatePolicy> ResourceManager<P> {
         let app = envelope.message.app();
         // Any message is proof of life for the watchdog.
         if self.last_heartbeat.contains_key(&app) {
-            self.last_heartbeat.insert(app, now_cycle);
+            self.touch(app, now_cycle);
         }
         let fresh = self.rx.accept(envelope.from, envelope.seq);
         if !fresh {
@@ -507,7 +621,7 @@ impl<P: RatePolicy> ResourceManager<P> {
                     .get(&app)
                     .is_some_and(|p| p.envelope.seq == of_seq)
                 {
-                    self.pending_confs.remove(&app);
+                    self.clear_pending_conf(app);
                 }
                 Vec::new()
             }
@@ -525,23 +639,15 @@ impl<P: RatePolicy> ResourceManager<P> {
         match envelope.message {
             ControlMessage::Activation { .. } => {
                 if self.is_active(app) {
-                    // Already admitted: re-send this client's current conf.
-                    let rates = self
-                        .compute_rates(&self.active.clone())
-                        .expect("active set has rates");
+                    // Already admitted: re-send this client's current conf
+                    // from the rate cache (always fresh — every membership
+                    // change reconfigures and refills it).
                     let mode = self.mode();
-                    rates
-                        .iter()
-                        .filter(|(id, _)| *id == app)
-                        .map(|(id, tb)| {
-                            let conf = ControlMessage::Config {
-                                app: *id,
-                                mode,
-                                rate: tb.rate(),
-                            };
-                            self.envelope_to(*id, now_cycle, conf)
-                        })
-                        .collect()
+                    let Some(&rate) = self.last_rates.get(&app) else {
+                        return Vec::new();
+                    };
+                    let conf = ControlMessage::Config { app, mode, rate };
+                    vec![self.envelope_to(app, now_cycle, conf)]
                 } else {
                     vec![self.envelope_to(app, now_cycle, ControlMessage::Refusal { app })]
                 }
@@ -562,7 +668,7 @@ impl<P: RatePolicy> ResourceManager<P> {
 
     fn receive_activation(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
         let now = SimTime::from_ns(now_cycle as f64);
-        self.log.record(now, ControlMessage::Activation { app });
+        self.log_msg(now, ControlMessage::Activation { app });
         if self.is_active(app) {
             // Already active (e.g. re-activation racing a reclamation):
             // just re-confirm.
@@ -588,24 +694,27 @@ impl<P: RatePolicy> ResourceManager<P> {
         let Some(&application) = self.known.get(&app) else {
             return refusal(self);
         };
-        let mut candidate = self.active.clone();
-        candidate.push(application);
-        if self.compute_rates(&candidate).is_none() {
-            return refusal(self);
+        if !self.preapproved {
+            let mut candidate = self.active.clone();
+            candidate.push(application);
+            if self.compute_rates(&candidate).is_none() {
+                return refusal(self);
+            }
         }
         self.activate(application);
         self.mode_changes += 1;
-        self.last_heartbeat.insert(app, now_cycle);
+        self.touch(app, now_cycle);
         self.reconfigure_envelopes(now_cycle)
     }
 
     fn receive_termination(&mut self, app: AppId, now_cycle: u64) -> Vec<Envelope> {
         let now = SimTime::from_ns(now_cycle as f64);
-        self.log.record(now, ControlMessage::Termination { app });
+        self.log_msg(now, ControlMessage::Termination { app });
         if !self.deactivate(app) {
             return Vec::new();
         }
         self.mode_changes += 1;
+        self.departures.push(app);
         self.release(app);
         self.reconfigure_envelopes(now_cycle)
     }
@@ -613,8 +722,9 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// Drops every per-client obligation towards `app` after it leaves
     /// (termination or reclamation).
     fn release(&mut self, app: AppId) {
-        self.last_heartbeat.remove(&app);
-        self.pending_confs.remove(&app);
+        self.untouch(app);
+        self.clear_pending_conf(app);
+        self.last_rates.remove(&app);
         // The unreachable client is gone; degradation ends with it.
         self.degraded.remove(&app);
         // A future incarnation of the client starts its sequence numbers
@@ -625,16 +735,12 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// The next cycle at which [`poll`](Self::poll) has work: a due
     /// `confMsg` retransmission or a watchdog expiry.
     pub fn next_deadline(&self) -> Option<u64> {
-        let retry = self
-            .pending_confs
-            .values()
-            .map(|p| p.next_retry_cycle)
-            .min();
+        let retry = self.conf_retry_index.iter().next().map(|&(cycle, _)| cycle);
         let watchdog = self
-            .last_heartbeat
-            .values()
-            .map(|&h| h + self.watchdog.timeout_cycles)
-            .min();
+            .heartbeat_index
+            .iter()
+            .next()
+            .map(|&(heard, _)| heard + self.watchdog.timeout_cycles);
         match (retry, watchdog) {
             (Some(r), Some(w)) => Some(r.min(w)),
             (r, w) => r.or(w),
@@ -648,39 +754,50 @@ impl<P: RatePolicy> ResourceManager<P> {
     /// envelopes to hand to the control plane.
     pub fn poll(&mut self, now_cycle: u64) -> Vec<Envelope> {
         let mut out = Vec::new();
-        // Retransmissions, in ascending client-id order.
+        // Due retransmissions via the retry index, then processed in
+        // ascending client-id order (the historical pending-map order,
+        // pinned by tests and golden replays).
+        let mut due: Vec<AppId> = self
+            .conf_retry_index
+            .range(..=(now_cycle, AppId(u32::MAX)))
+            .map(|&(_, app)| app)
+            .collect();
+        due.sort_unstable();
         let mut gave_up: Vec<AppId> = Vec::new();
-        for (&app, p) in &mut self.pending_confs {
-            if now_cycle < p.next_retry_cycle {
-                continue;
-            }
+        for app in due {
+            let p = self.pending_confs.get(&app).expect("indexed conf exists");
             if p.attempts >= self.retry.max_attempts() {
                 gave_up.push(app);
                 continue;
             }
-            let mut envelope = p.envelope;
-            envelope.sent_at_cycle = now_cycle;
-            p.attempts += 1;
-            p.next_retry_cycle = now_cycle + self.retry.backoff_cycles(p.attempts - 1);
+            let mut next = *p;
+            next.envelope.sent_at_cycle = now_cycle;
+            next.attempts += 1;
+            next.next_retry_cycle = now_cycle + self.retry.backoff_cycles(next.attempts - 1);
             self.conf_retransmissions += 1;
-            out.push(envelope);
+            out.push(next.envelope);
+            self.set_pending_conf(app, next);
         }
         for app in gave_up {
-            self.pending_confs.remove(&app);
+            self.clear_pending_conf(app);
             if self.degraded.is_empty() {
                 self.safe_mode_entries += 1;
             }
             self.degraded.insert(app);
         }
-        // Watchdog sweep.
-        let expired: Vec<AppId> = self
-            .last_heartbeat
-            .iter()
-            .filter(|(_, &heard)| now_cycle.saturating_sub(heard) >= self.watchdog.timeout_cycles)
-            .map(|(&app, _)| app)
-            .collect();
-        for app in expired {
-            out.extend(self.reclaim(app, now_cycle));
+        // Watchdog sweep via the heartbeat index: everything heard at or
+        // before `cutoff` has been silent past the timeout. (With no full
+        // timeout elapsed since cycle 0, nothing can have expired.)
+        if let Some(cutoff) = now_cycle.checked_sub(self.watchdog.timeout_cycles) {
+            let mut expired: Vec<AppId> = self
+                .heartbeat_index
+                .range(..=(cutoff, AppId(u32::MAX)))
+                .map(|&(_, app)| app)
+                .collect();
+            expired.sort_unstable();
+            for app in expired {
+                out.extend(self.reclaim(app, now_cycle));
+            }
         }
         out
     }
@@ -695,17 +812,127 @@ impl<P: RatePolicy> ResourceManager<P> {
         }
         self.reclamations += 1;
         self.mode_changes += 1;
+        self.departures.push(app);
         let flaps = self.reclaim_counts.entry(app).or_insert(0);
         *flaps += 1;
         if *flaps >= self.watchdog.quarantine_threshold {
             self.quarantined
                 .insert(app, now_cycle + self.watchdog.quarantine_cooldown_cycles);
         }
-        self.log.record(
+        self.log_msg(
             SimTime::from_ns(now_cycle as f64),
             ControlMessage::Termination { app },
         );
         self.reconfigure_envelopes(now_cycle)
+    }
+
+    /// Handles a kernel step's worth of delivered envelopes as one batch:
+    /// per-envelope effects (acks, dedup, heartbeats, membership changes)
+    /// are applied in delivery order, but at most **one** mode transition
+    /// and stop/conf round is emitted for the whole batch instead of one
+    /// per membership change. This is what makes a cluster RM's per-step
+    /// work O(batch + round) rather than O(batch × active).
+    ///
+    /// Semantically equivalent to calling [`receive`](Self::receive) per
+    /// envelope when the batch contains at most one membership change;
+    /// with several, intermediate rounds (which the coalesced bundle
+    /// protocol would supersede within the same step anyway) are elided.
+    pub fn receive_batch(&mut self, envelopes: &[Envelope], now_cycle: u64) -> Vec<Envelope> {
+        let now = SimTime::from_ns(now_cycle as f64);
+        let mut out = Vec::new();
+        let mut dirty = false;
+        for envelope in envelopes {
+            let app = envelope.message.app();
+            if self.last_heartbeat.contains_key(&app) {
+                self.touch(app, now_cycle);
+            }
+            if !self.rx.accept(envelope.from, envelope.seq) {
+                out.extend(self.respond_to_duplicate(*envelope, now_cycle));
+                continue;
+            }
+            match envelope.message {
+                ControlMessage::Activation { app } => {
+                    self.log_msg(now, ControlMessage::Activation { app });
+                    if self.is_active(app) {
+                        out.extend(self.respond_to_duplicate(*envelope, now_cycle));
+                        continue;
+                    }
+                    if self.check_admissible(app, now_cycle).is_err() {
+                        out.push(self.refuse(app, now_cycle));
+                        continue;
+                    }
+                    self.quarantined.remove(&app);
+                    let Some(&application) = self.known.get(&app) else {
+                        out.push(self.refuse(app, now_cycle));
+                        continue;
+                    };
+                    if !self.preapproved {
+                        let mut candidate = self.active.clone();
+                        candidate.push(application);
+                        if self.compute_rates(&candidate).is_none() {
+                            out.push(self.refuse(app, now_cycle));
+                            continue;
+                        }
+                    }
+                    self.activate(application);
+                    self.mode_changes += 1;
+                    self.touch(app, now_cycle);
+                    dirty = true;
+                }
+                ControlMessage::Termination { app } => {
+                    self.log_msg(now, ControlMessage::Termination { app });
+                    out.push(self.envelope_to(
+                        app,
+                        now_cycle,
+                        ControlMessage::Ack {
+                            app,
+                            of_seq: envelope.seq,
+                        },
+                    ));
+                    if self.deactivate(app) {
+                        self.mode_changes += 1;
+                        self.departures.push(app);
+                        self.release(app);
+                        dirty = true;
+                    }
+                }
+                ControlMessage::Heartbeat { .. } => {}
+                ControlMessage::Ack { app, of_seq } => {
+                    if self
+                        .pending_confs
+                        .get(&app)
+                        .is_some_and(|p| p.envelope.seq == of_seq)
+                    {
+                        self.clear_pending_conf(app);
+                    }
+                }
+                ControlMessage::Stop { .. }
+                | ControlMessage::Config { .. }
+                | ControlMessage::Refusal { .. } => {}
+            }
+        }
+        if dirty {
+            out.extend(self.reconfigure_envelopes(now_cycle));
+        }
+        out
+    }
+
+    /// Counts a rejection and builds the `rejMsg` envelope for `app`.
+    pub(crate) fn refuse(&mut self, app: AppId, now_cycle: u64) -> Envelope {
+        self.rejections += 1;
+        self.envelope_to(app, now_cycle, ControlMessage::Refusal { app })
+    }
+
+    /// Drains the clients that left the active set (termination or
+    /// reclamation) since the last call. The cluster layer turns these
+    /// into budget `Release` items towards the root arbiter.
+    pub fn take_departures(&mut self) -> Vec<AppId> {
+        std::mem::take(&mut self.departures)
+    }
+
+    /// The currently quarantined client ids, in ascending order.
+    pub fn quarantined_ids(&self) -> Vec<AppId> {
+        self.quarantined.keys().copied().collect()
     }
 }
 
@@ -1062,6 +1289,124 @@ mod tests {
         let out = rm.receive(act(0, 10, 6_000), 6_000);
         assert!(out.iter().any(|e| e.message.name() == "confMsg"));
         assert_eq!(rm.mode(), SystemMode(1));
+    }
+
+    #[test]
+    fn receive_batch_coalesces_one_conf_round() {
+        let mut batched = ft_rm();
+        let batch: Vec<Envelope> = (0..4u32).map(|n| act(n, 0, 10)).collect();
+        let out = batched.receive_batch(&batch, 10);
+        assert_eq!(batched.mode(), SystemMode(4));
+        // One round covering all four clients — not 1+2+3+4 confs.
+        assert_eq!(
+            out.iter().filter(|e| e.message.name() == "confMsg").count(),
+            4
+        );
+        assert_eq!(
+            out.iter().filter(|e| e.message.name() == "stopMsg").count(),
+            4
+        );
+        // The final rates match per-envelope processing.
+        let mut serial = ft_rm();
+        for n in 0..4u32 {
+            let _ = serial.receive(act(n, 0, 10), 10);
+        }
+        assert_eq!(serial.mode(), batched.mode());
+        assert_eq!(serial.last_rates, batched.last_rates);
+    }
+
+    #[test]
+    fn receive_batch_matches_receive_for_single_messages() {
+        let mut a = ft_rm();
+        let mut b = ft_rm();
+        for (i, app) in [2u32, 0, 3].iter().enumerate() {
+            let out_a = a.receive(act(*app, 0, i as u64), i as u64);
+            let out_b = b.receive_batch(&[act(*app, 0, i as u64)], i as u64);
+            assert_eq!(out_a, out_b, "singleton batches are exactly receive()");
+        }
+        // Duplicate and refusal paths agree too.
+        assert_eq!(
+            a.receive(act(2, 0, 50), 50),
+            b.receive_batch(&[act(2, 0, 50)], 50)
+        );
+        assert_eq!(
+            a.receive(act(9, 0, 60), 60),
+            b.receive_batch(&[act(9, 0, 60)], 60)
+        );
+    }
+
+    #[test]
+    fn delta_confs_skip_unchanged_rates() {
+        // Weighted policy: a BE client's rate changes when another BE
+        // arrives (shared floor), but a critical client's guaranteed rate
+        // never does.
+        let mut rm = ResourceManager::new(WeightedPolicy::new(1.0, 4.0, 0.0), 100.0)
+            .with_retry(RetryPolicy::new(100, 3))
+            .with_delta_confs(true);
+        rm.register(Application::critical(AppId(0), 0, 200));
+        rm.register(Application::critical(AppId(1), 1, 300));
+        let out = rm.receive(act(0, 0, 0), 0);
+        assert_eq!(
+            out.iter().filter(|e| e.message.name() == "confMsg").count(),
+            1
+        );
+        // Admitting app 1 leaves app 0's guaranteed 0.2 unchanged: only
+        // the newcomer is confirmed.
+        let out = rm.receive(act(1, 0, 10), 10);
+        let confs: Vec<AppId> = out
+            .iter()
+            .filter(|e| e.message.name() == "confMsg")
+            .map(|e| e.message.app())
+            .collect();
+        assert_eq!(confs, vec![AppId(1)], "unchanged rate, no re-conf");
+        assert_eq!(
+            rm.pending_conf_count(),
+            2,
+            "app 0's first conf still pending"
+        );
+    }
+
+    #[test]
+    fn departures_are_drained_once() {
+        let mut rm = ft_rm();
+        let out = rm.receive(act(0, 0, 0), 0);
+        settle_confs(&mut rm, &out, 1);
+        let out = rm.receive(act(1, 0, 5), 5);
+        settle_confs(&mut rm, &out, 6);
+        assert!(rm.take_departures().is_empty());
+        rm.terminate(AppId(0), SimTime::from_ns(100.0));
+        let _ = rm.poll(5_000); // watchdog reclaims silent app 1
+        assert_eq!(rm.take_departures(), vec![AppId(0), AppId(1)]);
+        assert!(rm.take_departures().is_empty(), "drained");
+    }
+
+    #[test]
+    fn indices_stay_consistent_with_maps() {
+        let mut rm = ft_rm();
+        for n in 0..4u32 {
+            let _ = rm.receive(act(n, 0, n as u64), n as u64);
+        }
+        let _ = rm.poll(500); // retransmit sweep reindexes retries
+        rm.terminate(AppId(2), SimTime::from_ns(600.0));
+        let _ = rm.poll(2_000); // watchdog reclaims the rest
+        assert_eq!(rm.pending_confs.len(), rm.conf_retry_index.len());
+        assert_eq!(rm.last_heartbeat.len(), rm.heartbeat_index.len());
+        for (&app, p) in &rm.pending_confs {
+            assert!(rm.conf_retry_index.contains(&(p.next_retry_cycle, app)));
+        }
+        for (&app, &heard) in &rm.last_heartbeat {
+            assert!(rm.heartbeat_index.contains(&(heard, app)));
+        }
+    }
+
+    #[test]
+    fn logging_off_keeps_counters_but_not_records() {
+        let mut rm = ft_rm();
+        rm.set_logging(false);
+        let _ = rm.receive(act(0, 0, 10), 10);
+        assert_eq!(rm.log().count("actMsg"), 0, "no records when disabled");
+        assert_eq!(rm.mode(), SystemMode(1), "behaviour unchanged");
+        assert_eq!(rm.mode_changes(), 1);
     }
 
     #[test]

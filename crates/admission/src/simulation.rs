@@ -40,7 +40,7 @@ use crate::client::{Client, Liveness, RetryPolicy, TransmitDecision};
 use crate::control_plane::ControlPlane;
 use crate::error::AdmissionError;
 use crate::modes::RatePolicy;
-use crate::protocol::{ControlMessage, Endpoint};
+use crate::protocol::{ControlMessage, Endpoint, Envelope};
 use crate::rm::{ResourceManager, WatchdogConfig};
 
 /// Events driving the lossy admission control plane on the shared
@@ -788,15 +788,20 @@ fn process_control<P: RatePolicy>(
                 ClientFault::Hang { for_cycles, .. } => client.hang(now + for_cycles),
             }
         }
+        // Consecutive RM-bound envelopes coalesce into one batch — a
+        // single reconfiguration round per delivery burst instead of one
+        // per envelope. The batch flushes whenever a client-bound
+        // envelope interleaves, so delivery order is preserved exactly.
+        let mut rm_batch: Vec<Envelope> = Vec::new();
         for envelope in cp.take_due(now) {
             progressed = true;
             match envelope.to {
-                Endpoint::Rm => {
-                    for response in rm.receive(envelope, now) {
+                Endpoint::Rm => rm_batch.push(envelope),
+                Endpoint::Client(app) => {
+                    for response in rm.receive_batch(&rm_batch, now) {
                         cp.send(now, response);
                     }
-                }
-                Endpoint::Client(app) => {
+                    rm_batch.clear();
                     if matches!(envelope.message, ControlMessage::Refusal { .. })
                         && !rejected.contains(&app)
                     {
@@ -809,6 +814,9 @@ fn process_control<P: RatePolicy>(
                     }
                 }
             }
+        }
+        for response in rm.receive_batch(&rm_batch, now) {
+            cp.send(now, response);
         }
         for envelope in rm.poll(now) {
             progressed = true;

@@ -37,8 +37,18 @@
 //! * **Diff** — one seeded stream through FR-FCFS, DPQ and per-bank
 //!   regulated FR-FCFS: each regime respects its own analytic bound, and
 //!   the WCD-tightness / throughput deltas are exported as observations.
+//! * **Fleet** — one seeded client population through the flat RM and
+//!   the sharded cluster/root hierarchy: identical final admitted /
+//!   refused / gave-up / crashed / quarantined sets, exact root budget
+//!   conservation (granted == Σ active critical demand <= capacity),
+//!   exact expected admission counts (all clients when feasible, the
+//!   capacity's slot count when not), and byte-identical same-seed
+//!   double runs of the hierarchy.
 
-use autoplat_admission::{AppId, Application, ScenarioEvent, SymmetricPolicy};
+use autoplat_admission::{
+    AppId, Application, FleetConfig, FleetOutcome, FleetSim, FleetTopology, ScenarioEvent,
+    SymmetricPolicy, WatchdogConfig,
+};
 use autoplat_core::cache::{ClusterPartCr, PartitionGroup, SchemeId};
 use autoplat_core::{CoSim, CoSimConfig, CoSimTask, ControlCommand, QosConfig};
 use autoplat_dram::request::Request;
@@ -62,7 +72,7 @@ use autoplat_sim::{Engine, FaultPlan, MetricsRegistry, SimDuration, SimRng, SimT
 
 use crate::scenario::{
     ClosedLoopScenario, DeterminismScenario, DiffScenario, DpqScenario, DramScenario,
-    MemGuardScenario, NocScenario, PerBankScenario, Scenario, SchedScenario,
+    FleetScenario, MemGuardScenario, NocScenario, PerBankScenario, Scenario, SchedScenario,
 };
 
 /// Absolute slack (ns / cycles / bytes) tolerated on float comparisons.
@@ -125,6 +135,10 @@ pub struct Oracle {
     /// Multiplier applied to the per-bank guarantee's per-period grant
     /// cap.
     pub perbank_cap_scale: f64,
+    /// Multiplier applied to the root arbiter's budget in the `fleet`
+    /// family's hierarchical run (the flat baseline keeps the full
+    /// budget, so any value but `1.0` makes the topologies diverge).
+    pub fleet_root_budget_scale: f64,
 }
 
 impl Default for Oracle {
@@ -133,6 +147,7 @@ impl Default for Oracle {
             wcd_upper_scale: 1.0,
             dpq_upper_scale: 1.0,
             perbank_cap_scale: 1.0,
+            fleet_root_budget_scale: 1.0,
         }
     }
 }
@@ -168,6 +183,7 @@ impl Oracle {
             Scenario::Dpq(s) => self.check_dpq(s),
             Scenario::PerBank(s) => self.check_perbank(s),
             Scenario::Diff(s) => self.check_diff(s),
+            Scenario::Fleet(s) => self.check_fleet(s),
         }
     }
 
@@ -679,6 +695,179 @@ impl Oracle {
             ),
         ];
         Ok((CaseResult::Pass, obs))
+    }
+
+    fn check_fleet(&self, s: &FleetScenario) -> Result<(CaseResult, Observations), Violation> {
+        let hier_cfg = fleet_config(s, FleetTopology::Hierarchical, self.fleet_root_budget_scale);
+        let flat_cfg = fleet_config(s, FleetTopology::Flat, self.fleet_root_budget_scale);
+
+        // Same-seed double run of the hierarchy: the outcome *and* the
+        // metric export must be byte-identical.
+        let run_hier = || {
+            let outcome = FleetSim::new(hier_cfg.clone()).run();
+            let mut reg = MetricsRegistry::new();
+            outcome.publish_metrics(&mut reg);
+            (outcome, reg.to_json())
+        };
+        let (hier, hier_json) = run_hier();
+        let (replay, replay_json) = run_hier();
+        if hier != replay || hier_json != replay_json {
+            return violation(
+                "fleet.replay_identical",
+                format!(
+                    "same-seed hierarchy runs diverged (outcomes equal: {}, exports equal: {})",
+                    hier == replay,
+                    hier_json == replay_json
+                ),
+            );
+        }
+
+        let flat = FleetSim::new(flat_cfg).run();
+        let sets = |o: &FleetOutcome| {
+            [
+                ("admitted", o.admitted.clone()),
+                ("refused", o.refused.clone()),
+                ("gave_up", o.gave_up.clone()),
+                ("crashed", o.crashed.clone()),
+                ("quarantined", o.quarantined.clone()),
+            ]
+        };
+        for ((name, f), (_, h)) in sets(&flat).into_iter().zip(sets(&hier)) {
+            if f != h {
+                return violation(
+                    "fleet.flat_hier_sets_agree",
+                    format!(
+                        "{name} sets diverge: flat has {} clients, hierarchy {} \
+                         (flat-only: {:?}, hier-only: {:?})",
+                        f.len(),
+                        h.len(),
+                        f.iter()
+                            .filter(|id| !h.contains(id))
+                            .take(8)
+                            .collect::<Vec<_>>(),
+                        h.iter()
+                            .filter(|id| !f.contains(id))
+                            .take(8)
+                            .collect::<Vec<_>>(),
+                    ),
+                );
+            }
+        }
+
+        // Budget conservation at the horizon: every grant the root still
+        // holds belongs to an active critical client, and the total
+        // never exceeds the budget.
+        let granted = hier.root_granted_milli.unwrap_or(0);
+        if granted != hier.active_guaranteed_milli {
+            return violation(
+                "fleet.budget_conserved",
+                format!(
+                    "root holds {granted} milli granted but active criticals demand {} milli",
+                    hier.active_guaranteed_milli
+                ),
+            );
+        }
+        let budget = (s.capacity_milli() as f64 * self.fleet_root_budget_scale) as u64;
+        if granted > budget {
+            return violation(
+                "fleet.budget_within_capacity",
+                format!("root granted {granted} milli out of a {budget} milli budget"),
+            );
+        }
+
+        // Exact expected counts. Feasible: everyone not crashed ends
+        // admitted. Infeasible: exactly `slack_slots` criticals are
+        // refused, everything else (criticals in slots + best-effort)
+        // is admitted.
+        let expected_admitted = if s.feasible {
+            u64::from(s.clients) - u64::from(s.crashes)
+        } else {
+            u64::from(s.clients) - u64::from(s.slack_slots.min(s.criticals()))
+        };
+        if flat.admitted.len() as u64 != expected_admitted {
+            return violation(
+                "fleet.expected_admissions",
+                format!(
+                    "{} of {} clients admitted, expected {expected_admitted} \
+                     ({} refused, {} gave up, {} crashed)",
+                    flat.admitted.len(),
+                    s.clients,
+                    flat.refused.len(),
+                    flat.gave_up.len(),
+                    flat.crashed.len(),
+                ),
+            );
+        }
+        if s.crashes > 0 && flat.quarantined != flat.crashed {
+            return violation(
+                "fleet.storm_victims_quarantined",
+                format!(
+                    "{} crashed but {} quarantined",
+                    flat.crashed.len(),
+                    flat.quarantined.len()
+                ),
+            );
+        }
+
+        let mut obs = vec![(
+            "conformance.fleet.bundles_per_client",
+            hier.bundles as f64 / f64::from(s.clients),
+        )];
+        if let Some(cycles) = hier.reconverge_cycles {
+            obs.push(("conformance.fleet.reconverge_cycles", cycles as f64));
+        }
+        Ok((CaseResult::Pass, obs))
+    }
+}
+
+/// The [`FleetConfig`] a [`FleetScenario`] runs under, shared by both
+/// topologies except for the root budget scale (the falsifiability
+/// knob, applied only to the hierarchy).
+fn fleet_config(s: &FleetScenario, topology: FleetTopology, root_scale: f64) -> FleetConfig {
+    let mut plan = FaultPlan::new();
+    if s.delay_permille > 0 {
+        plan = plan
+            .delay_probability(f64::from(s.delay_permille) / 1000.0)
+            .max_delay_cycles(40);
+    }
+    if s.dup_permille > 0 {
+        plan = plan.duplicate_probability(f64::from(s.dup_permille) / 1000.0);
+    }
+    for k in 0..u64::from(s.conf_drops) {
+        plan = plan.drop_nth("confMsg", 2 + 4 * k);
+    }
+    let feasible = s.feasible;
+    FleetConfig {
+        clients: s.clients,
+        clusters: s.clusters,
+        capacity_milli: s.capacity_milli(),
+        root_capacity_milli: if topology == FleetTopology::Hierarchical {
+            Some((s.capacity_milli() as f64 * root_scale) as u64)
+        } else {
+            None
+        },
+        demand_milli: s.demand_milli,
+        critical_every: s.critical_every,
+        wave_size: if feasible { (s.clients / 4).max(1) } else { 1 },
+        wave_interval: if feasible { 400 } else { 1_500 },
+        heartbeat_interval_cycles: 1_000,
+        watchdog: WatchdogConfig {
+            timeout_cycles: 4_000,
+            quarantine_threshold: 1,
+            quarantine_cooldown_cycles: 100_000,
+        },
+        cluster_timeout_cycles: 12_000,
+        fault_plan: plan,
+        crashes: s.crashes,
+        crash_at: if s.crashes > 0 { Some(15_000) } else { None },
+        horizon: if feasible {
+            45_000
+        } else {
+            1_500 * u64::from(s.clients) + 15_000
+        },
+        seed: s.seed,
+        topology,
+        ..FleetConfig::default()
     }
 }
 

@@ -13,7 +13,7 @@ use autoplat_dram::{ControllerConfig, DramTiming};
 use autoplat_netcalc::TokenBucket;
 use autoplat_sim::SimRng;
 
-/// The nine oracle families, each pairing an analytic bound with its
+/// The ten oracle families, each pairing an analytic bound with its
 /// event-kernel simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
@@ -44,12 +44,18 @@ pub enum Family {
     /// against its own analytic bound, with WCD-tightness and throughput
     /// deltas exported as metrics.
     Diff,
+    /// Hierarchical admission differential: the same seeded client
+    /// population through the flat RM and the sharded cluster/root
+    /// hierarchy must reach identical final admitted / refused /
+    /// quarantined sets, the root's granted budget must conserve, and
+    /// same-seed double runs must export byte-identical metrics.
+    Fleet,
 }
 
 impl Family {
     /// All families, in sweep order. New families append at the end so
     /// existing `(family, case index)` seeds stay stable.
-    pub const ALL: [Family; 9] = [
+    pub const ALL: [Family; 10] = [
         Family::Dram,
         Family::Noc,
         Family::MemGuard,
@@ -59,6 +65,7 @@ impl Family {
         Family::Dpq,
         Family::PerBank,
         Family::Diff,
+        Family::Fleet,
     ];
 
     /// Stable lowercase name used in CLI flags, metrics and the corpus.
@@ -73,6 +80,7 @@ impl Family {
             Family::Dpq => "dpq",
             Family::PerBank => "perbank",
             Family::Diff => "diff",
+            Family::Fleet => "fleet",
         }
     }
 
@@ -865,6 +873,175 @@ impl DiffScenario {
     }
 }
 
+/// A hierarchical-admission scenario: one seeded synthetic population
+/// run through the flat RM and through the cluster/root hierarchy.
+///
+/// Fault classes are restricted so the cross-topology set-equality
+/// oracle is sound:
+///
+/// * **Feasible** populations (capacity covers every critical) may see
+///   probabilistic delays and duplications plus scripted `confMsg`
+///   drops — retransmission and duplicate suppression recover all of
+///   them, and since every client is ultimately admitted, arrival
+///   *order* cannot change the final sets. Message *drops* with bounded
+///   retries could differ per topology (independent per-plane fault
+///   streams), so probabilistic drops stay out of this family (the
+///   fleet bench exercises them, without the cross-topology claim).
+/// * **Infeasible** populations are strictly serialized (one-client
+///   waves, a full round trip apart) and fault-free, so both topologies
+///   see the same first-come-first-served order and refuse exactly the
+///   same clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetScenario {
+    /// Population size.
+    pub clients: u32,
+    /// Cluster count for the hierarchical run (1 = degenerate
+    /// single-cluster hierarchy; may exceed `clients`, leaving empty
+    /// shards).
+    pub clusters: u32,
+    /// Every `critical_every`-th client is critical, the rest
+    /// best-effort.
+    pub critical_every: u32,
+    /// Guaranteed demand per critical client, milli-items/cycle.
+    pub demand_milli: u32,
+    /// Whether capacity covers every critical client.
+    pub feasible: bool,
+    /// Feasible: spare critical slots beyond the population's demand.
+    /// Infeasible: critical slots *short* of the demand (each one a
+    /// deterministic refusal).
+    pub slack_slots: u32,
+    /// Clients killed mid-run by the deterministic crash storm
+    /// (feasible scenarios only).
+    pub crashes: u32,
+    /// Probabilistic control-message delay, per-mille (feasible only).
+    pub delay_permille: u32,
+    /// Probabilistic control-message duplication, per-mille (feasible
+    /// only).
+    pub dup_permille: u32,
+    /// Scripted `confMsg` drops (feasible only; recovered by the RM's
+    /// retransmission).
+    pub conf_drops: u32,
+    /// Master seed for both topologies' fault injectors.
+    pub seed: u64,
+}
+
+impl FleetScenario {
+    /// Number of critical clients in the population.
+    pub fn criticals(&self) -> u32 {
+        self.clients.div_ceil(self.critical_every)
+    }
+
+    /// The global budget in milli-items/cycle: demand plus slack when
+    /// feasible, demand minus `slack_slots` refusals when not.
+    pub fn capacity_milli(&self) -> u64 {
+        let slots = if self.feasible {
+            u64::from(self.criticals()) + u64::from(self.slack_slots)
+        } else {
+            u64::from(self.criticals()).saturating_sub(u64::from(self.slack_slots))
+        };
+        slots * u64::from(self.demand_milli)
+    }
+
+    fn generate(rng: &mut SimRng) -> FleetScenario {
+        let feasible = rng.gen_bool(0.75);
+        let clients = if feasible {
+            rng.gen_range(30u32..=120)
+        } else {
+            rng.gen_range(6u32..=14)
+        };
+        let critical_every = rng.gen_range(1u32..=2);
+        let criticals = clients.div_ceil(critical_every);
+        FleetScenario {
+            clients,
+            clusters: rng.gen_range(1u32..=5),
+            critical_every,
+            demand_milli: rng.gen_range(50u32..=200),
+            feasible,
+            slack_slots: if feasible {
+                rng.gen_range(0u32..=3)
+            } else {
+                rng.gen_range(1u32..=(criticals - 1).max(1))
+            },
+            crashes: if feasible {
+                rng.gen_range(0u32..=6).min(clients / 8)
+            } else {
+                0
+            },
+            delay_permille: if feasible {
+                rng.gen_range(0u32..=250)
+            } else {
+                0
+            },
+            dup_permille: if feasible {
+                rng.gen_range(0u32..=150)
+            } else {
+                0
+            },
+            conf_drops: if feasible { rng.gen_range(0u32..=2) } else { 0 },
+            seed: rng.next_u64(),
+        }
+    }
+
+    fn shrink(&self) -> Vec<FleetScenario> {
+        let mut out = Vec::new();
+        let mut push = |s: FleetScenario| {
+            if s != *self {
+                out.push(s);
+            }
+        };
+        let criticals_at = |clients: u32| clients.div_ceil(self.critical_every);
+        let smaller = (self.clients / 2).max(6);
+        push(FleetScenario {
+            clients: smaller,
+            // Keep the infeasible invariant (1 <= slack < criticals).
+            slack_slots: if self.feasible {
+                self.slack_slots
+            } else {
+                self.slack_slots.min((criticals_at(smaller) - 1).max(1))
+            },
+            crashes: self.crashes.min(smaller / 8),
+            ..self.clone()
+        });
+        push(FleetScenario {
+            crashes: 0,
+            ..self.clone()
+        });
+        push(FleetScenario {
+            delay_permille: 0,
+            dup_permille: 0,
+            ..self.clone()
+        });
+        push(FleetScenario {
+            conf_drops: 0,
+            ..self.clone()
+        });
+        push(FleetScenario {
+            clusters: 1,
+            ..self.clone()
+        });
+        push(FleetScenario {
+            critical_every: 1,
+            slack_slots: if self.feasible {
+                self.slack_slots
+            } else {
+                self.slack_slots.min(self.clients - 1)
+            },
+            ..self.clone()
+        });
+        out
+    }
+
+    fn size(&self) -> u64 {
+        u64::from(self.clients) * 16
+            + u64::from(self.clusters) * 8
+            + u64::from(self.critical_every) * 4
+            + u64::from(self.crashes) * 32
+            + u64::from(self.delay_permille)
+            + u64::from(self.dup_permille)
+            + u64::from(self.conf_drops) * 64
+    }
+}
+
 /// A generated scenario of any family.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scenario {
@@ -886,6 +1063,8 @@ pub enum Scenario {
     PerBank(PerBankScenario),
     /// See [`DiffScenario`].
     Diff(DiffScenario),
+    /// See [`FleetScenario`].
+    Fleet(FleetScenario),
 }
 
 impl Scenario {
@@ -901,6 +1080,7 @@ impl Scenario {
             Family::Dpq => Scenario::Dpq(DpqScenario::generate(rng)),
             Family::PerBank => Scenario::PerBank(PerBankScenario::generate(rng)),
             Family::Diff => Scenario::Diff(DiffScenario::generate(rng)),
+            Family::Fleet => Scenario::Fleet(FleetScenario::generate(rng)),
         }
     }
 
@@ -916,6 +1096,7 @@ impl Scenario {
             Scenario::Dpq(_) => Family::Dpq,
             Scenario::PerBank(_) => Family::PerBank,
             Scenario::Diff(_) => Family::Diff,
+            Scenario::Fleet(_) => Family::Fleet,
         }
     }
 
@@ -934,6 +1115,7 @@ impl Scenario {
             Scenario::Dpq(s) => s.shrink().into_iter().map(Scenario::Dpq).collect(),
             Scenario::PerBank(s) => s.shrink().into_iter().map(Scenario::PerBank).collect(),
             Scenario::Diff(s) => s.shrink().into_iter().map(Scenario::Diff).collect(),
+            Scenario::Fleet(s) => s.shrink().into_iter().map(Scenario::Fleet).collect(),
         };
         all.into_iter().filter(|s| s.size() < current).collect()
     }
@@ -950,6 +1132,7 @@ impl Scenario {
             Scenario::Dpq(s) => s.size(),
             Scenario::PerBank(s) => s.size(),
             Scenario::Diff(s) => s.size(),
+            Scenario::Fleet(s) => s.size(),
         }
     }
 }

@@ -80,6 +80,19 @@ fn halved_perbank_grant_cap_is_caught_and_shrunk() {
 }
 
 #[test]
+fn halved_fleet_root_budget_is_caught_and_shrunk() {
+    // Shrinking only the root arbiter's budget makes the hierarchy deny
+    // clients the flat RM admits, so the cross-topology set equality
+    // must trip — proving the differential would catch a root arbiter
+    // that arbitrates a different budget than the policy layer.
+    let broken = Oracle {
+        fleet_root_budget_scale: 0.5,
+        ..Oracle::default()
+    };
+    assert_breakage_is_caught(Family::Fleet, &broken, "fleet.flat_hier_sets_agree");
+}
+
+#[test]
 fn sweep_reports_broken_bound_failures_with_reproducers() {
     let config = SweepConfig {
         seed: MASTER_SEED,

@@ -187,4 +187,31 @@ mod tests {
         // No cap: trivially guaranteed.
         assert!(QosContract::new(0).guaranteed_by(&unstable, &chain));
     }
+
+    #[test]
+    fn cluster_aggregate_contract_is_checkable_end_to_end() {
+        use autoplat_admission::e2e::aggregate_contract;
+
+        // Hierarchical admission presents each cluster upstream as one
+        // aggregated token bucket; the analytic guarantee path must
+        // accept that aggregate exactly like a single client's contract.
+        let chain = ResourceChain::new()
+            .stage("noc", RateLatency::new(1.0, 20.0))
+            .stage("dram", RateLatency::new(0.05, 400.0));
+        let members = [
+            TokenBucket::new(1.0, 0.004),
+            TokenBucket::new(0.5, 0.003),
+            TokenBucket::new(0.5, 0.003),
+        ];
+        let cluster = aggregate_contract(&members).expect("nonempty cluster");
+        let bound = chain.delay_bound(&cluster).expect("aggregate stays stable");
+        assert!(QosContract::new(0)
+            .with_max_latency_ns(bound + 1.0)
+            .guaranteed_by(&cluster, &chain));
+        // The aggregate's bound dominates each member's own, so a cap
+        // that holds for the whole cluster holds for every member.
+        for member in &members {
+            assert!(chain.delay_bound(member).expect("member stable") <= bound);
+        }
+    }
 }
