@@ -82,6 +82,32 @@ cargo run -q --release -p autoplat-bench --bin fleet -- --smoke --deterministic 
     --export-json "$SMOKE_DIR/fleet_replay_b.json" >/dev/null
 cmp "$SMOKE_DIR/fleet_replay_a.json" "$SMOKE_DIR/fleet_replay_b.json"
 
+echo "== campaign smoke (design-space map-reduce sweep + schema gate) =="
+# 32-point smoke grid; the binary refuses wall-clock timing from a debug
+# build, so the timed run needs --release.
+cargo run -q --release -p autoplat-bench --bin campaign -- --smoke \
+    --export-json "$SMOKE_DIR/campaign.json" >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- "$SMOKE_DIR/campaign.json"
+
+echo "== campaign reshard determinism (2 vs 4 workers byte-identical) =="
+cargo run -q --release -p autoplat-bench --bin campaign -- --smoke --deterministic \
+    --workers 2 --export-json "$SMOKE_DIR/campaign_w2.json" >/dev/null
+cargo run -q --release -p autoplat-bench --bin campaign -- --smoke --deterministic \
+    --workers 4 --export-json "$SMOKE_DIR/campaign_w4.json" >/dev/null
+cmp "$SMOKE_DIR/campaign_w2.json" "$SMOKE_DIR/campaign_w4.json"
+
+echo "== campaign kill-and-resume (manifest schema gate + byte-identical resume) =="
+CAMPAIGN_CKPT="$SMOKE_DIR/campaign_ckpt"
+rm -rf "$CAMPAIGN_CKPT"
+cargo run -q --release -p autoplat-bench --bin campaign -- --smoke --deterministic \
+    --workers 2 --checkpoint-dir "$CAMPAIGN_CKPT" --kill-after-chunks 2 >/dev/null
+cargo run -q -p autoplat-bench --bin schema_check -- \
+    "$CAMPAIGN_CKPT/manifest.json" "$CAMPAIGN_CKPT"/chunk_*.json
+cargo run -q --release -p autoplat-bench --bin campaign -- --smoke --deterministic \
+    --workers 3 --checkpoint-dir "$CAMPAIGN_CKPT" --resume \
+    --export-json "$SMOKE_DIR/campaign_resumed.json" >/dev/null
+cmp "$SMOKE_DIR/campaign_w2.json" "$SMOKE_DIR/campaign_resumed.json"
+
 echo "== perf baseline smoke (queue/engine/cosim throughput + schema gate) =="
 # Quick scale; the perf binary itself enforces calendar >= heap throughput
 # and refuses to run unoptimized, so this gate needs --release.
@@ -105,6 +131,12 @@ cargo run -q -p autoplat-bench --bin perf_check -- \
 # where per-admission cost is lower, so the same loose floor holds.
 cargo run -q -p autoplat-bench --bin perf_check -- \
     --baseline BENCH_fleet.json --fresh "$SMOKE_DIR/fleet.json" \
+    --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
+# The committed campaign baseline is the full 243-point grid; the smoke
+# grid's points are smaller (fewer rivals, smaller meshes), so
+# points-per-second is comparable under the same loose floor.
+cargo run -q -p autoplat-bench --bin perf_check -- \
+    --baseline BENCH_campaign.json --fresh "$SMOKE_DIR/campaign.json" \
     --min-ratio "${PERF_BASELINE_RATIO:-0.25}"
 
 echo "ci: OK"

@@ -1,12 +1,60 @@
-//! CI gate: validates exported metrics files against the
-//! `autoplat.metrics.v1` schema.
+//! CI gate: validates exported files against their schemas.
 //!
-//! Usage: `schema_check <file.json|file.csv>...` — the format is picked
-//! by extension (`.csv` → CSV, everything else → JSON). Exits non-zero
-//! on the first violation, so exporter drift fails CI at the producing
-//! commit.
+//! Usage: `schema_check <file.json|file.csv>...` — `.csv` files are
+//! checked as CSV metrics exports; JSON files are dispatched on their
+//! `schema` tag: campaign checkpoint manifests
+//! (`autoplat.campaign.manifest.v1`) and shards
+//! (`autoplat.campaign.shard.v1`) go through the campaign validators,
+//! everything else through the `autoplat.metrics.v1` validator. Exits
+//! non-zero on the first violation, so exporter (or checkpoint-format)
+//! drift fails CI at the producing commit — and a truncated or
+//! hand-edited manifest is rejected with a typed error instead of
+//! feeding a silent partial resume.
 
+use autoplat_campaign::{
+    validate_manifest_json, validate_shard_json, MANIFEST_SCHEMA, SHARD_SCHEMA,
+};
 use autoplat_sim::metrics::{validate_csv_export, validate_json_export};
+use autoplat_sim::JsonValue;
+
+/// Validates one JSON document according to its `schema` tag.
+fn check_json(contents: &str) -> Result<(), String> {
+    let schema = JsonValue::parse(contents).ok().and_then(|doc| {
+        doc.get("schema")
+            .and_then(JsonValue::as_str)
+            .map(String::from)
+    });
+    match schema.as_deref() {
+        Some(MANIFEST_SCHEMA) => validate_manifest_json(contents)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        // Standalone shard check: validate against the record the shard
+        // claims for itself; manifest/shard cross-checks (content hash,
+        // range ownership) happen on resume.
+        Some(SHARD_SCHEMA) => validate_shard_self(contents),
+        _ => validate_json_export(contents),
+    }
+}
+
+/// Validates a shard against its own header (chunk/start/end), which is
+/// what a standalone file can promise without its manifest.
+fn validate_shard_self(contents: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(contents)?;
+    let want = |field: &str| {
+        doc.get(field)
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("shard field {field:?} missing or not a u64"))
+    };
+    let record = autoplat_campaign::ChunkRecord {
+        chunk: want("chunk")?,
+        start: want("start")?,
+        end: want("end")?,
+        hash: 0, // unknowable without the manifest; not checked here
+    };
+    validate_shard_json(contents, &record)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +73,7 @@ fn main() {
         let result = if path.ends_with(".csv") {
             validate_csv_export(&contents)
         } else {
-            validate_json_export(&contents)
+            check_json(&contents)
         };
         if let Err(e) = result {
             eprintln!("schema_check: {path}: {e}");

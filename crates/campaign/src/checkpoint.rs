@@ -1,0 +1,654 @@
+//! Checkpointed campaign state: manifest + shard files, typed errors.
+//!
+//! A long campaign periodically persists its progress as a *manifest*
+//! (`autoplat.campaign.manifest.v1`) naming completed point chunks,
+//! plus one *shard* file (`autoplat.campaign.shard.v1`) per chunk
+//! carrying the raw [`PointOutcome`]s. The manifest records an FNV-1a
+//! content hash of every shard, and resume re-validates each file
+//! against both its schema and its recorded hash, so a truncated or
+//! hand-edited checkpoint is rejected with a typed [`CampaignError`]
+//! instead of silently resuming a partial (or foreign) campaign.
+//!
+//! Shard round-trips are exact: counters are `u64` JSON integers and
+//! observations use the repo JSON writer's round-trip-exact float
+//! formatting, so a resumed reduction folds *bit-identical* values and
+//! the final report matches an uninterrupted run byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use autoplat_sim::JsonValue;
+
+use crate::point::PointOutcome;
+
+/// Schema tag of the checkpoint manifest.
+pub const MANIFEST_SCHEMA: &str = "autoplat.campaign.manifest.v1";
+/// Schema tag of a shard file.
+pub const SHARD_SCHEMA: &str = "autoplat.campaign.shard.v1";
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// FNV-1a 64-bit hash (offset basis / prime per the reference spec).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn hex64(v: u64) -> String {
+    format!("0x{v:016x}")
+}
+
+fn parse_hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// File name of chunk `index`'s shard.
+pub fn shard_file(chunk: u64) -> String {
+    format!("chunk_{chunk:05}.json")
+}
+
+/// Everything that can go wrong loading or resuming a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// Filesystem error reading or writing checkpoint state.
+    Io(String),
+    /// The file is not well-formed JSON.
+    Parse(String),
+    /// The file's `schema` tag is missing or not the expected one.
+    Schema {
+        expected: &'static str,
+        found: String,
+    },
+    /// A required field is missing or has the wrong JSON type.
+    Field { field: &'static str, detail: String },
+    /// The manifest belongs to a different campaign spec.
+    SpecMismatch { expected: String, found: String },
+    /// The manifest's sharding parameters disagree with the run's.
+    ShapeMismatch { detail: String },
+    /// A chunk record is internally inconsistent (bad range, duplicate
+    /// or out-of-order index).
+    ChunkRecord { chunk: u64, detail: String },
+    /// A shard file named by the manifest is absent.
+    ShardMissing { chunk: u64, file: String },
+    /// A shard file's content hash differs from the manifest's record.
+    ShardHashMismatch {
+        chunk: u64,
+        expected: String,
+        found: String,
+    },
+    /// A shard's payload disagrees with its manifest record.
+    ShardContent { chunk: u64, detail: String },
+    /// A checkpoint already exists and `--resume` was not given.
+    CheckpointExists { path: String },
+    /// `--resume` was given but there is no manifest to resume from.
+    NothingToResume { path: String },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CampaignError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CampaignError::Schema { expected, found } => {
+                write!(f, "schema mismatch: expected {expected:?}, found {found:?}")
+            }
+            CampaignError::Field { field, detail } => {
+                write!(f, "bad field {field:?}: {detail}")
+            }
+            CampaignError::SpecMismatch { expected, found } => write!(
+                f,
+                "manifest belongs to a different campaign spec \
+                 (fingerprint {found}, this run is {expected})"
+            ),
+            CampaignError::ShapeMismatch { detail } => {
+                write!(f, "manifest sharding mismatch: {detail}")
+            }
+            CampaignError::ChunkRecord { chunk, detail } => {
+                write!(f, "bad chunk record {chunk}: {detail}")
+            }
+            CampaignError::ShardMissing { chunk, file } => {
+                write!(f, "shard {chunk} missing: {file} not found")
+            }
+            CampaignError::ShardHashMismatch {
+                chunk,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {chunk} content hash {found} does not match manifest {expected}"
+            ),
+            CampaignError::ShardContent { chunk, detail } => {
+                write!(f, "shard {chunk} payload invalid: {detail}")
+            }
+            CampaignError::CheckpointExists { path } => write!(
+                f,
+                "checkpoint already exists at {path}; pass --resume to continue it"
+            ),
+            CampaignError::NothingToResume { path } => {
+                write!(f, "--resume given but no manifest at {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// One completed chunk in the manifest: a contiguous point range and
+/// the content hash of its shard file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRecord {
+    /// Chunk index (`start == index * chunk_points`).
+    pub chunk: u64,
+    /// First point index in the chunk (inclusive).
+    pub start: u64,
+    /// One past the last point index (exclusive).
+    pub end: u64,
+    /// FNV-1a 64 hash of the shard file's bytes.
+    pub hash: u64,
+}
+
+/// The checkpoint manifest: which chunks of which campaign are done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Fingerprint of the campaign spec ([`crate::CampaignSpec::fingerprint`]).
+    pub spec_fingerprint: u64,
+    /// Total points the run will execute.
+    pub total_points: u64,
+    /// Points per chunk.
+    pub chunk_points: u64,
+    /// Completed chunks, ascending by chunk index.
+    pub chunks: Vec<ChunkRecord>,
+}
+
+impl Manifest {
+    /// Serializes the manifest (deterministic key order).
+    pub fn to_json(&self) -> String {
+        let chunks = self
+            .chunks
+            .iter()
+            .map(|c| {
+                JsonValue::Object(vec![
+                    ("chunk".into(), JsonValue::UInt(c.chunk)),
+                    ("start".into(), JsonValue::UInt(c.start)),
+                    ("end".into(), JsonValue::UInt(c.end)),
+                    ("hash".into(), JsonValue::Str(hex64(c.hash))),
+                    ("file".into(), JsonValue::Str(shard_file(c.chunk))),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("schema".into(), JsonValue::Str(MANIFEST_SCHEMA.into())),
+            (
+                "spec_fingerprint".into(),
+                JsonValue::Str(hex64(self.spec_fingerprint)),
+            ),
+            ("total_points".into(), JsonValue::UInt(self.total_points)),
+            ("chunk_points".into(), JsonValue::UInt(self.chunk_points)),
+            ("chunks".into(), JsonValue::Array(chunks)),
+        ])
+        .to_string()
+    }
+}
+
+fn want_u64(doc: &JsonValue, field: &'static str) -> Result<u64, CampaignError> {
+    doc.get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or(CampaignError::Field {
+            field,
+            detail: "missing or not an unsigned integer".into(),
+        })
+}
+
+fn want_hex(doc: &JsonValue, field: &'static str) -> Result<u64, CampaignError> {
+    let s = doc
+        .get(field)
+        .and_then(JsonValue::as_str)
+        .ok_or(CampaignError::Field {
+            field,
+            detail: "missing or not a string".into(),
+        })?;
+    parse_hex64(s).ok_or(CampaignError::Field {
+        field,
+        detail: format!("{s:?} is not a 0x-prefixed 64-bit hex hash"),
+    })
+}
+
+fn check_schema(doc: &JsonValue, expected: &'static str) -> Result<(), CampaignError> {
+    let found = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("<missing>");
+    if found != expected {
+        return Err(CampaignError::Schema {
+            expected,
+            found: found.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Parses and structurally validates a manifest document. Every chunk
+/// record must carry a coherent `[start, end)` range for its index,
+/// ascend strictly, and name its canonical shard file.
+pub fn validate_manifest_json(json: &str) -> Result<Manifest, CampaignError> {
+    let doc = JsonValue::parse(json).map_err(CampaignError::Parse)?;
+    check_schema(&doc, MANIFEST_SCHEMA)?;
+    let spec_fingerprint = want_hex(&doc, "spec_fingerprint")?;
+    let total_points = want_u64(&doc, "total_points")?;
+    let chunk_points = want_u64(&doc, "chunk_points")?;
+    if chunk_points == 0 {
+        return Err(CampaignError::Field {
+            field: "chunk_points",
+            detail: "must be >= 1".into(),
+        });
+    }
+    let chunk_docs =
+        doc.get("chunks")
+            .and_then(JsonValue::as_array)
+            .ok_or(CampaignError::Field {
+                field: "chunks",
+                detail: "missing or not an array".into(),
+            })?;
+    let mut chunks = Vec::with_capacity(chunk_docs.len());
+    let mut prev: Option<u64> = None;
+    for c in chunk_docs {
+        let chunk = want_u64(c, "chunk")?;
+        let start = want_u64(c, "start")?;
+        let end = want_u64(c, "end")?;
+        let hash = want_hex(c, "hash")?;
+        let file = c
+            .get("file")
+            .and_then(JsonValue::as_str)
+            .ok_or(CampaignError::Field {
+                field: "file",
+                detail: "missing or not a string".into(),
+            })?;
+        let bad = |detail: String| CampaignError::ChunkRecord { chunk, detail };
+        if let Some(p) = prev {
+            if chunk <= p {
+                return Err(bad(format!("chunk indices must ascend (previous {p})")));
+            }
+        }
+        prev = Some(chunk);
+        if start != chunk * chunk_points {
+            return Err(bad(format!(
+                "start {start} != chunk * chunk_points = {}",
+                chunk * chunk_points
+            )));
+        }
+        let expected_end = (start + chunk_points).min(total_points);
+        if end != expected_end {
+            return Err(bad(format!("end {end}, expected {expected_end}")));
+        }
+        if start >= end {
+            return Err(bad(format!("empty range [{start}, {end})")));
+        }
+        if file != shard_file(chunk) {
+            return Err(bad(format!(
+                "file {file:?}, expected {:?}",
+                shard_file(chunk)
+            )));
+        }
+        chunks.push(ChunkRecord {
+            chunk,
+            start,
+            end,
+            hash,
+        });
+    }
+    Ok(Manifest {
+        spec_fingerprint,
+        total_points,
+        chunk_points,
+        chunks,
+    })
+}
+
+/// Serializes one chunk's outcomes as a shard document.
+pub fn shard_to_json(chunk: &ChunkRecord, outcomes: &[PointOutcome]) -> String {
+    let points = outcomes
+        .iter()
+        .map(|o| {
+            let counters = o
+                .counters
+                .iter()
+                .map(|(n, v)| {
+                    JsonValue::Array(vec![JsonValue::Str(n.clone()), JsonValue::UInt(*v)])
+                })
+                .collect();
+            let observations = o
+                .observations
+                .iter()
+                .map(|(n, v)| {
+                    JsonValue::Array(vec![JsonValue::Str(n.clone()), JsonValue::Float(*v)])
+                })
+                .collect();
+            JsonValue::Object(vec![
+                ("index".into(), JsonValue::UInt(o.index)),
+                ("seed".into(), JsonValue::UInt(o.seed)),
+                ("counters".into(), JsonValue::Array(counters)),
+                ("observations".into(), JsonValue::Array(observations)),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        ("schema".into(), JsonValue::Str(SHARD_SCHEMA.into())),
+        ("chunk".into(), JsonValue::UInt(chunk.chunk)),
+        ("start".into(), JsonValue::UInt(chunk.start)),
+        ("end".into(), JsonValue::UInt(chunk.end)),
+        ("points".into(), JsonValue::Array(points)),
+    ])
+    .to_string()
+}
+
+/// Parses and validates a shard against its manifest record: the range
+/// must match and the payload must hold exactly one outcome per point
+/// of the range, in ascending index order.
+pub fn validate_shard_json(
+    json: &str,
+    record: &ChunkRecord,
+) -> Result<Vec<PointOutcome>, CampaignError> {
+    let chunk = record.chunk;
+    let doc = JsonValue::parse(json).map_err(CampaignError::Parse)?;
+    check_schema(&doc, SHARD_SCHEMA)?;
+    let content = |detail: String| CampaignError::ShardContent { chunk, detail };
+    if want_u64(&doc, "chunk")? != record.chunk
+        || want_u64(&doc, "start")? != record.start
+        || want_u64(&doc, "end")? != record.end
+    {
+        return Err(content(format!(
+            "header disagrees with manifest record [{}, {})",
+            record.start, record.end
+        )));
+    }
+    let points = doc
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or(CampaignError::Field {
+            field: "points",
+            detail: "missing or not an array".into(),
+        })?;
+    let expected = (record.end - record.start) as usize;
+    if points.len() != expected {
+        return Err(content(format!(
+            "{} points, expected {expected}",
+            points.len()
+        )));
+    }
+    let mut outcomes = Vec::with_capacity(expected);
+    for (offset, p) in points.iter().enumerate() {
+        let index = want_u64(p, "index")?;
+        if index != record.start + offset as u64 {
+            return Err(content(format!(
+                "point {offset} has index {index}, expected {}",
+                record.start + offset as u64
+            )));
+        }
+        let seed = want_u64(p, "seed")?;
+        let counter_docs =
+            p.get("counters")
+                .and_then(JsonValue::as_array)
+                .ok_or(CampaignError::Field {
+                    field: "counters",
+                    detail: "missing or not an array".into(),
+                })?;
+        let mut counters = Vec::with_capacity(counter_docs.len());
+        for c in counter_docs {
+            let pair = c.as_array().unwrap_or(&[]);
+            match pair {
+                [JsonValue::Str(name), value] => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| content(format!("counter {name:?} value is not a u64")))?;
+                    counters.push((name.clone(), v));
+                }
+                _ => return Err(content("counter is not a [name, u64] pair".into())),
+            }
+        }
+        let obs_docs =
+            p.get("observations")
+                .and_then(JsonValue::as_array)
+                .ok_or(CampaignError::Field {
+                    field: "observations",
+                    detail: "missing or not an array".into(),
+                })?;
+        let mut observations = Vec::with_capacity(obs_docs.len());
+        for o in obs_docs {
+            let pair = o.as_array().unwrap_or(&[]);
+            match pair {
+                [JsonValue::Str(name), value] => {
+                    let v = value.as_f64().ok_or_else(|| {
+                        content(format!("observation {name:?} value is not a number"))
+                    })?;
+                    observations.push((name.clone(), v));
+                }
+                _ => return Err(content("observation is not a [name, number] pair".into())),
+            }
+        }
+        outcomes.push(PointOutcome {
+            index,
+            seed,
+            counters,
+            observations,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Where checkpoint files live. Abstracted so property tests can
+/// exercise the full serialize/validate/resume path in memory.
+pub trait CheckpointStore {
+    /// Reads a file; `Ok(None)` when it does not exist.
+    fn read(&self, name: &str) -> Result<Option<String>, CampaignError>;
+    /// Writes (or replaces) a file atomically.
+    fn write(&mut self, name: &str, contents: &str) -> Result<(), CampaignError>;
+    /// A human-readable location for error messages.
+    fn location(&self) -> String;
+}
+
+/// In-memory store for tests.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    files: BTreeMap<String, String>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Direct access for corruption tests.
+    pub fn files_mut(&mut self) -> &mut BTreeMap<String, String> {
+        &mut self.files
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn read(&self, name: &str) -> Result<Option<String>, CampaignError> {
+        Ok(self.files.get(name).cloned())
+    }
+
+    fn write(&mut self, name: &str, contents: &str) -> Result<(), CampaignError> {
+        self.files.insert(name.to_string(), contents.to_string());
+        Ok(())
+    }
+
+    fn location(&self) -> String {
+        "<memory>".into()
+    }
+}
+
+/// Filesystem store: one directory, atomic writes via rename.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DirStore, CampaignError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(DirStore { dir })
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn read(&self, name: &str) -> Result<Option<String>, CampaignError> {
+        let path = self.dir.join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(CampaignError::Io(format!("read {}: {e}", path.display()))),
+        }
+    }
+
+    fn write(&mut self, name: &str, contents: &str) -> Result<(), CampaignError> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let path = self.dir.join(name);
+        let io = |what: &str, e: std::io::Error| {
+            CampaignError::Io(format!("{what} {}: {e}", path.display()))
+        };
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io("create", e))?;
+        f.write_all(contents.as_bytes())
+            .map_err(|e| io("write", e))?;
+        f.sync_all().map_err(|e| io("sync", e))?;
+        drop(f);
+        std::fs::rename(&tmp, &path).map_err(|e| io("rename", e))?;
+        Ok(())
+    }
+
+    fn location(&self) -> String {
+        self.dir.display().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(index: u64) -> PointOutcome {
+        PointOutcome {
+            index,
+            seed: index * 7 + 1,
+            counters: vec![("campaign.points".into(), 1)],
+            observations: vec![("campaign.slowdown".into(), 1.0 + index as f64 * 0.125)],
+        }
+    }
+
+    fn record(chunk: u64, chunk_points: u64, total: u64) -> ChunkRecord {
+        let start = chunk * chunk_points;
+        ChunkRecord {
+            chunk,
+            start,
+            end: (start + chunk_points).min(total),
+            hash: 0,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            spec_fingerprint: 0xDEAD_BEEF_0BAD_F00D,
+            total_points: 10,
+            chunk_points: 4,
+            chunks: vec![
+                ChunkRecord {
+                    chunk: 0,
+                    start: 0,
+                    end: 4,
+                    hash: 1,
+                },
+                ChunkRecord {
+                    chunk: 2,
+                    start: 8,
+                    end: 10,
+                    hash: 2,
+                },
+            ],
+        };
+        let parsed = validate_manifest_json(&m.to_json()).expect("round trip");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn shard_round_trip_is_exact() {
+        let rec = record(1, 3, 10);
+        let outs: Vec<_> = (3..6)
+            .map(|i| {
+                let mut o = outcome(i);
+                // A value with no short decimal form exercises the
+                // shortest-round-trip float path.
+                o.observations
+                    .push(("campaign.wcd_tightness".into(), 1.0 / 3.0));
+                o
+            })
+            .collect();
+        let json = shard_to_json(&rec, &outs);
+        let parsed = validate_shard_json(&json, &rec).expect("round trip");
+        assert_eq!(parsed, outs);
+    }
+
+    #[test]
+    fn truncated_manifest_is_rejected() {
+        let m = Manifest {
+            spec_fingerprint: 1,
+            total_points: 4,
+            chunk_points: 2,
+            chunks: vec![record(0, 2, 4)],
+        };
+        let json = m.to_json();
+        let truncated = &json[..json.len() - 10];
+        assert!(matches!(
+            validate_manifest_json(truncated),
+            Err(CampaignError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn edited_chunk_ranges_are_rejected() {
+        let mut m = Manifest {
+            spec_fingerprint: 1,
+            total_points: 6,
+            chunk_points: 2,
+            chunks: vec![record(0, 2, 6), record(1, 2, 6)],
+        };
+        // Hand-edit: chunk 1 claims a range that is not its own.
+        m.chunks[1].start = 1;
+        let err = validate_manifest_json(&m.to_json()).unwrap_err();
+        assert!(matches!(err, CampaignError::ChunkRecord { chunk: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = r#"{"schema":"autoplat.metrics.v1","counters":{}}"#;
+        assert!(matches!(
+            validate_manifest_json(json),
+            Err(CampaignError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_with_renumbered_points_is_rejected() {
+        let rec = record(0, 2, 4);
+        let mut outs = vec![outcome(0), outcome(1)];
+        outs[1].index = 3;
+        let json = shard_to_json(&rec, &outs);
+        assert!(matches!(
+            validate_shard_json(&json, &rec),
+            Err(CampaignError::ShardContent { chunk: 0, .. })
+        ));
+    }
+}

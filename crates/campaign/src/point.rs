@@ -1,0 +1,135 @@
+//! Running one campaign point and recording its raw outcome.
+//!
+//! A [`PointOutcome`] is deliberately *raw*: ordered `(name, value)`
+//! pairs of counters and observations, not a reduced registry. The
+//! reduction folds outcomes in serial point order, so the same
+//! outcomes always reduce to the same bytes no matter which worker
+//! produced them — and outcomes round-trip through checkpoint shards
+//! exactly (u64 counters verbatim, f64 observations through the
+//! repo's round-trip-exact JSON float formatting).
+
+use autoplat_conformance::{CaseResult, Oracle, Scenario};
+use autoplat_core::cosim::CoSim;
+use autoplat_sim::SimRng;
+
+use crate::spec::CampaignPoint;
+
+/// The raw result of one campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Serial index in the spec's enumeration order.
+    pub index: u64,
+    /// The point's derived seed (recorded so a resumed shard can be
+    /// audited against the spec).
+    pub seed: u64,
+    /// Counter increments, in emission order.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram observations, in emission order.
+    pub observations: Vec<(String, f64)>,
+}
+
+/// Runs one point: the loaded/solo co-simulation pair that measures the
+/// interference slowdown, plus one conformance case of the arbiter's
+/// family that validates the analytic bound and yields its tightness.
+pub fn run_point(oracle: &Oracle, point: &CampaignPoint) -> PointOutcome {
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut observations: Vec<(String, f64)> = Vec::new();
+
+    // Interference measurement: victim worst-case response loaded vs solo.
+    let loaded = CoSim::new(point.platform.loaded_config()).run();
+    let solo = CoSim::new(point.platform.solo_config()).run();
+    let loaded_max = loaded.tasks[0].response.max().unwrap_or(0.0);
+    let solo_max = solo.tasks[0].response.max().unwrap_or(0.0);
+    let slowdown = if solo_max > 0.0 {
+        loaded_max / solo_max
+    } else {
+        1.0
+    };
+    counters.push(("campaign.points".into(), 1));
+    counters.push((
+        "campaign.victim.deadline_misses".into(),
+        loaded.tasks[0].deadline_misses,
+    ));
+    counters.push((
+        "campaign.victim.throttle_stalls".into(),
+        loaded.tasks[0].throttle_stalls,
+    ));
+    counters.push(("campaign.controls_dropped".into(), loaded.controls_dropped));
+    observations.push(("campaign.slowdown".into(), slowdown));
+    if loaded.tasks[0].throttle_stalls == 0 {
+        // The unthrottled subset isolates shared-resource interference
+        // proper (DRAM + NoC contention) from regulation-induced
+        // starvation; its max/min ratio is the number comparable to the
+        // paper's "up to ~8×" unmanaged-interference claim.
+        observations.push(("campaign.slowdown.unthrottled".into(), slowdown));
+    }
+    observations.push(("campaign.victim.response_max_ns".into(), loaded_max));
+    observations.push(("campaign.victim.solo_response_max_ns".into(), solo_max));
+
+    // Conformance: one case of the arbiter's family, seeded from the
+    // point seed so the whole campaign is a (stratified) conformance
+    // sweep as well as a measurement sweep.
+    let mut rng = SimRng::seed_from(point.seed);
+    let scenario = Scenario::generate(point.arbiter.family(), &mut rng);
+    match oracle.check_observed(&scenario) {
+        Ok((result, obs)) => {
+            let name = match result {
+                CaseResult::Pass => "campaign.conformance.passed",
+                CaseResult::Vacuous => "campaign.conformance.vacuous",
+            };
+            counters.push((name.into(), 1));
+            for (obs_name, value) in obs {
+                if obs_name == point.arbiter.tightness_obs() {
+                    observations.push(("campaign.wcd_tightness".into(), value));
+                }
+                observations.push((obs_name.into(), value));
+            }
+        }
+        Err(_violation) => {
+            counters.push(("campaign.conformance.violations".into(), 1));
+        }
+    }
+
+    PointOutcome {
+        index: point.index,
+        seed: point.seed,
+        counters,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    #[test]
+    fn run_point_is_deterministic() {
+        let spec = CampaignSpec::smoke(11);
+        let oracle = Oracle::default();
+        let a = run_point(&oracle, &spec.point(5));
+        let b = run_point(&oracle, &spec.point(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_point_measures_a_slowdown_and_a_verdict() {
+        let spec = CampaignSpec::smoke(11);
+        let oracle = Oracle::default();
+        let out = run_point(&oracle, &spec.point(0));
+        let slowdown = out
+            .observations
+            .iter()
+            .find(|(n, _)| n == "campaign.slowdown")
+            .expect("slowdown observed")
+            .1;
+        assert!(slowdown >= 1.0, "rivals cannot speed the victim up");
+        let verdicts: u64 = out
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("campaign.conformance."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(verdicts, 1, "exactly one conformance verdict per point");
+    }
+}

@@ -1,0 +1,363 @@
+//! The campaign lattice: a typed grid over the platform design space.
+//!
+//! A [`CampaignSpec`] is five axes — DRAM arbiter policy, NoC mesh
+//! topology, task-set shape, MemGuard budget plan and control-plane
+//! fault plan — whose cross product enumerates the design space the
+//! paper's ~8× interference-variation claim ranges over. Points are
+//! numbered in row-major order with the fault axis fastest, and every
+//! point derives its RNG seed from the spec's master seed through a
+//! splitmix finalizer, so the numbering *is* the corpus identity: two
+//! runs of the same spec agree point-by-point regardless of worker
+//! count, and a golden test pins the enumeration so a refactor cannot
+//! silently renumber committed campaigns.
+
+use autoplat_conformance::Family;
+use autoplat_core::design_space::{
+    BudgetPlan, ControlFaults, MeshTopology, PlatformPoint, TaskSetShape,
+};
+
+/// The DRAM arbitration policy axis. The co-simulated channel is
+/// FR-FCFS; the policy axis selects which analytic regime the point's
+/// conformance case is validated against (and which tightness
+/// observation feeds the campaign's WCD-bound distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterPolicy {
+    /// Plain FR-FCFS with the interference-channel WCD bound.
+    FrFcfs,
+    /// Dual-priority-queue arbitration with the bounded-access-latency
+    /// bound.
+    Dpq,
+    /// FR-FCFS under per-bank MemGuard regulation, validated through the
+    /// differential (three-regime) family.
+    PerBankRegulated,
+}
+
+impl ArbiterPolicy {
+    /// Every policy, in axis order.
+    pub const ALL: [ArbiterPolicy; 3] = [
+        ArbiterPolicy::FrFcfs,
+        ArbiterPolicy::Dpq,
+        ArbiterPolicy::PerBankRegulated,
+    ];
+
+    /// Stable lowercase name (used by exports and the spec fingerprint).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArbiterPolicy::FrFcfs => "frfcfs",
+            ArbiterPolicy::Dpq => "dpq",
+            ArbiterPolicy::PerBankRegulated => "perbank",
+        }
+    }
+
+    /// The conformance family that checks this policy's analytic bound.
+    pub fn family(&self) -> Family {
+        match self {
+            ArbiterPolicy::FrFcfs => Family::Dram,
+            ArbiterPolicy::Dpq => Family::Dpq,
+            ArbiterPolicy::PerBankRegulated => Family::Diff,
+        }
+    }
+
+    /// The observation name carrying this policy's WCD-bound tightness
+    /// ratio (observed worst case over analytic bound, in `(0, 1]`).
+    pub fn tightness_obs(&self) -> &'static str {
+        match self {
+            ArbiterPolicy::FrFcfs => "conformance.dram.tightness",
+            ArbiterPolicy::Dpq => "conformance.dpq.tightness",
+            ArbiterPolicy::PerBankRegulated => "conformance.diff.tightness.regulated",
+        }
+    }
+}
+
+/// One fully resolved campaign point: the grid index, its derived seed
+/// and the concrete platform configuration plus arbiter regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPoint {
+    /// Serial index in the spec's enumeration order.
+    pub index: u64,
+    /// Splitmix-derived per-point seed.
+    pub seed: u64,
+    /// Arbitration policy (selects the conformance family).
+    pub arbiter: ArbiterPolicy,
+    /// Concrete platform configuration (topology, tasks, budgets,
+    /// faults), already carrying `seed`.
+    pub platform: PlatformPoint,
+}
+
+/// The campaign grid. The cross product of the five axes, enumerated
+/// row-major with `arbiters` slowest and `fault_plans` fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Master seed; every point seed derives from it.
+    pub seed: u64,
+    /// DRAM arbitration policies.
+    pub arbiters: Vec<ArbiterPolicy>,
+    /// NoC mesh topologies.
+    pub topologies: Vec<MeshTopology>,
+    /// Task-set shapes.
+    pub task_sets: Vec<TaskSetShape>,
+    /// MemGuard budget plans.
+    pub budget_plans: Vec<BudgetPlan>,
+    /// Control-plane fault plans.
+    pub fault_plans: Vec<ControlFaults>,
+}
+
+impl CampaignSpec {
+    /// Number of points in the grid (zero if any axis is empty).
+    pub fn len(&self) -> u64 {
+        self.arbiters.len() as u64
+            * self.topologies.len() as u64
+            * self.task_sets.len() as u64
+            * self.budget_plans.len() as u64
+            * self.fault_plans.len() as u64
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The seed of point `index`: the master seed and the index mixed
+    /// through the same splitmix finalizer the conformance harness uses
+    /// for per-case seeds, so points are decorrelated and renumbering
+    /// is detectable.
+    pub fn point_seed(&self, index: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Resolves point `index` into its axis values and derived seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn point(&self, index: u64) -> CampaignPoint {
+        assert!(index < self.len(), "point {index} out of range");
+        let mut rest = index;
+        let pick = |rest: &mut u64, n: usize| -> usize {
+            let i = (*rest % n as u64) as usize;
+            *rest /= n as u64;
+            i
+        };
+        // Fastest axis first when decoding from the low radix digits.
+        let fault = pick(&mut rest, self.fault_plans.len());
+        let budget = pick(&mut rest, self.budget_plans.len());
+        let tasks = pick(&mut rest, self.task_sets.len());
+        let topo = pick(&mut rest, self.topologies.len());
+        let arb = pick(&mut rest, self.arbiters.len());
+        let seed = self.point_seed(index);
+        CampaignPoint {
+            index,
+            seed,
+            arbiter: self.arbiters[arb],
+            platform: PlatformPoint {
+                topology: self.topologies[topo],
+                tasks: self.task_sets[tasks],
+                budgets: self.budget_plans[budget],
+                faults: self.fault_plans[fault],
+                seed,
+            },
+        }
+    }
+
+    /// A canonical text encoding of the spec. The fingerprint hashes
+    /// this; exports embed the hash so a resume against a different
+    /// spec is rejected instead of silently mixing corpora.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("autoplat.campaign.spec.v1;seed={};arbiters=", self.seed);
+        for a in &self.arbiters {
+            let _ = write!(s, "{},", a.name());
+        }
+        s.push_str(";topologies=");
+        for t in &self.topologies {
+            let _ = write!(s, "{}x{},", t.cols, t.rows);
+        }
+        s.push_str(";task_sets=");
+        for t in &self.task_sets {
+            let _ = write!(s, "{}/{}/{},", t.rivals, t.victim_packets, t.rival_packets);
+        }
+        s.push_str(";budgets=");
+        for b in &self.budget_plans {
+            let _ = write!(s, "{}/{},", b.victim_bytes, b.rival_bytes);
+        }
+        s.push_str(";faults=");
+        for f in &self.fault_plans {
+            match f {
+                ControlFaults::None => s.push_str("none,"),
+                ControlFaults::DropRelief => s.push_str("drop,"),
+                ControlFaults::DelayRelief(c) => {
+                    let _ = write!(s, "delay:{c},");
+                }
+            }
+        }
+        s
+    }
+
+    /// FNV-1a 64 hash of [`canonical`](CampaignSpec::canonical).
+    pub fn fingerprint(&self) -> u64 {
+        crate::checkpoint::fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// The smoke grid: 2 values per axis, 32 points. Small enough for a
+    /// CI gate, wide enough that every axis provably moves the
+    /// distribution.
+    pub fn smoke(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            seed,
+            arbiters: vec![ArbiterPolicy::FrFcfs, ArbiterPolicy::Dpq],
+            topologies: vec![
+                MeshTopology { cols: 2, rows: 2 },
+                MeshTopology { cols: 3, rows: 3 },
+            ],
+            task_sets: vec![
+                TaskSetShape {
+                    rivals: 2,
+                    victim_packets: 8,
+                    rival_packets: 16,
+                },
+                TaskSetShape {
+                    rivals: 6,
+                    victim_packets: 8,
+                    rival_packets: 32,
+                },
+            ],
+            budget_plans: vec![
+                BudgetPlan {
+                    victim_bytes: 192,
+                    rival_bytes: 4096,
+                },
+                BudgetPlan {
+                    victim_bytes: 1024,
+                    rival_bytes: 512,
+                },
+            ],
+            fault_plans: vec![ControlFaults::None, ControlFaults::DropRelief],
+        }
+    }
+
+    /// The full grid: 3 values per axis, 243 points — the default for
+    /// the committed `BENCH_campaign.json` distribution.
+    pub fn full(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            seed,
+            arbiters: ArbiterPolicy::ALL.to_vec(),
+            topologies: vec![
+                MeshTopology { cols: 2, rows: 2 },
+                MeshTopology { cols: 3, rows: 3 },
+                MeshTopology { cols: 4, rows: 4 },
+            ],
+            task_sets: vec![
+                TaskSetShape {
+                    rivals: 1,
+                    victim_packets: 8,
+                    rival_packets: 16,
+                },
+                TaskSetShape {
+                    rivals: 4,
+                    victim_packets: 8,
+                    rival_packets: 24,
+                },
+                TaskSetShape {
+                    rivals: 14,
+                    victim_packets: 8,
+                    rival_packets: 32,
+                },
+            ],
+            budget_plans: vec![
+                BudgetPlan {
+                    victim_bytes: 192,
+                    rival_bytes: 4096,
+                },
+                BudgetPlan {
+                    victim_bytes: 512,
+                    rival_bytes: 1024,
+                },
+                BudgetPlan {
+                    victim_bytes: 2048,
+                    rival_bytes: 256,
+                },
+            ],
+            fault_plans: vec![
+                ControlFaults::None,
+                ControlFaults::DropRelief,
+                ControlFaults::DelayRelief(4_000),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_covers_the_cross_product_exactly_once() {
+        let spec = CampaignSpec::smoke(7);
+        assert_eq!(spec.len(), 32);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..spec.len() {
+            let p = spec.point(i);
+            assert_eq!(p.index, i);
+            seen.insert(format!(
+                "{}|{}x{}|{}|{}|{:?}",
+                p.arbiter.name(),
+                p.platform.topology.cols,
+                p.platform.topology.rows,
+                p.platform.tasks.rivals,
+                p.platform.budgets.victim_bytes,
+                p.platform.faults,
+            ));
+        }
+        assert_eq!(seen.len(), 32, "every grid cell visited exactly once");
+    }
+
+    #[test]
+    fn fault_axis_is_fastest() {
+        let spec = CampaignSpec::smoke(7);
+        let a = spec.point(0);
+        let b = spec.point(1);
+        assert_eq!(a.platform.faults, ControlFaults::None);
+        assert_eq!(b.platform.faults, ControlFaults::DropRelief);
+        assert_eq!(a.platform.budgets, b.platform.budgets);
+        assert_eq!(a.arbiter, b.arbiter);
+    }
+
+    #[test]
+    fn point_seeds_are_distinct_and_deterministic() {
+        let spec = CampaignSpec::full(42);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..spec.len() {
+            assert!(seen.insert(spec.point_seed(i)));
+        }
+        assert_eq!(spec.point_seed(3), spec.point_seed(3));
+        assert_ne!(
+            CampaignSpec::full(42).point_seed(3),
+            CampaignSpec::full(43).point_seed(3)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_axis() {
+        let base = CampaignSpec::smoke(7);
+        let mut reseeded = base.clone();
+        reseeded.seed = 8;
+        let mut retopo = base.clone();
+        retopo.topologies.pop();
+        let mut refault = base.clone();
+        refault.fault_plans = vec![ControlFaults::DelayRelief(100)];
+        let prints = [
+            base.fingerprint(),
+            reseeded.fingerprint(),
+            retopo.fingerprint(),
+            refault.fingerprint(),
+        ];
+        let distinct: std::collections::BTreeSet<_> = prints.iter().collect();
+        assert_eq!(distinct.len(), prints.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Golden pins and corruption regressions for the campaign layer.
+//!
+//! The enumeration order and per-point seeds of a [`CampaignSpec`] are
+//! the identity of every committed campaign corpus: a refactor that
+//! renumbers points or reseeds them silently invalidates
+//! `BENCH_campaign.json` and every checkpoint on disk. These tests pin
+//! the exact values, so such a change must consciously update a golden
+//! constant (and the committed corpora with it).
+
+use autoplat_campaign::{
+    run_checkpointed, shard_file, CampaignConfig, CampaignError, CampaignSpec, CampaignStatus,
+    CheckpointStore, MemStore, MANIFEST_FILE,
+};
+use autoplat_core::design_space::ControlFaults;
+
+/// The pinned spec: `CampaignSpec::smoke(42)`. Seeds computed by the
+/// splitmix derivation at the time the corpus format was frozen.
+const GOLDEN_SEEDS: [(u64, u64); 5] = [
+    (0, 0x0b4c_d618_fffd_b248),
+    (1, 0xd7fc_1bde_f4d9_4d80),
+    (2, 0x096c_2783_f1db_bc17),
+    (3, 0xca81_5659_d511_a2c5),
+    (31, 0x90ad_fbed_ba7c_f7b0),
+];
+
+/// FNV-1a 64 of the spec's canonical encoding, same freeze point.
+const GOLDEN_FINGERPRINT: u64 = 0xdec6_79dc_0ebb_c019;
+
+#[test]
+fn smoke_spec_seeds_are_pinned() {
+    let spec = CampaignSpec::smoke(42);
+    assert_eq!(spec.len(), 32);
+    for (index, seed) in GOLDEN_SEEDS {
+        assert_eq!(
+            spec.point_seed(index),
+            seed,
+            "per-point seed derivation changed for point {index}; committed \
+             campaign corpora are invalidated"
+        );
+        assert_eq!(spec.point(index).seed, seed);
+    }
+}
+
+#[test]
+fn smoke_spec_fingerprint_is_pinned() {
+    assert_eq!(
+        CampaignSpec::smoke(42).fingerprint(),
+        GOLDEN_FINGERPRINT,
+        "spec canonical encoding changed; existing checkpoints will be \
+         rejected as foreign"
+    );
+}
+
+#[test]
+fn smoke_spec_point_ordering_is_pinned() {
+    let spec = CampaignSpec::smoke(42);
+    // Row-major, fault axis fastest: index 0 and 1 differ only in the
+    // fault plan; index 2 rolls the budget axis; the last point is the
+    // all-last corner.
+    let p0 = spec.point(0);
+    let p1 = spec.point(1);
+    let p2 = spec.point(2);
+    let last = spec.point(31);
+    assert_eq!(p0.arbiter.name(), "frfcfs");
+    assert_eq!(p0.platform.faults, ControlFaults::None);
+    assert_eq!(p1.platform.faults, ControlFaults::DropRelief);
+    assert_eq!(p1.platform.budgets, p0.platform.budgets);
+    assert_eq!(p2.platform.budgets.victim_bytes, 1024);
+    assert_eq!(p2.platform.faults, ControlFaults::None);
+    assert_eq!(last.arbiter.name(), "dpq");
+    assert_eq!(last.platform.topology.nodes(), 9);
+    assert_eq!(last.platform.faults, ControlFaults::DropRelief);
+}
+
+#[test]
+fn empty_and_single_axis_grids_enumerate_sanely() {
+    let mut empty = CampaignSpec::smoke(7);
+    empty.budget_plans.clear();
+    assert_eq!(empty.len(), 0);
+    assert!(empty.is_empty());
+
+    let mut single = CampaignSpec::smoke(7);
+    single.arbiters.truncate(1);
+    single.topologies.truncate(1);
+    single.task_sets.truncate(1);
+    single.budget_plans.truncate(1);
+    assert_eq!(single.len(), 2, "only the fault axis is left");
+    assert_eq!(single.point(0).platform.faults, ControlFaults::None);
+    assert_eq!(single.point(1).platform.faults, ControlFaults::DropRelief);
+    // Truncating axes changes the spec identity.
+    assert_ne!(single.fingerprint(), CampaignSpec::smoke(7).fingerprint());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_point_panics() {
+    let spec = CampaignSpec::smoke(7);
+    let _ = spec.point(spec.len());
+}
+
+fn paused_store(cfg: &CampaignConfig) -> MemStore {
+    let mut store = MemStore::new();
+    let status = run_checkpointed(cfg, &mut store, false, Some(1)).unwrap();
+    assert!(matches!(status, CampaignStatus::Paused { .. }));
+    store
+}
+
+fn small_cfg() -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(CampaignSpec::smoke(9));
+    cfg.points = Some(4);
+    cfg.chunk_points = 2;
+    cfg
+}
+
+#[test]
+fn truncated_manifest_refuses_to_resume() {
+    let cfg = small_cfg();
+    let mut store = paused_store(&cfg);
+    let manifest = store.read(MANIFEST_FILE).unwrap().unwrap();
+    let cut = manifest.len() - 15;
+    store.write(MANIFEST_FILE, &manifest[..cut]).unwrap();
+    let err = run_checkpointed(&cfg, &mut store, true, None).unwrap_err();
+    assert!(
+        matches!(err, CampaignError::Parse(_)),
+        "truncation must surface as a typed parse error, got {err}"
+    );
+}
+
+#[test]
+fn hand_edited_shard_fails_the_content_hash() {
+    let cfg = small_cfg();
+    let mut store = paused_store(&cfg);
+    let shard = store.read(&shard_file(0)).unwrap().unwrap();
+    // Flip one observed digit — a "harmless"-looking touch-up.
+    let edited = shard.replacen("1", "2", 1);
+    assert_ne!(shard, edited);
+    store.write(&shard_file(0), &edited).unwrap();
+    let err = run_checkpointed(&cfg, &mut store, true, None).unwrap_err();
+    assert!(
+        matches!(err, CampaignError::ShardHashMismatch { chunk: 0, .. }),
+        "edited shard must fail its hash, got {err}"
+    );
+}
+
+#[test]
+fn deleted_shard_is_reported_missing() {
+    let cfg = small_cfg();
+    let mut store = paused_store(&cfg);
+    store.files_mut().remove(&shard_file(0));
+    let err = run_checkpointed(&cfg, &mut store, true, None).unwrap_err();
+    assert!(matches!(err, CampaignError::ShardMissing { chunk: 0, .. }));
+}
+
+#[test]
+fn edited_total_points_is_a_shape_mismatch() {
+    let cfg = small_cfg();
+    let mut store = paused_store(&cfg);
+    let manifest = store.read(MANIFEST_FILE).unwrap().unwrap();
+    let edited = manifest.replace("\"total_points\":4", "\"total_points\":2");
+    assert_ne!(manifest, edited);
+    store.write(MANIFEST_FILE, &edited).unwrap();
+    let err = run_checkpointed(&cfg, &mut store, true, None).unwrap_err();
+    // total_points feeds chunk-range validation and the shape check;
+    // either way the resume must stop with a typed error.
+    assert!(
+        matches!(
+            err,
+            CampaignError::ShapeMismatch { .. } | CampaignError::ChunkRecord { .. }
+        ),
+        "got {err}"
+    );
+}

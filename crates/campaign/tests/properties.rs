@@ -1,0 +1,169 @@
+//! Property tests for the campaign orchestrator's two central
+//! contracts:
+//!
+//! 1. **Resume correctness** — killing a campaign after any prefix of
+//!    chunks and resuming (with any worker count on either side)
+//!    produces a final report byte-identical to an uninterrupted run.
+//! 2. **Reduction algebra** — shard merge is associative and
+//!    commutative: permuting shard order, re-chunking points, or
+//!    changing the shard count cannot change a single byte of the
+//!    reduced export (this leans on the histogram sketch's exact
+//!    merge: the fold itself is a serial re-observation in point
+//!    order, so there is no floating-point reassociation at all).
+
+use autoplat_campaign::{
+    merge_outcomes, reduce, run, run_checkpointed, CampaignConfig, CampaignSpec, CampaignStatus,
+    CheckpointStore, MemStore, PointOutcome,
+};
+use proptest::prelude::*;
+
+fn small_cfg(seed: u64, points: u64, chunk_points: u64, workers: usize) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(CampaignSpec::smoke(seed));
+    cfg.points = Some(points);
+    cfg.chunk_points = chunk_points;
+    cfg.workers = workers;
+    cfg
+}
+
+/// Synthetic outcomes for the algebra tests: cheap to build in bulk,
+/// with "awkward" float observations (thirds, sevenths) that would
+/// expose any re-associated arithmetic in the reduction.
+fn synthetic_outcomes(n: u64, salt: u64) -> Vec<PointOutcome> {
+    (0..n)
+        .map(|i| {
+            let x = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            PointOutcome {
+                index: i,
+                seed: x,
+                counters: vec![
+                    ("campaign.points".into(), 1),
+                    ("campaign.victim.deadline_misses".into(), x % 5),
+                ],
+                observations: vec![
+                    ("campaign.slowdown".into(), 1.0 + (x % 97) as f64 / 3.0),
+                    (
+                        "campaign.wcd_tightness".into(),
+                        ((x % 89) as f64 + 1.0) / 7.0 / 13.0,
+                    ),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix stream.
+fn permute<T>(items: &mut [T], mut state: u64) {
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Splits outcomes into shards whose sizes walk a deterministic cycle,
+/// so different `salt`s produce genuinely different chunkings.
+fn rechunk(outcomes: &[PointOutcome], salt: u64) -> Vec<Vec<PointOutcome>> {
+    let mut shards = Vec::new();
+    let mut rest = outcomes;
+    let mut k = salt;
+    while !rest.is_empty() {
+        let take = ((k % 4) + 1).min(rest.len() as u64) as usize;
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let (head, tail) = rest.split_at(take);
+        shards.push(head.to_vec());
+        rest = tail;
+    }
+    shards
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill after a random prefix of chunks, resume with a (possibly
+    /// different) worker count: the final bytes must match an
+    /// uninterrupted run with yet another worker count.
+    #[test]
+    fn kill_and_resume_is_byte_identical(
+        seed in 0u64..1000,
+        points in 1u64..7,
+        chunk_points in 1u64..4,
+        workers_a in 1usize..4,
+        workers_b in 1usize..4,
+        kill_salt in 0u64..1000,
+    ) {
+        let uninterrupted = run(&small_cfg(seed, points, chunk_points, 1))
+            .metrics
+            .to_json();
+
+        let cfg_a = small_cfg(seed, points, chunk_points, workers_a);
+        let total_chunks = cfg_a.total_chunks();
+        // Kill somewhere strictly before the end so the resume has work.
+        let kill_after = kill_salt % total_chunks;
+        let mut store = MemStore::new();
+        let status = run_checkpointed(&cfg_a, &mut store, false, Some(kill_after)).unwrap();
+        let paused = matches!(status, CampaignStatus::Paused { .. });
+        prop_assert!(paused, "a killed run must report itself paused");
+
+        let cfg_b = small_cfg(seed, points, chunk_points, workers_b);
+        let resume_ok = if kill_after == 0 && store.read(autoplat_campaign::MANIFEST_FILE).unwrap().is_none() {
+            // A zero-chunk "kill" wrote nothing; start fresh instead.
+            run_checkpointed(&cfg_b, &mut store, false, None).unwrap()
+        } else {
+            run_checkpointed(&cfg_b, &mut store, true, None).unwrap()
+        };
+        let CampaignStatus::Complete(report) = resume_ok else {
+            return Err(TestCaseError::fail("resumed run must complete"));
+        };
+        prop_assert_eq!(report.metrics.to_json(), uninterrupted);
+    }
+
+    /// Shard merge is order- and chunking-insensitive: permuted shard
+    /// lists and re-chunked point sets reduce to identical bytes.
+    #[test]
+    fn reduction_is_associative_and_commutative(
+        n in 0u64..40,
+        salt in 0u64..10_000,
+        perm_seed in 0u64..10_000,
+        chunk_salt_a in 1u64..10_000,
+        chunk_salt_b in 1u64..10_000,
+    ) {
+        let outcomes = synthetic_outcomes(n, salt);
+        let baseline = reduce(outcomes.clone()).to_json();
+
+        // Two different chunkings of the same points.
+        let mut shards_a = rechunk(&outcomes, chunk_salt_a);
+        let shards_b = rechunk(&outcomes, chunk_salt_b);
+        // Shards of chunking A additionally arrive in a random order,
+        // as if workers finished whenever they pleased.
+        permute(&mut shards_a, perm_seed);
+
+        let merged_a = merge_outcomes(shards_a);
+        let merged_b = merge_outcomes(shards_b);
+        prop_assert_eq!(&merged_a, &merged_b);
+        prop_assert_eq!(reduce(merged_a).to_json(), baseline.clone());
+        prop_assert_eq!(reduce(merged_b).to_json(), baseline);
+    }
+
+    /// Merging in stages (tree reduce) equals merging flat — the
+    /// associativity half, stated directly.
+    #[test]
+    fn staged_merge_equals_flat_merge(
+        n in 1u64..40,
+        salt in 0u64..10_000,
+        split in 1u64..39,
+    ) {
+        let outcomes = synthetic_outcomes(n, salt);
+        let cut = (split % n.max(1)) as usize;
+        let left = outcomes[..cut].to_vec();
+        let right = outcomes[cut..].to_vec();
+        let staged = merge_outcomes([merge_outcomes([left.clone()]), merge_outcomes([right.clone()])]);
+        let flat = merge_outcomes([left, right]);
+        prop_assert_eq!(&staged, &flat);
+        prop_assert_eq!(reduce(staged).to_json(), reduce(flat).to_json());
+    }
+}

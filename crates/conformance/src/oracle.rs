@@ -174,7 +174,7 @@ impl Oracle {
         scenario: &Scenario,
     ) -> Result<(CaseResult, Observations), Violation> {
         match scenario {
-            Scenario::Dram(s) => self.check_dram(s).map(|r| (r, Vec::new())),
+            Scenario::Dram(s) => self.check_dram(s),
             Scenario::Noc(s) => check_noc(s).map(|r| (r, Vec::new())),
             Scenario::MemGuard(s) => check_memguard(s).map(|r| (r, Vec::new())),
             Scenario::Sched(s) => check_sched(s).map(|r| (r, Vec::new())),
@@ -187,7 +187,7 @@ impl Oracle {
         }
     }
 
-    fn check_dram(&self, s: &DramScenario) -> Result<CaseResult, Violation> {
+    fn check_dram(&self, s: &DramScenario) -> Result<(CaseResult, Observations), Violation> {
         let params = s.params();
         let (lower, upper) = match bounds(&params) {
             Ok(pair) => pair,
@@ -240,7 +240,11 @@ impl Oracle {
                 format!("simulated {observed_ns:.3} ns < serialization floor {floor_ns:.3} ns"),
             );
         }
-        Ok(CaseResult::Pass)
+        // How much of the analytic WCD budget the adversarial witness
+        // actually consumes — the campaign orchestrator folds this into
+        // its bound-tightness distribution across the design space.
+        let obs = vec![("conformance.dram.tightness", observed_ns / upper.delay_ns)];
+        Ok((CaseResult::Pass, obs))
     }
 
     fn check_dpq(&self, s: &DpqScenario) -> Result<(CaseResult, Observations), Violation> {

@@ -1,0 +1,256 @@
+//! The platform design space: one point of the campaign lattice as a
+//! concrete, runnable co-simulation configuration.
+//!
+//! The paper's central quantitative claim is that *unmanaged* interference
+//! varies execution time by up to ~8× depending on the platform
+//! configuration. Turning that claim into a measured distribution needs a
+//! typed description of "a platform configuration" that a sweep
+//! orchestrator can enumerate: mesh topology, task-set shape, regulation
+//! budgets and control-plane fault behaviour. [`PlatformPoint`] is that
+//! description, and [`PlatformPoint::loaded_config`] /
+//! [`PlatformPoint::solo_config`] resolve it into the pair of
+//! [`CoSimConfig`]s the interference measurement runs: the *loaded* run
+//! (victim plus rivals under the point's budgets and faults) and the
+//! *solo* baseline (the victim alone, unregulated). The ratio of the two
+//! victim worst-case response times is the point's slowdown.
+
+use autoplat_sim::{FaultPlan, SimDuration, SimTime};
+
+use crate::cosim::{CoSimConfig, CoSimTask, ControlCommand};
+use autoplat_noc::{NocConfig, NodeId};
+
+/// The budget the solo baseline (and a mid-run relief command) grants:
+/// large enough that MemGuard never throttles the victim.
+pub const UNREGULATED_BUDGET: u64 = 1 << 20;
+
+/// A mesh topology axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshTopology {
+    /// Mesh width.
+    pub cols: u32,
+    /// Mesh height.
+    pub rows: u32,
+}
+
+impl MeshTopology {
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> u32 {
+        self.cols * self.rows
+    }
+}
+
+/// A task-set axis value: one latency-critical victim plus a number of
+/// bandwidth-hungry rivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSetShape {
+    /// Rival tasks requested (clamped to the nodes the mesh can host).
+    pub rivals: u32,
+    /// Memory packets per victim job.
+    pub victim_packets: u32,
+    /// Memory packets per rival job.
+    pub rival_packets: u32,
+}
+
+/// A regulation axis value: MemGuard bytes-per-period budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetPlan {
+    /// The victim core's budget.
+    pub victim_bytes: u64,
+    /// Every rival core's budget.
+    pub rival_bytes: u64,
+}
+
+/// A control-plane fault axis value. Every loaded run schedules one
+/// mid-run relief command raising the victim's budget to
+/// [`UNREGULATED_BUDGET`]; the fault axis decides its fate, so the same
+/// grid point measures how a lossy control plane changes interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFaults {
+    /// The relief command is delivered on time.
+    None,
+    /// The relief command is silently dropped: the victim stays under its
+    /// original budget for the whole run.
+    DropRelief,
+    /// The relief command is delayed by the given number of cycles.
+    DelayRelief(u64),
+}
+
+/// One fully resolved point of the platform design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformPoint {
+    /// Mesh geometry.
+    pub topology: MeshTopology,
+    /// Task-set shape.
+    pub tasks: TaskSetShape,
+    /// Regulation budgets.
+    pub budgets: BudgetPlan,
+    /// Control-plane fault behaviour.
+    pub faults: ControlFaults,
+    /// Master seed of the point (drives the co-sim RNG streams and the
+    /// fault injector).
+    pub seed: u64,
+}
+
+impl PlatformPoint {
+    /// Rivals the mesh can actually host: every task needs its own node
+    /// and the last node is the memory controller.
+    pub fn effective_rivals(&self) -> u32 {
+        self.tasks
+            .rivals
+            .min(self.topology.nodes().saturating_sub(2))
+    }
+
+    fn victim_task(&self) -> CoSimTask {
+        CoSimTask::new(
+            0,
+            NodeId(0),
+            SimDuration::from_us(2.0),
+            SimDuration::from_ns(200.0),
+        )
+        .with_packets(self.tasks.victim_packets)
+        .with_address_space(1 << 14)
+    }
+
+    /// The loaded configuration: victim plus rivals under the point's
+    /// budgets and fault plan, with the mid-run relief command scheduled
+    /// at half the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh cannot host the victim and the memory node
+    /// (fewer than two nodes).
+    pub fn loaded_config(&self) -> CoSimConfig {
+        let nodes = self.topology.nodes();
+        assert!(nodes >= 2, "mesh must host the victim and the memory node");
+        let rivals = self.effective_rivals();
+        let mut tasks = vec![self.victim_task()];
+        for r in 0..rivals {
+            tasks.push(
+                CoSimTask::new(
+                    (r + 1) as usize,
+                    NodeId(r + 1),
+                    SimDuration::from_us(2.0),
+                    SimDuration::from_ns(100.0),
+                )
+                .with_packets(self.tasks.rival_packets)
+                .with_address_space(1 << 22),
+            );
+        }
+        let mut budgets = vec![self.budgets.victim_bytes.max(64)];
+        budgets.extend(std::iter::repeat_n(
+            self.budgets.rival_bytes.max(64),
+            rivals as usize,
+        ));
+        let horizon = SimTime::from_us(20.0);
+        let relief_at = SimTime::from_us(10.0);
+        let controls = vec![(
+            relief_at,
+            ControlCommand::SetBudget {
+                core: 0,
+                bytes_per_period: UNREGULATED_BUDGET,
+            },
+        )];
+        let fault_plan = match self.faults {
+            ControlFaults::None => FaultPlan::none(),
+            ControlFaults::DropRelief => FaultPlan::new().drop_nth("cosim.set_budget", 0),
+            ControlFaults::DelayRelief(cycles) => {
+                FaultPlan::new().delay_nth("cosim.set_budget", 0, cycles)
+            }
+        };
+        CoSimConfig {
+            noc: NocConfig::new(self.topology.cols, self.topology.rows),
+            memory_node: None,
+            dram_timing: autoplat_dram::timing::presets::ddr3_1600(),
+            dram_banks: 8,
+            row_bytes: 8192,
+            memguard_period: SimDuration::from_us(1.0),
+            budgets,
+            tasks,
+            horizon,
+            controls,
+            fault_plan,
+            seed: self.seed,
+            guaranteed_bytes_per_sec: 0.0,
+            qos: None,
+        }
+    }
+
+    /// The solo baseline: the victim alone on the same platform, with an
+    /// unregulated budget, no control commands and no faults — the
+    /// interference-free denominator of the slowdown ratio.
+    pub fn solo_config(&self) -> CoSimConfig {
+        let mut cfg = self.loaded_config();
+        cfg.tasks.truncate(1);
+        cfg.budgets = vec![UNREGULATED_BUDGET];
+        cfg.controls.clear();
+        cfg.fault_plan = FaultPlan::none();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::CoSim;
+
+    fn point() -> PlatformPoint {
+        PlatformPoint {
+            topology: MeshTopology { cols: 2, rows: 2 },
+            tasks: TaskSetShape {
+                rivals: 6,
+                victim_packets: 8,
+                rival_packets: 16,
+            },
+            budgets: BudgetPlan {
+                victim_bytes: 192,
+                rival_bytes: 4096,
+            },
+            faults: ControlFaults::DropRelief,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn rivals_clamp_to_the_mesh() {
+        // A 2x2 mesh has 4 nodes: victim, memory node, 2 rivals.
+        assert_eq!(point().effective_rivals(), 2);
+        let cfg = point().loaded_config();
+        assert_eq!(cfg.tasks.len(), 3);
+        assert_eq!(cfg.budgets.len(), 3);
+    }
+
+    #[test]
+    fn solo_config_strips_interference() {
+        let cfg = point().solo_config();
+        assert_eq!(cfg.tasks.len(), 1);
+        assert_eq!(cfg.budgets, vec![UNREGULATED_BUDGET]);
+        assert!(cfg.controls.is_empty());
+        assert!(!cfg.fault_plan.is_active());
+    }
+
+    #[test]
+    fn loaded_run_is_slower_than_solo() {
+        let p = point();
+        let loaded = CoSim::new(p.loaded_config()).run();
+        let solo = CoSim::new(p.solo_config()).run();
+        let loaded_max = loaded.tasks[0].response.max().unwrap_or(0.0);
+        let solo_max = solo.tasks[0].response.max().unwrap_or(0.0);
+        assert!(
+            loaded_max > solo_max,
+            "interference must inflate the victim: {loaded_max} vs {solo_max}"
+        );
+    }
+
+    #[test]
+    fn fault_axis_changes_the_outcome() {
+        let mut relieved = point();
+        relieved.faults = ControlFaults::None;
+        let dropped = point(); // DropRelief
+        let relieved_run = CoSim::new(relieved.loaded_config()).run();
+        let dropped_run = CoSim::new(dropped.loaded_config()).run();
+        assert_eq!(relieved_run.controls_applied, 1);
+        assert_eq!(dropped_run.controls_dropped, 1);
+        // Relief halves the throttling; the dropped plan keeps it.
+        assert!(relieved_run.tasks[0].throttle_stalls < dropped_run.tasks[0].throttle_stalls);
+    }
+}

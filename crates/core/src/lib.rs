@@ -41,6 +41,7 @@
 pub mod architecture;
 pub mod config_search;
 pub mod cosim;
+pub mod design_space;
 pub mod hypervisor;
 pub mod mpam_bridge;
 pub mod platform;
@@ -52,6 +53,7 @@ pub use cosim::{
     CoSim, CoSimConfig, CoSimReport, CoSimTask, ControlCommand, QosConfig, QosEpochReport,
     QosPartEpoch, QosReport,
 };
+pub use design_space::{BudgetPlan, ControlFaults, MeshTopology, PlatformPoint, TaskSetShape};
 pub use platform::{Platform, PlatformConfig, PlatformReport};
 pub use qos::QosContract;
 pub use workload::Workload;
